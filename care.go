@@ -1,0 +1,206 @@
+// Package care is a reproduction of "CARE: A Concurrency-Aware
+// Enhanced Lightweight Cache Management Framework" (Lu & Wang, HPCA
+// 2023) as a self-contained Go library.
+//
+// It bundles:
+//
+//   - a trace-driven, cycle-stepped multi-core cache-hierarchy
+//     simulator (cores with ROB/issue-width, three cache levels with
+//     MSHRs, next-line and IP-stride prefetchers, a banked DRAM
+//     model);
+//   - the paper's Pure Miss Contribution (PMC) measurement logic and
+//     the MLP-based cost metric it improves upon;
+//   - the CARE replacement framework (SHT, SBP, EPV policies, DTRM)
+//     and its M-CARE ablation, alongside a full baseline zoo (LRU,
+//     DIP, SRRIP/DRRIP, SHiP, SHiP++, Hawkeye, Glider, Mockingjay,
+//     SBAR);
+//   - synthetic SPEC-like workload generators and instrumented GAP
+//     graph kernels as trace sources;
+//   - an experiment harness that regenerates every table and figure
+//     of the paper's evaluation.
+//
+// # Quick start
+//
+//	traces := []care.TraceReader{care.MustSPECTrace("429.mcf", 1, 16)}
+//	cfg := care.ScaledConfig(1, 16)
+//	cfg.LLCPolicy = "care"
+//	result, err := care.RunSimulation(cfg, traces, 50_000, 200_000)
+//
+// See the examples/ directory for complete programs and DESIGN.md for
+// the architecture and experiment index.
+package care
+
+import (
+	"io"
+
+	careplc "care/internal/core/care"
+	"care/internal/core/pmc"
+	"care/internal/core/studycase"
+	"care/internal/graph"
+	"care/internal/harness"
+	"care/internal/mem"
+	"care/internal/replacement"
+	"care/internal/sim"
+	"care/internal/synth"
+	"care/internal/trace"
+)
+
+// ---- simulation ----
+
+// SystemConfig describes a simulated multi-core system (cores, cache
+// geometry, LLC policy, prefetchers).
+type SystemConfig = sim.Config
+
+// CacheGeom is the geometry of one cache level.
+type CacheGeom = sim.CacheGeom
+
+// Result summarises one simulation run (per-core IPC, LLC counters,
+// pMR, mean PMC, AOCPA, DRAM traffic).
+type Result = sim.Result
+
+// System is a runnable simulation instance for callers that need
+// cycle-level control; most users should call RunSimulation.
+type System = sim.System
+
+// DefaultConfig returns the paper's full-size configuration (Table
+// VII) for the given core count.
+func DefaultConfig(cores int) SystemConfig { return sim.DefaultConfig(cores) }
+
+// ScaledConfig shrinks every cache by the scale factor so experiments
+// run quickly; workload footprints should be scaled with the same
+// factor (see MustSPECTrace).
+func ScaledConfig(cores, scale int) SystemConfig { return sim.ScaledConfig(cores, scale) }
+
+// NewSystem builds a simulation with one trace per core.
+func NewSystem(cfg SystemConfig, traces []TraceReader) (*System, error) {
+	return sim.New(cfg, traces)
+}
+
+// RunSimulation builds a system, warms it up, measures, and returns
+// the result.
+func RunSimulation(cfg SystemConfig, traces []TraceReader, warmup, measure uint64) (Result, error) {
+	return sim.Run(cfg, traces, warmup, measure)
+}
+
+// ---- traces and workloads ----
+
+// TraceReader yields the memory-instruction records a core replays.
+type TraceReader = trace.Reader
+
+// TraceRecord is one memory instruction.
+type TraceRecord = trace.Record
+
+// Addr is a simulated physical address.
+type Addr = mem.Addr
+
+// SPECWorkloads lists the 30 synthetic SPEC-like workload names
+// (Table VIII).
+func SPECWorkloads() []string { return synth.Names() }
+
+// SPECTrace builds a deterministic trace reader for a named SPEC-like
+// workload. seed selects the copy (multi-copy runs use 1..n); scale
+// shrinks the footprint to match ScaledConfig.
+func SPECTrace(name string, seed uint64, scale int) (TraceReader, error) {
+	p, err := synth.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return synth.NewScaledGenerator(p, seed, scale), nil
+}
+
+// MustSPECTrace is SPECTrace panicking on unknown names.
+func MustSPECTrace(name string, seed uint64, scale int) TraceReader {
+	r, err := SPECTrace(name, seed, scale)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// GAPKernels lists the five graph kernels (bc, bfs, cc, pr, sssp).
+func GAPKernels() []string { return graph.Kernels() }
+
+// GAPDatasets lists the scaled graph datasets (Table IX).
+func GAPDatasets() []string {
+	var out []string
+	for _, d := range graph.Datasets() {
+		out = append(out, d.Name)
+	}
+	return out
+}
+
+// GAPTrace runs the named graph kernel over the named dataset and
+// returns its recorded reference stream (at most maxRecords records).
+func GAPTrace(kernel, dataset string, maxRecords int, seed uint64) (TraceReader, error) {
+	g, err := graph.LoadDataset(dataset)
+	if err != nil {
+		return nil, err
+	}
+	s, err := graph.Trace(kernel, g, maxRecords, seed)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// LoopingTrace wraps a finite trace so it replays forever (mixed
+// workloads replay early finishers, §VI).
+func LoopingTrace(r TraceReader) TraceReader { return trace.NewLooping(r) }
+
+// OffsetTrace shifts every address of a trace by delta, giving each
+// copy of a multi-copy workload its own address space (as separate
+// processes would have). r must also be a resettable reader if it is
+// to be wrapped in LoopingTrace afterwards.
+func OffsetTrace(r TraceReader, delta Addr) TraceReader { return trace.NewOffset(r, delta) }
+
+// ---- policies ----
+
+// Policies lists every registered LLC replacement policy, including
+// "care" and "m-care".
+func Policies() []string { return replacement.Names() }
+
+// CAREConfig tunes the CARE policy (sampled sets, DTRM period and
+// thresholds); the zero value is the paper's configuration.
+type CAREConfig = careplc.Config
+
+// ---- PMC and the study case ----
+
+// PMCSample is one completed LLC miss with its measured PMC.
+type PMCSample = pmc.Sample
+
+// StudyCaseResult is one access of the paper's §III-B study case.
+type StudyCaseResult = studycase.Result
+
+// StudyCase replays the paper's Figure 2 access pattern and returns
+// the per-access MLP-based costs and PMC values (Tables I and II)
+// plus the total active pure miss cycles.
+func StudyCase() ([]StudyCaseResult, uint64) { return studycase.RunPaper() }
+
+// FormatStudyCase renders the study case as the paper's tables.
+func FormatStudyCase(rs []StudyCaseResult, totalPure uint64) string {
+	return studycase.Format(rs, totalPure)
+}
+
+// ---- hardware cost (Tables V and VI) ----
+
+// HardwareCostKB returns CARE's total storage budget in KB for the
+// paper's 16-way 2MB LLC, and the concurrency-aware share.
+func HardwareCostKB() (total, concurrency float64) {
+	items := careplc.HardwareCost(careplc.PaperHWConfig())
+	return careplc.TotalKB(items, false), careplc.TotalKB(items, true)
+}
+
+// ---- experiments ----
+
+// ExperimentOptions tunes the paper-reproduction experiments.
+type ExperimentOptions = harness.Options
+
+// Experiments lists the reproducible table/figure IDs.
+func Experiments() []string { return harness.IDs() }
+
+// RunExperiment regenerates one of the paper's tables or figures,
+// writing the report to out.
+func RunExperiment(id string, out io.Writer, opts ExperimentOptions) error {
+	opts.Out = out
+	return harness.Run(id, opts)
+}

@@ -1,0 +1,96 @@
+// Command care-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	care-bench -list
+//	care-bench -run fig7
+//	care-bench -run all -scale 16 -measure 100000
+//	care-bench -run fig7 -workloads 429.mcf,482.sphinx3 -schemes lru,care
+//
+// Each experiment prints the same rows/series the paper reports; see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// paper-vs-measured comparisons.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"care/internal/harness"
+)
+
+func main() {
+	var (
+		runIDs    = flag.String("run", "", "comma-separated experiment IDs, or \"all\"")
+		list      = flag.Bool("list", false, "list available experiments")
+		scale     = flag.Int("scale", 16, "cache scale divisor (1 = paper-size hierarchy)")
+		measure   = flag.Uint64("measure", 100_000, "measured instructions per core")
+		warmup    = flag.Uint64("warmup", 30_000, "warmup instructions per core")
+		mixes     = flag.Int("mixes", 12, "number of 4-core mixed workloads (fig10; paper uses 100)")
+		cores     = flag.String("cores", "4,8,16", "core counts for scalability experiments")
+		workloads = flag.String("workloads", "", "restrict SPEC workloads (comma-separated)")
+		schemes   = flag.String("schemes", "", "restrict compared schemes (comma-separated)")
+		par       = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		csv       = flag.Bool("csv", false, "emit CSV tables instead of aligned text")
+	)
+	flag.Parse()
+
+	if *list || *runIDs == "" {
+		fmt.Println("Available experiments:")
+		for _, e := range harness.All() {
+			fmt.Printf("  %-7s %s\n", e.ID, e.Title)
+		}
+		if *runIDs == "" && !*list {
+			fmt.Println("\nSelect with -run <id>[,<id>...] or -run all")
+		}
+		return
+	}
+
+	opts := harness.Options{
+		Out:         os.Stdout,
+		Scale:       *scale,
+		Measure:     *measure,
+		Warmup:      *warmup,
+		Mixes:       *mixes,
+		Parallelism: *par,
+		CSV:         *csv,
+	}
+	if *workloads != "" {
+		opts.Workloads = strings.Split(*workloads, ",")
+	}
+	if *schemes != "" {
+		opts.Schemes = strings.Split(*schemes, ",")
+	}
+	for _, c := range strings.Split(*cores, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(c))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "care-bench: bad -cores entry %q\n", c)
+			os.Exit(2)
+		}
+		opts.CoreCounts = append(opts.CoreCounts, n)
+	}
+
+	ids := strings.Split(*runIDs, ",")
+	if *runIDs == "all" {
+		ids = harness.IDs()
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		e, err := harness.Get(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "care-bench:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
+		start := time.Now()
+		if err := harness.Run(id, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "care-bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,205 @@
+// Command care-sim runs one cache-hierarchy simulation and prints a
+// detailed report: IPC, LLC behaviour, PMC statistics, DRAM traffic,
+// and (for CARE) the policy's internal counters.
+//
+// Usage:
+//
+//	care-sim -workload 429.mcf -cores 4 -policy care -prefetch
+//	care-sim -workload bfs-or -cores 4 -policy ship++
+//	care-sim -list-workloads
+//	care-sim -list-policies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"care/internal/core/care"
+	"care/internal/graph"
+	"care/internal/mem"
+	"care/internal/replacement"
+	"care/internal/sim"
+	"care/internal/stats"
+	"care/internal/synth"
+	"care/internal/trace"
+)
+
+func main() {
+	var (
+		traceFile     = flag.String("trace", "", "replay a binary trace file (care-trace format) instead of a named workload")
+		workload      = flag.String("workload", "429.mcf", "SPEC workload name or GAP kernel-dataset (e.g. bfs-or)")
+		cores         = flag.Int("cores", 4, "number of cores (multi-copy)")
+		policy        = flag.String("policy", "care", "LLC replacement policy")
+		prefetch      = flag.Bool("prefetch", true, "enable L1 next-line + L2 IP-stride prefetchers")
+		scale         = flag.Int("scale", 16, "cache scale divisor (1 = paper-size hierarchy)")
+		instr         = flag.Uint64("instr", 200_000, "measured instructions per core")
+		warmup        = flag.Uint64("warmup", 50_000, "warmup instructions per core")
+		listWorkloads = flag.Bool("list-workloads", false, "list available workloads")
+		listPolicies  = flag.Bool("list-policies", false, "list available policies")
+	)
+	flag.Parse()
+
+	if *listWorkloads {
+		fmt.Println("SPEC-like synthetic workloads:")
+		for _, n := range synth.Names() {
+			fmt.Println(" ", n)
+		}
+		fmt.Println("GAP workloads (kernel-dataset):")
+		for _, k := range graph.Kernels() {
+			for _, d := range graph.Datasets() {
+				fmt.Printf("  %s-%s\n", k, d.Short)
+			}
+		}
+		return
+	}
+	if *listPolicies {
+		for _, n := range replacement.Names() {
+			fmt.Println(" ", n)
+		}
+		return
+	}
+
+	var traces []trace.Reader
+	var err error
+	if *traceFile != "" {
+		traces, err = loadTraceFile(*traceFile, *cores)
+		*workload = *traceFile
+	} else {
+		traces, err = buildTraces(*workload, *cores, *scale)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "care-sim:", err)
+		os.Exit(2)
+	}
+
+	cfg := sim.ScaledConfig(*cores, *scale)
+	cfg.LLCPolicy = *policy
+	cfg.Prefetch = *prefetch
+
+	s, err := sim.New(cfg, traces)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "care-sim:", err)
+		os.Exit(2)
+	}
+	if *warmup > 0 {
+		s.RunInstructions(*warmup)
+	}
+	s.ResetStats()
+	s.RunInstructions(*instr)
+	r := s.Snapshot()
+
+	fmt.Printf("workload=%s cores=%d policy=%s prefetch=%v scale=%d\n",
+		*workload, *cores, *policy, *prefetch, *scale)
+	fmt.Printf("cycles: %d\n\n", r.Cycles)
+
+	t := stats.NewTable("core", "instructions", "IPC", "AOCPA")
+	for i := range r.CoreIPC {
+		t.AddRow(i, r.CoreInstructions[i], fmt.Sprintf("%.4f", r.CoreIPC[i]), fmt.Sprintf("%.2f", r.AOCPA[i]))
+	}
+	fmt.Print(t.String())
+	fmt.Printf("aggregate IPC: %.4f\n\n", r.IPCSum())
+
+	llc := r.LLC
+	fmt.Println("LLC:")
+	fmt.Printf("  demand: %d accesses, %d hits, %d misses (miss rate %.4f)\n",
+		llc.DemandAccesses, llc.DemandHits, llc.DemandMisses,
+		float64(llc.DemandMisses)/nz(llc.DemandAccesses))
+	fmt.Printf("  prefetch: %d accesses, %d misses, %d dropped\n",
+		llc.PrefetchAccesses, llc.PrefetchMisses, llc.PrefetchesDropped)
+	fmt.Printf("  writebacks in: %d, out: %d\n", llc.WritebackAccesses, llc.WritebacksIssued)
+	fmt.Printf("  pure misses: %d (pMR %.4f)\n", llc.PureMisses, r.LLCPMR)
+	fmt.Printf("  hit-miss overlapped misses: %d (%.1f%% of misses)\n",
+		llc.HitOverlapMisses, 100*float64(llc.HitOverlapMisses)/nz(llc.Misses()))
+	fmt.Printf("  mean PMC per miss: %.2f cycles\n", r.MeanPMC)
+	var mpki float64
+	var totalInstr uint64
+	for _, n := range r.CoreInstructions {
+		totalInstr += n
+	}
+	mpki = stats.MPKI(llc.DemandMisses, totalInstr)
+	fmt.Printf("  demand MPKI: %.2f\n\n", mpki)
+
+	fmt.Println("DRAM:")
+	fmt.Printf("  reads: %d, writes: %d\n", r.DRAM.Reads, r.DRAM.Writes)
+	fmt.Printf("  row hits: %d, row misses: %d\n", r.DRAM.RowHits, r.DRAM.RowMisses)
+	fmt.Printf("  mean read latency: %.1f cycles\n", r.DRAM.MeanReadLatency())
+
+	if cs := s.CAREStats(); cs != nil {
+		pol := s.LLC().Policy().(*care.Policy)
+		low, high := pol.Thresholds()
+		fmt.Println("\nCARE:")
+		fmt.Printf("  insertions: high-reuse=%d low-reuse=%d moderate=%d (high-cost=%d low-cost=%d) writeback=%d\n",
+			cs.InsertHighReuse, cs.InsertLowReuse, cs.InsertModerate,
+			cs.InsertHighCost, cs.InsertLowCost, cs.InsertWriteback)
+		fmt.Printf("  DTRM: thresholds low=%.0f high=%.0f, raises=%d lowers=%d, costly misses=%d\n",
+			low, high, cs.DTRMRaises, cs.DTRMLowers, cs.CostlyMisses)
+		fmt.Println("  hottest SHT signatures (sig, fills, RC, PD):")
+		for _, s := range pol.HotSignatures(8) {
+			fmt.Printf("    %#04x  %7d  rc=%d pd=%d\n", s.Signature, s.Fills, s.RC, s.PD)
+		}
+	}
+}
+
+// loadTraceFile materialises a binary trace and hands each core a
+// desynchronised, address-shifted copy (multi-copy replay).
+func loadTraceFile(path string, cores int) ([]trace.Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	records, err := trace.Read(f)
+	if err != nil {
+		return nil, err
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("trace %s is empty", path)
+	}
+	out := make([]trace.Reader, cores)
+	for i := range out {
+		out[i] = trace.NewOffset(
+			trace.NewLooping(trace.NewSliceAt(records, i*len(records)/cores)),
+			mem.Addr(uint64(i)<<36))
+	}
+	return out, nil
+}
+
+// buildTraces resolves a workload name to per-core trace readers.
+func buildTraces(workload string, cores, scale int) ([]trace.Reader, error) {
+	if kernel, dataset, ok := strings.Cut(workload, "-"); ok && len(kernel) <= 4 {
+		g, err := graph.LoadDataset(dataset)
+		if err != nil {
+			return nil, err
+		}
+		base, err := graph.Trace(kernel, g, 200_000, 1)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]trace.Reader, cores)
+		for i := range out {
+			start := i * base.Len() / cores
+			out[i] = trace.NewOffset(
+				trace.NewLooping(trace.NewSliceAt(base.Records, start)),
+				mem.Addr(uint64(i)<<36))
+		}
+		return out, nil
+	}
+	p, err := synth.Lookup(workload)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]trace.Reader, cores)
+	for i := range out {
+		out[i] = synth.NewScaledGenerator(p, uint64(i+1), scale)
+	}
+	return out, nil
+}
+
+func nz(v uint64) float64 {
+	if v == 0 {
+		return 1
+	}
+	return float64(v)
+}

@@ -1,0 +1,146 @@
+// Command care-trace generates, stores, and inspects memory traces.
+//
+// Usage:
+//
+//	care-trace -workload 429.mcf -n 100000 -o mcf.trc   # generate
+//	care-trace -inspect mcf.trc                          # summarise
+//	care-trace -workload bfs-or -n 50000 -o bfs.trc      # GAP kernel
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"care/internal/graph"
+	"care/internal/mem"
+	"care/internal/synth"
+	"care/internal/trace"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "SPEC workload or GAP kernel-dataset to generate")
+		n        = flag.Int("n", 100_000, "number of records to generate")
+		out      = flag.String("o", "", "output trace file")
+		inspect  = flag.String("inspect", "", "trace file to summarise")
+		seed     = flag.Uint64("seed", 1, "generation seed")
+		scale    = flag.Int("scale", 1, "footprint scale divisor for SPEC workloads")
+	)
+	flag.Parse()
+
+	switch {
+	case *inspect != "":
+		if err := doInspect(*inspect); err != nil {
+			fmt.Fprintln(os.Stderr, "care-trace:", err)
+			os.Exit(1)
+		}
+	case *workload != "":
+		if *out == "" {
+			fmt.Fprintln(os.Stderr, "care-trace: -o required with -workload")
+			os.Exit(2)
+		}
+		if err := doGenerate(*workload, *n, *seed, *scale, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "care-trace:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func doGenerate(workload string, n int, seed uint64, scale int, out string) error {
+	var records []trace.Record
+	if kernel, dataset, ok := strings.Cut(workload, "-"); ok && len(kernel) <= 4 {
+		g, err := graph.LoadDataset(dataset)
+		if err != nil {
+			return err
+		}
+		s, err := graph.Trace(kernel, g, n, seed)
+		if err != nil {
+			return err
+		}
+		records = s.Records
+	} else {
+		p, err := synth.Lookup(workload)
+		if err != nil {
+			return err
+		}
+		s, err := trace.Collect(synth.NewScaledGenerator(p, seed, scale), n)
+		if err != nil {
+			return err
+		}
+		records = s.Records
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.Write(f, records); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d records (%d instructions) to %s\n",
+		len(records), trace.NewSlice(records).Instructions(), out)
+	return nil
+}
+
+func doInspect(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	records, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+	var writes, deps uint64
+	blocks := map[uint64]struct{}{}
+	pcs := map[mem.Addr]uint64{}
+	for _, r := range records {
+		if r.IsWrite {
+			writes++
+		}
+		if r.DependsPrev {
+			deps++
+		}
+		blocks[r.Addr.BlockID()] = struct{}{}
+		pcs[r.PC]++
+	}
+	s := trace.NewSlice(records)
+	fmt.Printf("records:        %d\n", len(records))
+	fmt.Printf("instructions:   %d\n", s.Instructions())
+	fmt.Printf("writes:         %d (%.1f%%)\n", writes, pct(writes, uint64(len(records))))
+	fmt.Printf("dependent:      %d (%.1f%%)\n", deps, pct(deps, uint64(len(records))))
+	fmt.Printf("unique blocks:  %d (%.1f KB footprint)\n", len(blocks), float64(len(blocks))*mem.BlockSize/1024)
+	fmt.Printf("unique PCs:     %d\n", len(pcs))
+
+	type pcCount struct {
+		pc mem.Addr
+		n  uint64
+	}
+	var top []pcCount
+	for pc, c := range pcs {
+		top = append(top, pcCount{pc, c})
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i].n > top[j].n })
+	if len(top) > 8 {
+		top = top[:8]
+	}
+	fmt.Println("hottest PCs:")
+	for _, t := range top {
+		fmt.Printf("  %#x  %d (%.1f%%)\n", uint64(t.pc), t.n, pct(t.n, uint64(len(records))))
+	}
+	return nil
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

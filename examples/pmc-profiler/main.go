@@ -1,0 +1,96 @@
+// pmc-profiler demonstrates the PMC measurement API: it attaches a
+// sample hook to the LLC's measurement logic (the paper's PML) and
+// profiles one workload, printing the PMC distribution (Figure 5's
+// histogram) and a per-PC cost table — exactly the signal CARE's
+// Signature History Table learns from.
+//
+//	go run ./examples/pmc-profiler [workload]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"care"
+)
+
+func main() {
+	workload := "429.mcf"
+	if len(os.Args) > 1 {
+		workload = os.Args[1]
+	}
+	const scale = 16
+
+	cfg := care.ScaledConfig(1, scale)
+	cfg.LLCPolicy = "lru"
+	sys, err := care.NewSystem(cfg, []care.TraceReader{care.MustSPECTrace(workload, 1, scale)})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Warm up without sampling, then hook the PML.
+	sys.RunInstructions(30_000)
+	sys.ResetStats()
+
+	type pcStats struct {
+		count int
+		sum   float64
+		pure  int
+	}
+	perPC := map[care.Addr]*pcStats{}
+	bins := make([]int, 8)
+	total := 0
+	sys.PML().OnSample = func(s care.PMCSample) {
+		total++
+		b := int(s.PMC / 50)
+		if b > 7 {
+			b = 7
+		}
+		bins[b]++
+		st := perPC[s.PC]
+		if st == nil {
+			st = &pcStats{}
+			perPC[s.PC] = st
+		}
+		st.count++
+		st.sum += s.PMC
+		if s.Pure {
+			st.pure++
+		}
+	}
+	sys.RunInstructions(150_000)
+
+	fmt.Printf("PMC profile of %s (single core, LRU, %d LLC misses)\n\n", workload, total)
+	labels := []string{"0-49", "50-99", "100-149", "150-199", "200-249", "250-299", "300-349", "350+"}
+	fmt.Println("PMC distribution (cycles):")
+	for i, n := range bins {
+		frac := float64(n) / float64(total)
+		bar := strings.Repeat("#", int(frac*60))
+		fmt.Printf("  %-8s %6.1f%%  %s\n", labels[i], 100*frac, bar)
+	}
+
+	// Hottest PCs by miss count, with their mean PMC: the stability
+	// of the last column across runs is the paper's §IV-E
+	// predictability claim.
+	type row struct {
+		pc care.Addr
+		st *pcStats
+	}
+	var rows []row
+	for pc, st := range perPC {
+		rows = append(rows, row{pc, st})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].st.count > rows[j].st.count })
+	if len(rows) > 10 {
+		rows = rows[:10]
+	}
+	fmt.Printf("\n%-12s %8s %10s %8s\n", "PC", "misses", "mean PMC", "pure%")
+	for _, r := range rows {
+		fmt.Printf("%#-12x %8d %10.2f %7.1f%%\n",
+			uint64(r.pc), r.st.count, r.st.sum/float64(r.st.count),
+			100*float64(r.st.pure)/float64(r.st.count))
+	}
+}

@@ -1,0 +1,565 @@
+// Package cache implements the non-blocking, set-associative caches
+// of the simulated memory hierarchy: tag arrays, MSHR files,
+// writeback handling, prefetcher hooks, and the replacement-policy
+// plug-in interface.
+//
+// The timing model follows the C-AMAT decomposition the paper builds
+// on: every access (hit or miss) spends the cache's base access
+// cycles (tag lookup), and misses additionally wait for the lower
+// level. Caches are cycle-stepped via Tick and deliver responses
+// through per-request callbacks, so a multi-level hierarchy is wired
+// purely through the Level interface.
+package cache
+
+import (
+	"fmt"
+
+	"care/internal/mem"
+)
+
+// Level is anything that can accept a memory request: a lower cache
+// level or the DRAM model.
+type Level interface {
+	// Access submits a request at the given cycle. The request's Done
+	// callback (if any) fires when data is available.
+	Access(req *mem.Request, cycle uint64)
+}
+
+// Tracker observes a cache's cycle-by-cycle activity to compute
+// concurrency metrics (PMC, MLP-based cost). The paper attaches its
+// PMC measurement logic (PML) to the LLC; the simulator supports any
+// number of trackers per cache.
+type Tracker interface {
+	// OnAccessStart is told that an access from core begins its base
+	// access phase at cycle (the phase lasts the cache's latency).
+	OnAccessStart(core int, kind mem.Kind, cycle uint64)
+	// Tick runs once per cycle with the cache's MSHR file so the
+	// tracker can update outstanding-miss metrics in place.
+	Tick(cycle uint64, m *MSHR)
+	// OnMissComplete is invoked when an outstanding miss is served,
+	// before the block is installed, so accumulated metrics are final.
+	OnMissComplete(e *MSHREntry, cycle uint64)
+}
+
+// Params is the geometry and timing of one cache.
+type Params struct {
+	// Name identifies the cache in stats output ("L1D-0", "LLC", ...).
+	Name string
+	// Sets and Ways define the organisation; Sets must be a power of
+	// two.
+	Sets, Ways int
+	// Latency is the base access (tag lookup) latency in cycles.
+	Latency uint64
+	// MSHREntries bounds the number of outstanding misses.
+	MSHREntries int
+	// Cores is the number of cores that can reach this cache (1 for
+	// private levels).
+	Cores int
+}
+
+// SizeBytes returns the data capacity of the cache.
+func (p Params) SizeBytes() int { return p.Sets * p.Ways * mem.BlockSize }
+
+// Stats aggregates a cache's activity counters.
+type Stats struct {
+	// Demand (load/store) traffic.
+	DemandAccesses, DemandHits, DemandMisses uint64
+	// Prefetch traffic.
+	PrefetchAccesses, PrefetchHits, PrefetchMisses uint64
+	// Writeback traffic from the level above.
+	WritebackAccesses, WritebackHits, WritebackMisses uint64
+	// MSHRMerges counts accesses absorbed by an outstanding miss.
+	MSHRMerges uint64
+	// MSHRStallCycles counts cycles the input queue was blocked by a
+	// full MSHR file.
+	MSHRStallCycles uint64
+	// PrefetchesDropped counts prefetches discarded for MSHR headroom.
+	PrefetchesDropped uint64
+	// Invalidations counts blocks removed by back-invalidation.
+	Invalidations uint64
+	// Fills and Evictions count block installs and displacements.
+	Fills, Evictions uint64
+	// WritebacksIssued counts dirty evictions sent to the next level.
+	WritebacksIssued uint64
+	// PureMisses counts completed misses with at least one pure miss
+	// cycle (only meaningful when a PMC tracker is attached).
+	PureMisses uint64
+	// HitOverlapMisses counts completed misses whose miss phase
+	// overlapped base access cycles from the same core (Figure 3).
+	HitOverlapMisses uint64
+	// PMCSum accumulates the PMC of completed misses, for averages.
+	PMCSum float64
+	// PerCoreDemandAccesses and PerCoreDemandMisses break demand
+	// traffic down by issuing core (MPKI, weighted speedup inputs).
+	PerCoreDemandAccesses, PerCoreDemandMisses []uint64
+}
+
+// Accesses returns total demand+prefetch accesses (the pMR
+// denominator; writebacks are background traffic and excluded, per
+// the paper's treatment of writebacks as non-demand requests).
+func (s *Stats) Accesses() uint64 { return s.DemandAccesses + s.PrefetchAccesses }
+
+// Misses returns total demand+prefetch misses.
+func (s *Stats) Misses() uint64 { return s.DemandMisses + s.PrefetchMisses }
+
+// MissRate returns misses/accesses over demand+prefetch traffic.
+func (s *Stats) MissRate() float64 {
+	if a := s.Accesses(); a > 0 {
+		return float64(s.Misses()) / float64(a)
+	}
+	return 0
+}
+
+// PureMissRate returns the paper's pMR: pure misses / total accesses.
+func (s *Stats) PureMissRate() float64 {
+	if a := s.Accesses(); a > 0 {
+		return float64(s.PureMisses) / float64(a)
+	}
+	return 0
+}
+
+// MeanPMC returns the average PMC per completed miss.
+func (s *Stats) MeanPMC() float64 {
+	if m := s.Misses(); m > 0 {
+		return s.PMCSum / float64(m)
+	}
+	return 0
+}
+
+type queued struct {
+	req   *mem.Request
+	ready uint64
+}
+
+// Cache is one level of the simulated hierarchy.
+type Cache struct {
+	Params
+	policy     Policy
+	prefetcher Prefetcher
+	lower      Level
+	mshr       *MSHR
+	sets       [][]Block
+	inq        []queued
+	trackers   []Tracker
+	evictHook  func(mem.Addr, uint64)
+	stats      Stats
+
+	setMask   uint64
+	setShift  uint
+	nextReqID uint64
+}
+
+// New builds a cache with the given geometry and replacement policy.
+// The lower level is attached with SetLower before simulation starts.
+func New(p Params, policy Policy) *Cache {
+	if p.Sets <= 0 || p.Sets&(p.Sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: sets must be a positive power of two, got %d", p.Name, p.Sets))
+	}
+	if p.Ways <= 0 {
+		panic(fmt.Sprintf("cache %s: ways must be positive, got %d", p.Name, p.Ways))
+	}
+	if p.MSHREntries <= 0 {
+		panic(fmt.Sprintf("cache %s: MSHR entries must be positive", p.Name))
+	}
+	if p.Cores <= 0 {
+		p.Cores = 1
+	}
+	c := &Cache{
+		Params: p,
+		policy: policy,
+		mshr:   NewMSHR(p.MSHREntries, p.Cores),
+		sets:   make([][]Block, p.Sets),
+	}
+	backing := make([]Block, p.Sets*p.Ways)
+	for i := range c.sets {
+		c.sets[i] = backing[i*p.Ways : (i+1)*p.Ways : (i+1)*p.Ways]
+	}
+	c.setMask = uint64(p.Sets - 1)
+	policy.Init(p.Sets, p.Ways)
+	c.stats.PerCoreDemandAccesses = make([]uint64, p.Cores)
+	c.stats.PerCoreDemandMisses = make([]uint64, p.Cores)
+	return c
+}
+
+// SetLower attaches the next level of the hierarchy.
+func (c *Cache) SetLower(l Level) { c.lower = l }
+
+// SetPrefetcher attaches a hardware prefetcher that injects requests
+// into this cache.
+func (c *Cache) SetPrefetcher(p Prefetcher) { c.prefetcher = p }
+
+// SetEvictionHook installs a callback fired whenever a valid block is
+// displaced. Inclusive hierarchies use it to back-invalidate the
+// upper levels.
+func (c *Cache) SetEvictionHook(fn func(blockAddr mem.Addr, cycle uint64)) { c.evictHook = fn }
+
+// Invalidate removes the block holding a, if present, returning
+// whether it was resident. Dirty data is written back to the next
+// level first (the path a back-invalidation takes in an inclusive
+// hierarchy).
+func (c *Cache) Invalidate(a mem.Addr, cycle uint64) bool {
+	set, way := c.probe(a)
+	if way < 0 {
+		return false
+	}
+	blk := &c.sets[set][way]
+	if blk.Dirty && c.lower != nil {
+		c.writeback(*blk, blk.Core, cycle)
+	}
+	c.stats.Invalidations++
+	*blk = Block{}
+	return true
+}
+
+// AddTracker attaches a concurrency-metric tracker (e.g. the PMC
+// measurement logic).
+func (c *Cache) AddTracker(t Tracker) { c.trackers = append(c.trackers, t) }
+
+// Stats returns a pointer to the live counters.
+func (c *Cache) Stats() *Stats { return &c.stats }
+
+// ResetStats zeroes the counters (end of warmup) without touching
+// cache contents or in-flight requests.
+func (c *Cache) ResetStats() {
+	c.stats = Stats{
+		PerCoreDemandAccesses: make([]uint64, c.Cores),
+		PerCoreDemandMisses:   make([]uint64, c.Cores),
+	}
+}
+
+// Policy returns the attached replacement policy.
+func (c *Cache) Policy() Policy { return c.policy }
+
+// MSHRFile exposes the MSHR for trackers and tests.
+func (c *Cache) MSHRFile() *MSHR { return c.mshr }
+
+// SetIndex maps an address to its set.
+func (c *Cache) SetIndex(a mem.Addr) int { return int(a.BlockID() & c.setMask) }
+
+// Access implements Level: the request enters the input queue and is
+// looked up after the base access latency.
+func (c *Cache) Access(req *mem.Request, cycle uint64) {
+	for _, t := range c.trackers {
+		t.OnAccessStart(req.Core, req.Kind, cycle)
+	}
+	c.inq = append(c.inq, queued{req: req, ready: cycle + c.Latency})
+}
+
+// Contains reports whether the block holding a is present (used by
+// prefetch de-duplication and tests). It does not touch LRU state.
+func (c *Cache) Contains(a mem.Addr) bool {
+	_, way := c.probe(a)
+	return way >= 0
+}
+
+// Outstanding reports whether a miss for a's block is in flight.
+func (c *Cache) Outstanding(a mem.Addr) bool { return c.mshr.Lookup(a.BlockID()) != nil }
+
+// probe returns (set, way) of a resident block, way == -1 on miss.
+func (c *Cache) probe(a mem.Addr) (int, int) {
+	set := c.SetIndex(a)
+	tag := a.BlockID()
+	for w := range c.sets[set] {
+		if c.sets[set][w].Valid && c.sets[set][w].Tag == tag {
+			return set, w
+		}
+	}
+	return set, -1
+}
+
+// Tick advances the cache by one cycle: runs trackers and drains the
+// input queue entries whose base access phase has completed.
+func (c *Cache) Tick(cycle uint64) {
+	for _, t := range c.trackers {
+		t.Tick(cycle, c.mshr)
+	}
+	for len(c.inq) > 0 && c.inq[0].ready <= cycle {
+		if !c.lookup(c.inq[0].req, cycle) {
+			c.stats.MSHRStallCycles++
+			break // head-of-line blocking on a full MSHR
+		}
+		c.inq = c.inq[1:]
+	}
+}
+
+// lookup performs the tag match for req. It returns false if the
+// request could not be handled this cycle (MSHR full) and must retry.
+func (c *Cache) lookup(req *mem.Request, cycle uint64) bool {
+	if req.Kind == mem.Writeback {
+		c.lookupWriteback(req, cycle)
+		return true
+	}
+	set, way := c.probe(req.Addr)
+	hit := way >= 0
+
+	c.countAccess(req, hit)
+
+	if hit {
+		blk := &c.sets[set][way]
+		info := c.infoFor(req, cycle)
+		info.HitPrefetched = blk.Prefetched
+		req.PrefetchHit = blk.Prefetched && req.Kind.IsDemand()
+		if req.Kind.IsDemand() {
+			blk.Reused = true
+			blk.Prefetched = false
+		}
+		if req.Kind == mem.Store {
+			blk.Dirty = true
+		}
+		blk.LastTouch = cycle
+		c.policy.OnHit(set, way, c.sets[set], info)
+		c.maybePrefetch(req, true, cycle)
+		req.Respond(cycle)
+		return true
+	}
+
+	// Miss: merge with an outstanding request for the same block, or
+	// allocate a new MSHR entry and fetch from below.
+	if e := c.mshr.Lookup(req.Addr.BlockID()); e != nil {
+		c.mshr.Merge(e, req)
+		c.stats.MSHRMerges++
+		c.maybePrefetch(req, false, cycle)
+		return true
+	}
+	if req.Kind == mem.Prefetch && c.mshr.Len() >= c.MSHREntries-c.MSHREntries/4 {
+		// Prefetches must not crowd out demand misses: once the MSHR
+		// file runs low on headroom they are dropped, as real
+		// prefetch queues do.
+		c.stats.PrefetchesDropped++
+		req.Respond(cycle)
+		return true
+	}
+	if c.mshr.Full() {
+		return false
+	}
+	e := c.mshr.Allocate(req, cycle)
+	c.maybePrefetch(req, false, cycle)
+	if c.lower == nil {
+		// No backing level configured (unit tests): serve instantly.
+		c.fill(e, cycle)
+		return true
+	}
+	down := &mem.Request{
+		ID:         req.ID,
+		Addr:       req.Addr.Block(),
+		PC:         req.PC,
+		Core:       req.Core,
+		Kind:       req.Kind,
+		IssueCycle: cycle,
+		Done:       func(done uint64) { c.fill(e, done) },
+	}
+	c.lower.Access(down, cycle)
+	return true
+}
+
+// lookupWriteback handles a dirty block arriving from the level
+// above. A hit updates the resident copy (absorbing the write); a
+// miss forwards the writeback to the next level without allocating —
+// the non-inclusive design point that avoids displacing demand data
+// with write traffic. The last level before memory allocates instead
+// (there is nothing below to forward to).
+func (c *Cache) lookupWriteback(req *mem.Request, cycle uint64) {
+	set, way := c.probe(req.Addr)
+	c.countAccess(req, way >= 0)
+	if way >= 0 {
+		blk := &c.sets[set][way]
+		blk.Dirty = true
+		blk.LastTouch = cycle
+		req.Respond(cycle)
+		return
+	}
+	if c.lower != nil {
+		c.stats.WritebacksIssued++
+		c.lower.Access(&mem.Request{
+			ID:         req.ID,
+			Addr:       req.Addr.Block(),
+			PC:         req.PC,
+			Core:       req.Core,
+			Kind:       mem.Writeback,
+			IssueCycle: cycle,
+		}, cycle)
+		req.Respond(cycle)
+		return
+	}
+	c.installBlock(req.Addr, req.PC, req.Core, mem.Writeback, 0, 0, 0, cycle)
+	req.Respond(cycle)
+}
+
+// fill completes an outstanding miss: metrics are finalised, a victim
+// is chosen, dirty victims are written back, the block is installed,
+// and every merged requester is answered.
+func (c *Cache) fill(e *MSHREntry, cycle uint64) {
+	for _, t := range c.trackers {
+		t.OnMissComplete(e, cycle)
+	}
+	if e.PureCycles > 0 {
+		c.stats.PureMisses++
+	}
+	if e.HitOverlapped {
+		c.stats.HitOverlapMisses++
+	}
+	c.stats.PMCSum += e.PMC
+
+	c.installBlock(mem.Addr(e.Block<<mem.BlockBits), e.PC, e.Core, e.Kind, e.PMC, e.MLPCost, cycle-e.AllocCycle, cycle)
+
+	for _, w := range c.mshr.Release(e) {
+		w.PMC = e.PMC
+		w.MLPCost = e.MLPCost
+		w.Respond(cycle)
+	}
+}
+
+// installBlock places a block into its set, evicting if necessary.
+func (c *Cache) installBlock(addr, pc mem.Addr, core int, kind mem.Kind, pmc, mlpCost float64, missLatency, cycle uint64) {
+	set, way := c.probe(addr)
+	if way >= 0 {
+		// Block raced in via another path (e.g. writeback after a
+		// demand fill). Refresh rather than duplicate.
+		blk := &c.sets[set][way]
+		if kind == mem.Writeback || kind == mem.Store {
+			blk.Dirty = true
+		}
+		blk.LastTouch = cycle
+		return
+	}
+	info := AccessInfo{
+		PC:          pc,
+		Addr:        addr,
+		Core:        core,
+		Kind:        kind,
+		Cycle:       cycle,
+		PMC:         pmc,
+		MLPCost:     mlpCost,
+		MissLatency: missLatency,
+	}
+	way = c.findVictim(set, info)
+	blk := &c.sets[set][way]
+	if blk.Valid {
+		c.stats.Evictions++
+		c.policy.OnEvict(set, way, *blk, info)
+		if blk.Dirty && c.lower != nil {
+			c.writeback(*blk, core, cycle)
+		}
+		if c.evictHook != nil {
+			c.evictHook(mem.Addr(blk.Tag<<mem.BlockBits), cycle)
+		}
+	}
+	*blk = Block{
+		Valid:      true,
+		Tag:        addr.BlockID(),
+		Dirty:      kind == mem.Store || kind == mem.Writeback,
+		Prefetched: kind == mem.Prefetch,
+		Core:       core,
+		PC:         pc,
+		PMC:        pmc,
+		MLPCost:    mlpCost,
+		FillCycle:  cycle,
+		LastTouch:  cycle,
+	}
+	c.stats.Fills++
+	c.policy.OnFill(set, way, c.sets[set], info)
+}
+
+// findVictim prefers an invalid way and otherwise defers to the
+// policy, validating its answer.
+func (c *Cache) findVictim(set int, info AccessInfo) int {
+	for w := range c.sets[set] {
+		if !c.sets[set][w].Valid {
+			return w
+		}
+	}
+	way := c.policy.Victim(set, c.sets[set], info)
+	if way < 0 || way >= c.Ways {
+		panic(fmt.Sprintf("cache %s: policy %s returned invalid victim way %d", c.Name, c.policy.Name(), way))
+	}
+	return way
+}
+
+// writeback sends an evicted dirty block to the next level.
+func (c *Cache) writeback(blk Block, core int, cycle uint64) {
+	c.stats.WritebacksIssued++
+	c.nextReqID++
+	wb := &mem.Request{
+		ID:         c.nextReqID,
+		Addr:       mem.Addr(blk.Tag << mem.BlockBits),
+		PC:         blk.PC,
+		Core:       blk.Core,
+		Kind:       mem.Writeback,
+		IssueCycle: cycle,
+	}
+	_ = core
+	c.lower.Access(wb, cycle)
+}
+
+// maybePrefetch consults the attached prefetcher on demand accesses
+// and injects the suggested prefetches into this cache's own input
+// queue (self-prefetching, as in ChampSim's L1/L2 prefetchers).
+func (c *Cache) maybePrefetch(req *mem.Request, hit bool, cycle uint64) {
+	if c.prefetcher == nil || !req.Kind.IsDemand() {
+		return
+	}
+	for _, addr := range c.prefetcher.OnAccess(req.PC, req.Addr, hit) {
+		addr = addr.Block()
+		if c.Contains(addr) || c.Outstanding(addr) {
+			continue
+		}
+		c.nextReqID++
+		pf := &mem.Request{
+			ID:         c.nextReqID,
+			Addr:       addr,
+			PC:         req.PC,
+			Core:       req.Core,
+			Kind:       mem.Prefetch,
+			IssueCycle: cycle,
+		}
+		c.Access(pf, cycle)
+	}
+}
+
+// countAccess updates the per-kind counters for a lookup.
+func (c *Cache) countAccess(req *mem.Request, hit bool) {
+	switch {
+	case req.Kind == mem.Writeback:
+		c.stats.WritebackAccesses++
+		if hit {
+			c.stats.WritebackHits++
+		} else {
+			c.stats.WritebackMisses++
+		}
+	case req.Kind == mem.Prefetch:
+		c.stats.PrefetchAccesses++
+		if hit {
+			c.stats.PrefetchHits++
+		} else {
+			c.stats.PrefetchMisses++
+		}
+	default:
+		c.stats.DemandAccesses++
+		if req.Core >= 0 && req.Core < len(c.stats.PerCoreDemandAccesses) {
+			c.stats.PerCoreDemandAccesses[req.Core]++
+		}
+		if hit {
+			c.stats.DemandHits++
+		} else {
+			c.stats.DemandMisses++
+			if req.Core >= 0 && req.Core < len(c.stats.PerCoreDemandMisses) {
+				c.stats.PerCoreDemandMisses[req.Core]++
+			}
+		}
+	}
+}
+
+// infoFor builds the policy callback descriptor for an access.
+func (c *Cache) infoFor(req *mem.Request, cycle uint64) AccessInfo {
+	return AccessInfo{
+		PC:    req.PC,
+		Addr:  req.Addr,
+		Core:  req.Core,
+		Kind:  req.Kind,
+		Cycle: cycle,
+	}
+}
+
+// Drained reports whether the cache has no queued or outstanding
+// work; the simulator uses it to decide when a run has quiesced.
+func (c *Cache) Drained() bool { return len(c.inq) == 0 && c.mshr.Len() == 0 }

@@ -1,0 +1,513 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"care/internal/mem"
+)
+
+// testLRU is a minimal true-LRU policy for exercising the cache
+// machinery without importing the replacement zoo.
+type testLRU struct {
+	stamp [][]uint64
+	clock uint64
+}
+
+func (p *testLRU) Name() string { return "test-lru" }
+func (p *testLRU) Init(sets, ways int) {
+	p.stamp = make([][]uint64, sets)
+	for i := range p.stamp {
+		p.stamp[i] = make([]uint64, ways)
+	}
+}
+func (p *testLRU) touch(set, way int) {
+	p.clock++
+	p.stamp[set][way] = p.clock
+}
+func (p *testLRU) Victim(set int, blocks []Block, info AccessInfo) int {
+	best, bestStamp := 0, p.stamp[set][0]
+	for w := 1; w < len(blocks); w++ {
+		if p.stamp[set][w] < bestStamp {
+			best, bestStamp = w, p.stamp[set][w]
+		}
+	}
+	return best
+}
+func (p *testLRU) OnHit(set, way int, blocks []Block, info AccessInfo)  { p.touch(set, way) }
+func (p *testLRU) OnFill(set, way int, blocks []Block, info AccessInfo) { p.touch(set, way) }
+func (p *testLRU) OnEvict(set, way int, evicted Block, info AccessInfo) {}
+
+// fixedLatencyMemory is a Level that answers every request after a
+// constant delay, via an internal event list drained by Tick.
+type fixedLatencyMemory struct {
+	latency  uint64
+	pending  []queued
+	accesses int
+	writes   int
+}
+
+func (m *fixedLatencyMemory) Access(req *mem.Request, cycle uint64) {
+	m.accesses++
+	if req.Kind == mem.Writeback {
+		m.writes++
+		req.Respond(cycle)
+		return
+	}
+	m.pending = append(m.pending, queued{req: req, ready: cycle + m.latency})
+}
+
+func (m *fixedLatencyMemory) Tick(cycle uint64) {
+	rest := m.pending[:0]
+	for _, q := range m.pending {
+		if q.ready <= cycle {
+			q.req.Respond(cycle)
+		} else {
+			rest = append(rest, q)
+		}
+	}
+	m.pending = rest
+}
+
+func newTestCache(t *testing.T, sets, ways int, mshr int, lowerLatency uint64) (*Cache, *fixedLatencyMemory) {
+	t.Helper()
+	c := New(Params{
+		Name:        "test",
+		Sets:        sets,
+		Ways:        ways,
+		Latency:     2,
+		MSHREntries: mshr,
+		Cores:       2,
+	}, &testLRU{})
+	lower := &fixedLatencyMemory{latency: lowerLatency}
+	c.SetLower(lower)
+	return c, lower
+}
+
+// run advances cache+memory until the given cycle.
+func run(c *Cache, m *fixedLatencyMemory, from, to uint64) {
+	for cy := from; cy <= to; cy++ {
+		c.Tick(cy)
+		m.Tick(cy)
+	}
+}
+
+func load(addr mem.Addr, done func(uint64)) *mem.Request {
+	return &mem.Request{Addr: addr, PC: 0x400000, Kind: mem.Load, Done: done}
+}
+
+func TestNewValidatesGeometry(t *testing.T) {
+	for _, bad := range []Params{
+		{Sets: 3, Ways: 4, MSHREntries: 4},
+		{Sets: 0, Ways: 4, MSHREntries: 4},
+		{Sets: 4, Ways: 0, MSHREntries: 4},
+		{Sets: 4, Ways: 4, MSHREntries: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%+v) should panic", bad)
+				}
+			}()
+			New(bad, &testLRU{})
+		}()
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	p := Params{Sets: 64, Ways: 8}
+	if got := p.SizeBytes(); got != 64*8*mem.BlockSize {
+		t.Fatalf("SizeBytes = %d", got)
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c, lower := newTestCache(t, 16, 4, 8, 10)
+	var missDone, hitDone uint64
+	c.Access(load(0x1000, func(cy uint64) { missDone = cy }), 0)
+	run(c, lower, 0, 30)
+	if missDone == 0 {
+		t.Fatal("miss never completed")
+	}
+	// Latency must include base (2) + memory (10).
+	if missDone < 12 {
+		t.Fatalf("miss completed at %d, expected >= 12", missDone)
+	}
+	c.Access(load(0x1000, func(cy uint64) { hitDone = cy }), 100)
+	run(c, lower, 100, 110)
+	if hitDone != 102 {
+		t.Fatalf("hit completed at %d, want 102 (base latency only)", hitDone)
+	}
+	s := c.Stats()
+	if s.DemandAccesses != 2 || s.DemandMisses != 1 || s.DemandHits != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestMSHRMergeSameBlock(t *testing.T) {
+	c, lower := newTestCache(t, 16, 4, 8, 20)
+	var done1, done2 uint64
+	c.Access(load(0x2000, func(cy uint64) { done1 = cy }), 0)
+	c.Access(load(0x2008, func(cy uint64) { done2 = cy }), 1) // same block
+	run(c, lower, 0, 60)
+	if done1 == 0 || done2 == 0 {
+		t.Fatal("merged requests did not both complete")
+	}
+	if done1 != done2 {
+		t.Fatalf("merged requests completed at different cycles: %d vs %d", done1, done2)
+	}
+	s := c.Stats()
+	if s.MSHRMerges != 1 {
+		t.Fatalf("MSHRMerges = %d, want 1", s.MSHRMerges)
+	}
+	if s.DemandMisses != 2 {
+		t.Fatalf("DemandMisses = %d, want 2 (both count as misses)", s.DemandMisses)
+	}
+	if lower.accesses != 1 {
+		t.Fatalf("lower level saw %d accesses, want 1", lower.accesses)
+	}
+}
+
+func TestMSHRFullBlocksQueue(t *testing.T) {
+	c, lower := newTestCache(t, 64, 4, 2, 1000)
+	completed := 0
+	for i := 0; i < 4; i++ {
+		c.Access(load(mem.Addr(0x10000+i*0x1000), func(uint64) { completed++ }), 0)
+	}
+	run(c, lower, 0, 100)
+	if got := c.MSHRFile().Len(); got != 2 {
+		t.Fatalf("MSHR entries = %d, want capacity 2", got)
+	}
+	if c.Stats().MSHRStallCycles == 0 {
+		t.Fatal("expected MSHR stall cycles to accumulate")
+	}
+	run(c, lower, 101, 3000)
+	if completed != 4 {
+		t.Fatalf("completed = %d, want 4 after drain", completed)
+	}
+	if !c.Drained() {
+		t.Fatal("cache should be drained")
+	}
+}
+
+func TestEvictionWritebackOfDirty(t *testing.T) {
+	c, lower := newTestCache(t, 1, 2, 8, 5) // one set, two ways
+	// Fill two blocks, one via store (dirty).
+	c.Access(&mem.Request{Addr: 0x0000, Kind: mem.Store, PC: 1}, 0)
+	c.Access(load(0x1000, nil), 0)
+	run(c, lower, 0, 20)
+	// Third block forces an eviction of the LRU (the store block).
+	c.Access(load(0x2000, nil), 50)
+	run(c, lower, 50, 80)
+	if lower.writes != 1 {
+		t.Fatalf("lower saw %d writebacks, want 1", lower.writes)
+	}
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", c.Stats().Evictions)
+	}
+}
+
+func TestWritebackHitMarksDirty(t *testing.T) {
+	c, lower := newTestCache(t, 16, 4, 8, 5)
+	c.Access(load(0x3000, nil), 0)
+	run(c, lower, 0, 20)
+	c.Access(&mem.Request{Addr: 0x3000, Kind: mem.Writeback}, 30)
+	run(c, lower, 30, 40)
+	set, way := c.probe(0x3000)
+	if way < 0 {
+		t.Fatal("block missing")
+	}
+	if !c.sets[set][way].Dirty {
+		t.Fatal("writeback hit should mark the block dirty")
+	}
+	if c.Stats().WritebackHits != 1 {
+		t.Fatalf("WritebackHits = %d", c.Stats().WritebackHits)
+	}
+}
+
+func TestWritebackMissForwardsWhenBacked(t *testing.T) {
+	// With a lower level attached, a writeback miss forwards the
+	// dirty block downward instead of displacing demand data.
+	c, lower := newTestCache(t, 16, 4, 8, 5)
+	c.Access(&mem.Request{Addr: 0x4000, Kind: mem.Writeback}, 0)
+	run(c, lower, 0, 10)
+	if c.Contains(0x4000) {
+		t.Fatal("writeback miss should not allocate when a lower level exists")
+	}
+	if lower.writes != 1 {
+		t.Fatalf("writeback should be forwarded, lower saw %d writes", lower.writes)
+	}
+}
+
+func TestWritebackMissAllocatesAtLastLevel(t *testing.T) {
+	// Without a lower level (memory-side cache in unit tests), the
+	// writeback must be retained: there is nowhere to forward it.
+	c := New(Params{Name: "t", Sets: 16, Ways: 4, Latency: 2, MSHREntries: 8, Cores: 1}, &testLRU{})
+	c.Access(&mem.Request{Addr: 0x4000, Kind: mem.Writeback}, 0)
+	for cy := uint64(0); cy <= 10; cy++ {
+		c.Tick(cy)
+	}
+	if !c.Contains(0x4000) {
+		t.Fatal("terminal level must retain the writeback")
+	}
+	set, way := c.probe(0x4000)
+	if !c.sets[set][way].Dirty {
+		t.Fatal("writeback-installed block must be dirty")
+	}
+}
+
+func TestStoreMissFillsDirty(t *testing.T) {
+	c, lower := newTestCache(t, 16, 4, 8, 5)
+	c.Access(&mem.Request{Addr: 0x5000, Kind: mem.Store}, 0)
+	run(c, lower, 0, 20)
+	set, way := c.probe(0x5000)
+	if way < 0 || !c.sets[set][way].Dirty {
+		t.Fatal("store miss should fill a dirty block")
+	}
+}
+
+func TestStoreHitMarksDirty(t *testing.T) {
+	c, lower := newTestCache(t, 16, 4, 8, 5)
+	c.Access(load(0x6000, nil), 0)
+	run(c, lower, 0, 20)
+	c.Access(&mem.Request{Addr: 0x6000, Kind: mem.Store}, 30)
+	run(c, lower, 30, 40)
+	set, way := c.probe(0x6000)
+	if !c.sets[set][way].Dirty {
+		t.Fatal("store hit should mark dirty")
+	}
+}
+
+func TestPrefetchFillSetsPrefetchedBit(t *testing.T) {
+	c, lower := newTestCache(t, 16, 4, 8, 5)
+	c.Access(&mem.Request{Addr: 0x7000, Kind: mem.Prefetch}, 0)
+	run(c, lower, 0, 20)
+	set, way := c.probe(0x7000)
+	if way < 0 || !c.sets[set][way].Prefetched {
+		t.Fatal("prefetch fill should set Prefetched")
+	}
+	// First demand touch clears it and flags PrefetchHit.
+	req := load(0x7000, nil)
+	c.Access(req, 30)
+	run(c, lower, 30, 40)
+	if c.sets[set][way].Prefetched {
+		t.Fatal("demand hit should clear Prefetched")
+	}
+	if !req.PrefetchHit {
+		t.Fatal("demand hit on prefetched block should set PrefetchHit")
+	}
+}
+
+// nextLinePF is a trivial prefetcher for plumbing tests.
+type nextLinePF struct{ issued int }
+
+func (p *nextLinePF) Name() string { return "test-next-line" }
+func (p *nextLinePF) OnAccess(pc, addr mem.Addr, hit bool) []mem.Addr {
+	p.issued++
+	return []mem.Addr{addr + mem.BlockSize}
+}
+
+func TestPrefetcherInjection(t *testing.T) {
+	c, lower := newTestCache(t, 16, 4, 8, 5)
+	pf := &nextLinePF{}
+	c.SetPrefetcher(pf)
+	c.Access(load(0x8000, nil), 0)
+	run(c, lower, 0, 40)
+	if pf.issued == 0 {
+		t.Fatal("prefetcher not consulted")
+	}
+	if !c.Contains(0x8000 + mem.BlockSize) {
+		t.Fatal("next-line prefetch should have filled")
+	}
+	if c.Stats().PrefetchAccesses == 0 || c.Stats().PrefetchMisses == 0 {
+		t.Fatalf("prefetch stats not counted: %+v", c.Stats())
+	}
+}
+
+func TestPrefetcherDedupAgainstResidentAndOutstanding(t *testing.T) {
+	c, lower := newTestCache(t, 16, 4, 8, 50)
+	pf := &nextLinePF{}
+	c.SetPrefetcher(pf)
+	// Two loads to the same block in quick succession: the second
+	// prefetch suggestion targets an already-outstanding block.
+	c.Access(load(0x9000, nil), 0)
+	c.Access(load(0x9000+mem.BlockSize, nil), 1)
+	run(c, lower, 0, 200)
+	// The 0x9040 block must exist exactly once: probe all ways.
+	count := 0
+	tag := mem.Addr(0x9000 + mem.BlockSize).BlockID()
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].Valid && c.sets[s][w].Tag == tag {
+				count++
+			}
+		}
+	}
+	if count != 1 {
+		t.Fatalf("block duplicated %d times", count)
+	}
+}
+
+func TestStatsRates(t *testing.T) {
+	var s Stats
+	s.DemandAccesses = 80
+	s.PrefetchAccesses = 20
+	s.DemandMisses = 30
+	s.PrefetchMisses = 10
+	s.PureMisses = 25
+	s.PMCSum = 400
+	if got := s.MissRate(); got != 0.4 {
+		t.Fatalf("MissRate = %v", got)
+	}
+	if got := s.PureMissRate(); got != 0.25 {
+		t.Fatalf("PureMissRate = %v", got)
+	}
+	if got := s.MeanPMC(); got != 10 {
+		t.Fatalf("MeanPMC = %v", got)
+	}
+	var zero Stats
+	if zero.MissRate() != 0 || zero.PureMissRate() != 0 || zero.MeanPMC() != 0 {
+		t.Fatal("zero stats must not divide by zero")
+	}
+}
+
+// Property: the cache never holds more valid blocks than its capacity
+// and never duplicates a tag within a set, under random access
+// streams.
+func TestCapacityAndUniquenessProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		c, lower := newTestCache(t, 4, 2, 4, 3)
+		rng := seed
+		next := func() uint32 { rng = rng*1664525 + 1013904223; return rng }
+		cycle := uint64(0)
+		for i := 0; i < 200; i++ {
+			addr := mem.Addr(next()%64) * mem.BlockSize
+			kind := mem.Load
+			if next()%4 == 0 {
+				kind = mem.Store
+			}
+			c.Access(&mem.Request{Addr: addr, Kind: kind, PC: mem.Addr(next() % 8)}, cycle)
+			run(c, lower, cycle, cycle+8)
+			cycle += 9
+		}
+		run(c, lower, cycle, cycle+500)
+		valid := 0
+		for s := range c.sets {
+			seen := map[uint64]bool{}
+			for w := range c.sets[s] {
+				if c.sets[s][w].Valid {
+					valid++
+					if seen[c.sets[s][w].Tag] {
+						return false // duplicate tag in set
+					}
+					seen[c.sets[s][w].Tag] = true
+					if c.SetIndex(mem.Addr(c.sets[s][w].Tag<<mem.BlockBits)) != s {
+						return false // block in wrong set
+					}
+				}
+			}
+		}
+		return valid <= 4*2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMSHRAccounting(t *testing.T) {
+	m := NewMSHR(2, 2)
+	if m.Capacity() != 2 || m.Len() != 0 || m.Full() {
+		t.Fatal("fresh MSHR state wrong")
+	}
+	r1 := &mem.Request{Addr: 0x1000, Core: 0, Kind: mem.Load, Done: func(uint64) {}}
+	e1 := m.Allocate(r1, 5)
+	if m.Len() != 1 || m.OutstandingForCore(0) != 1 {
+		t.Fatal("allocation accounting wrong")
+	}
+	r2 := &mem.Request{Addr: 0x2000, Core: 1, Kind: mem.Prefetch}
+	e2 := m.Allocate(r2, 6)
+	if !m.Full() {
+		t.Fatal("MSHR should be full")
+	}
+	if m.OutstandingForCore(1) != 1 {
+		t.Fatal("per-core count wrong")
+	}
+	// Demand merge upgrades a prefetch entry.
+	m.Merge(e2, &mem.Request{Addr: 0x2000, Core: 0, Kind: mem.Load})
+	if e2.Kind != mem.Load {
+		t.Fatal("demand merge should upgrade entry kind")
+	}
+	waiters := m.Release(e1)
+	if len(waiters) != 1 || m.Len() != 1 || m.OutstandingForCore(0) != 0 {
+		t.Fatal("release accounting wrong")
+	}
+	_ = e1
+	count := 0
+	m.ForEach(func(*MSHREntry) { count++ })
+	if count != 1 {
+		t.Fatalf("ForEach visited %d entries, want 1", count)
+	}
+}
+
+func TestMSHRAllocatePanicsWhenFull(t *testing.T) {
+	m := NewMSHR(1, 1)
+	m.Allocate(&mem.Request{Addr: 0x1000}, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Allocate on full MSHR should panic")
+		}
+	}()
+	m.Allocate(&mem.Request{Addr: 0x2000}, 0)
+}
+
+func TestMSHRDuplicateAllocatePanics(t *testing.T) {
+	m := NewMSHR(4, 1)
+	m.Allocate(&mem.Request{Addr: 0x1000}, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Allocate should panic")
+		}
+	}()
+	m.Allocate(&mem.Request{Addr: 0x1008}, 0) // same block
+}
+
+func TestInvalidate(t *testing.T) {
+	c, lower := newTestCache(t, 16, 4, 8, 5)
+	c.Access(&mem.Request{Addr: 0xA000, Kind: mem.Store}, 0)
+	run(c, lower, 0, 20)
+	if !c.Contains(0xA000) {
+		t.Fatal("setup: block resident")
+	}
+	if !c.Invalidate(0xA000, 30) {
+		t.Fatal("Invalidate should report the block was present")
+	}
+	if c.Contains(0xA000) {
+		t.Fatal("block must be gone")
+	}
+	if lower.writes != 1 {
+		t.Fatalf("dirty invalidation must write back, lower saw %d writes", lower.writes)
+	}
+	if c.Stats().Invalidations != 1 {
+		t.Fatal("invalidation not counted")
+	}
+	if c.Invalidate(0xA000, 31) {
+		t.Fatal("second invalidate must be a no-op")
+	}
+}
+
+func TestEvictionHookFires(t *testing.T) {
+	c, lower := newTestCache(t, 1, 2, 8, 5)
+	var evicted []mem.Addr
+	c.SetEvictionHook(func(a mem.Addr, cycle uint64) { evicted = append(evicted, a) })
+	c.Access(load(0x0000, nil), 0)
+	c.Access(load(0x1000, nil), 0)
+	run(c, lower, 0, 30)
+	c.Access(load(0x2000, nil), 50) // forces an eviction in the 2-way set
+	run(c, lower, 50, 80)
+	if len(evicted) != 1 {
+		t.Fatalf("eviction hook fired %d times, want 1", len(evicted))
+	}
+	if evicted[0] != 0x0000 && evicted[0] != 0x1000 {
+		t.Fatalf("hook got unexpected address %#x", uint64(evicted[0]))
+	}
+}

@@ -1,0 +1,153 @@
+package cache
+
+import (
+	"care/internal/mem"
+)
+
+// MSHREntry tracks one outstanding miss in a Miss Status Holding
+// Register file. The concurrency metrics (PMC, MLP-based cost) are
+// accumulated directly on the entry by the attached Tracker, exactly
+// as the paper adds a PMC field to each MSHR entry (§IV-B).
+type MSHREntry struct {
+	// Block is the missing block number.
+	Block uint64
+	// Core is the core whose access allocated the entry. Merged
+	// requesters from other cores do not re-attribute the entry; the
+	// paper tracks concurrency per allocating core.
+	Core int
+	// Kind is the strongest access kind among the requesters: a
+	// demand access upgrades a prefetch-allocated entry.
+	Kind mem.Kind
+	// PC is the program counter of the allocating access.
+	PC mem.Addr
+	// AllocCycle is when the entry was allocated (end of the base
+	// access / tag lookup phase; miss access cycles start here).
+	AllocCycle uint64
+	// PMC accumulates the pure miss contribution in cycles.
+	PMC float64
+	// MLPCost accumulates the MLP-based cost in cycles.
+	MLPCost float64
+	// PureCycles counts the active pure miss cycles this entry
+	// participated in; the miss is a "pure miss" iff PureCycles > 0.
+	PureCycles uint64
+	// HitOverlapped is set when at least one of this entry's miss
+	// access cycles overlapped a base access cycle from the same core
+	// (the hit-miss overlapping of Figure 3).
+	HitOverlapped bool
+
+	waiters []*mem.Request
+}
+
+// MSHR is a bounded miss status holding register file. Entries live
+// in a dense slice (iterated every cycle by the trackers) with a map
+// index for block lookup.
+type MSHR struct {
+	capacity int
+	entries  map[uint64]*MSHREntry
+	live     []*MSHREntry
+	perCore  []int // outstanding entries per core
+}
+
+// NewMSHR creates an MSHR file with the given entry capacity serving
+// cores cores.
+func NewMSHR(capacity, cores int) *MSHR {
+	return &MSHR{
+		capacity: capacity,
+		entries:  make(map[uint64]*MSHREntry, capacity),
+		live:     make([]*MSHREntry, 0, capacity),
+		perCore:  make([]int, cores),
+	}
+}
+
+// Capacity returns the total number of entries.
+func (m *MSHR) Capacity() int { return m.capacity }
+
+// Len returns the number of allocated entries.
+func (m *MSHR) Len() int { return len(m.entries) }
+
+// Full reports whether a new allocation would fail.
+func (m *MSHR) Full() bool { return len(m.entries) >= m.capacity }
+
+// Lookup returns the outstanding entry for block, or nil.
+func (m *MSHR) Lookup(block uint64) *MSHREntry { return m.entries[block] }
+
+// Allocate creates an entry for req's block. The caller must check
+// Full and Lookup first; Allocate panics on programming errors, since
+// silently over-committing hardware structures would invalidate the
+// timing model.
+func (m *MSHR) Allocate(req *mem.Request, cycle uint64) *MSHREntry {
+	block := req.Addr.BlockID()
+	if m.Full() {
+		panic("cache: MSHR allocation while full")
+	}
+	if _, dup := m.entries[block]; dup {
+		panic("cache: duplicate MSHR allocation")
+	}
+	e := &MSHREntry{
+		Block:      block,
+		Core:       req.Core,
+		Kind:       req.Kind,
+		PC:         req.PC,
+		AllocCycle: cycle,
+	}
+	if req.Done != nil {
+		e.waiters = append(e.waiters, req)
+	}
+	m.entries[block] = e
+	m.live = append(m.live, e)
+	if e.Core >= 0 && e.Core < len(m.perCore) {
+		m.perCore[e.Core]++
+	}
+	return e
+}
+
+// Merge adds req as an additional waiter on an outstanding entry. A
+// demand requester upgrades a prefetch-allocated entry's kind so the
+// fill is treated as demand-critical.
+func (m *MSHR) Merge(e *MSHREntry, req *mem.Request) {
+	if req.Kind.IsDemand() && e.Kind == mem.Prefetch {
+		e.Kind = req.Kind
+	}
+	if req.Done != nil {
+		e.waiters = append(e.waiters, req)
+	}
+}
+
+// Release removes the entry and returns its waiters for response.
+func (m *MSHR) Release(e *MSHREntry) []*mem.Request {
+	delete(m.entries, e.Block)
+	for i, le := range m.live {
+		if le == e {
+			last := len(m.live) - 1
+			m.live[i] = m.live[last]
+			m.live[last] = nil
+			m.live = m.live[:last]
+			break
+		}
+	}
+	if e.Core >= 0 && e.Core < len(m.perCore) {
+		m.perCore[e.Core]--
+	}
+	w := e.waiters
+	e.waiters = nil
+	return w
+}
+
+// OutstandingForCore returns N_x: the number of outstanding miss
+// entries allocated by core x. This is the divisor in the paper's
+// Algorithm 1 and in the MLP-based cost of Qureshi et al.
+func (m *MSHR) OutstandingForCore(core int) int {
+	if core < 0 || core >= len(m.perCore) {
+		return 0
+	}
+	return m.perCore[core]
+}
+
+// ForEach invokes fn on every outstanding entry. Iteration order is
+// unspecified; callers must not depend on it (metric updates are
+// commutative).
+func (m *MSHR) ForEach(fn func(*MSHREntry)) {
+	for _, e := range m.live {
+		fn(e)
+	}
+}

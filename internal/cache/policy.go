@@ -1,0 +1,95 @@
+package cache
+
+import "care/internal/mem"
+
+// Block is the externally visible metadata of one cache block. It is
+// handed to replacement policies on every decision point. Policies
+// that need richer per-block state (RRPVs, signatures, EPVs, ...)
+// allocate their own side arrays in Init and index them by (set, way).
+type Block struct {
+	// Valid marks the way as holding data.
+	Valid bool
+	// Tag is the block number (address >> BlockBits) stored in the way.
+	Tag uint64
+	// Dirty marks modified data that must be written back on eviction.
+	Dirty bool
+	// Prefetched is set when the block was filled by a prefetch and
+	// has not yet been touched by a demand access.
+	Prefetched bool
+	// Core is the index of the core whose access filled the block.
+	Core int
+	// PC is the program counter of the instruction that filled the
+	// block (the triggering instruction for prefetch fills).
+	PC mem.Addr
+	// PMC is the measured pure miss contribution of the miss that
+	// filled this block, in cycles. Zero for non-pure misses and for
+	// levels without PMC measurement.
+	PMC float64
+	// MLPCost is the MLP-based cost of the fill miss (Qureshi et al.).
+	MLPCost float64
+	// FillCycle is when the block was installed.
+	FillCycle uint64
+	// LastTouch is the cycle of the most recent hit or fill.
+	LastTouch uint64
+	// Reused is set after the first demand re-reference.
+	Reused bool
+}
+
+// AccessInfo describes the access driving a policy callback.
+type AccessInfo struct {
+	// PC of the responsible instruction.
+	PC mem.Addr
+	// Addr is the full access address.
+	Addr mem.Addr
+	// Core is the issuing core.
+	Core int
+	// Kind is the access type (load/store/prefetch/writeback).
+	Kind mem.Kind
+	// Cycle is the current simulation cycle.
+	Cycle uint64
+	// PMC is the measured PMC of the completing miss. Only meaningful
+	// in OnFill at a level with PMC measurement attached.
+	PMC float64
+	// MLPCost is the measured MLP-based cost of the completing miss.
+	MLPCost float64
+	// MissLatency is, on OnFill for a fetched miss, the cycles
+	// between MSHR allocation and fill (cost-sensitive policies like
+	// LACS use it as their stall estimate).
+	MissLatency uint64
+	// HitPrefetched reports, on OnHit, that the block being hit is
+	// still in prefetched state (first demand touch of a prefetch).
+	HitPrefetched bool
+}
+
+// Policy is the replacement-policy plug-in interface, modelled on the
+// Cache Replacement Championship hooks: victim selection plus update
+// callbacks on hit, fill, and eviction.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Init is called once before use with the cache geometry.
+	Init(sets, ways int)
+	// Victim picks the way to evict from set to make room for the
+	// incoming access. blocks has exactly ways entries. Invalid ways
+	// should be preferred by implementations, but the cache fast-paths
+	// invalid ways itself, so Victim only sees full sets in practice.
+	Victim(set int, blocks []Block, info AccessInfo) int
+	// OnHit is invoked after a hit to (set, way).
+	OnHit(set, way int, blocks []Block, info AccessInfo)
+	// OnFill is invoked after a new block is installed in (set, way).
+	OnFill(set, way int, blocks []Block, info AccessInfo)
+	// OnEvict is invoked just before a valid block is overwritten.
+	// evicted is a copy of the outgoing block's metadata.
+	OnEvict(set, way int, evicted Block, info AccessInfo)
+}
+
+// Prefetcher is the hardware-prefetcher plug-in interface. A cache
+// calls OnAccess for every demand access it observes and issues the
+// returned block-aligned addresses as prefetch requests into itself.
+type Prefetcher interface {
+	// Name identifies the prefetcher in reports.
+	Name() string
+	// OnAccess observes a demand access and returns the addresses to
+	// prefetch (block aligned, may be empty).
+	OnAccess(pc, addr mem.Addr, hit bool) []mem.Addr
+}

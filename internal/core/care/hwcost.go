@@ -1,0 +1,129 @@
+package care
+
+import (
+	"fmt"
+	"strings"
+)
+
+// HWConfig describes the LLC whose management-hardware budget is
+// being computed (Table V uses a 16-way 2MB LLC with 64 MSHR entries
+// and one core).
+type HWConfig struct {
+	// CapacityBytes is the LLC data capacity.
+	CapacityBytes int
+	// BlockBytes is the cache block size.
+	BlockBytes int
+	// Ways is the associativity.
+	Ways int
+	// MSHREntries is the LLC MSHR file size.
+	MSHREntries int
+	// Cores is the number of cores (one NoNewAccess bit each).
+	Cores int
+	// SampledSets is the number of SHT-training sets.
+	SampledSets int
+	// SHTEntries is the Signature History Table size.
+	SHTEntries int
+}
+
+// PaperHWConfig is the configuration of Table V.
+func PaperHWConfig() HWConfig {
+	return HWConfig{
+		CapacityBytes: 2 << 20,
+		BlockBytes:    64,
+		Ways:          16,
+		MSHREntries:   64,
+		Cores:         1,
+		SampledSets:   64,
+		SHTEntries:    shtEntries,
+	}
+}
+
+// CostItem is one row of the hardware budget.
+type CostItem struct {
+	// Name matches the Table V row label.
+	Name string
+	// Bits is the storage cost in bits.
+	Bits int
+	// Use is the subsystem ("PMC", "DTRM", "metadata", "SHT").
+	Use string
+	// Concurrency marks costs that exist only because CARE is
+	// concurrency-aware (the paper's 6.76KB subtotal).
+	Concurrency bool
+}
+
+// KB converts the item's bits to kilobytes.
+func (c CostItem) KB() float64 { return float64(c.Bits) / 8 / 1024 }
+
+// HardwareCost itemises CARE's storage budget per Table V.
+func HardwareCost(cfg HWConfig) []CostItem {
+	blocks := cfg.CapacityBytes / cfg.BlockBytes
+	sampledBlocks := cfg.SampledSets * cfg.Ways
+	return []CostItem{
+		{Name: "NoNewAccess (1-bit/core)", Bits: cfg.Cores, Use: "PMC", Concurrency: true},
+		{Name: "lookup table (32-bit/entry)", Bits: 32 * cfg.MSHREntries, Use: "PMC", Concurrency: true},
+		{Name: "PMC (32-bit/MSHR entry)", Bits: 32 * cfg.MSHREntries, Use: "PMC", Concurrency: true},
+		{Name: "PMC_low", Bits: 32, Use: "DTRM", Concurrency: true},
+		{Name: "PMC_high", Bits: 32, Use: "DTRM", Concurrency: true},
+		{Name: "TCM", Bits: 32, Use: "DTRM", Concurrency: true},
+		{Name: "EPV (2-bit/block)", Bits: 2 * blocks, Use: "metadata"},
+		{Name: "prefetch (1-bit/block)", Bits: 1 * blocks, Use: "metadata"},
+		{Name: "signature (14-bit/sampled block)", Bits: 14 * sampledBlocks, Use: "metadata"},
+		{Name: "R (1-bit/sampled block)", Bits: 1 * sampledBlocks, Use: "metadata"},
+		{Name: "PMCS (2-bit/sampled block)", Bits: 2 * sampledBlocks, Use: "metadata", Concurrency: true},
+		{Name: "RC (3-bit/SHT entry)", Bits: 3 * cfg.SHTEntries, Use: "SHT"},
+		{Name: "PD (3-bit/SHT entry)", Bits: 3 * cfg.SHTEntries, Use: "SHT", Concurrency: true},
+	}
+}
+
+// TotalKB sums a budget in KB, optionally only the concurrency share.
+func TotalKB(items []CostItem, concurrencyOnly bool) float64 {
+	var bits int
+	for _, it := range items {
+		if concurrencyOnly && !it.Concurrency {
+			continue
+		}
+		bits += it.Bits
+	}
+	return float64(bits) / 8 / 1024
+}
+
+// FrameworkCost is one row of Table VI.
+type FrameworkCost struct {
+	Framework        string
+	UsesPC           bool
+	ConcurrencyAware bool
+	TotalKB          float64
+}
+
+// CostComparison reproduces Table VI for a 16-way 2MB LLC. CARE's
+// entry is computed from first principles by HardwareCost; the
+// comparison schemes' budgets are the ones their papers report (and
+// Table VI cites).
+func CostComparison() []FrameworkCost {
+	careKB := TotalKB(HardwareCost(PaperHWConfig()), false)
+	return []FrameworkCost{
+		{Framework: "LRU", UsesPC: false, ConcurrencyAware: false, TotalKB: 16},
+		{Framework: "SBAR(MLP)", UsesPC: false, ConcurrencyAware: true, TotalKB: 28.09},
+		{Framework: "SHiP++", UsesPC: true, ConcurrencyAware: false, TotalKB: 16},
+		{Framework: "Hawkeye", UsesPC: true, ConcurrencyAware: false, TotalKB: 30.94},
+		{Framework: "Glider", UsesPC: true, ConcurrencyAware: false, TotalKB: 61.6},
+		{Framework: "Mockingjay", UsesPC: true, ConcurrencyAware: false, TotalKB: 31.91},
+		{Framework: "CARE", UsesPC: true, ConcurrencyAware: true, TotalKB: careKB},
+	}
+}
+
+// FormatCost renders the Table V budget.
+func FormatCost(items []CostItem) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-36s %10s  %s\n", "Component", "Size", "Used for")
+	for _, it := range items {
+		size := fmt.Sprintf("%.3fKB", it.KB())
+		if it.Bits < 1024 {
+			size = fmt.Sprintf("%dbit", it.Bits)
+		}
+		fmt.Fprintf(&b, "%-36s %10s  %s\n", it.Name, size, it.Use)
+	}
+	fmt.Fprintf(&b, "Total %.2fKB (%.2fKB for concurrency-aware)\n",
+		TotalKB(items, false), TotalKB(items, true))
+	return b.String()
+}

@@ -1,0 +1,54 @@
+// Package mlp implements the MLP-based cost metric of Qureshi et al.
+// ("A Case for MLP-Aware Cache Replacement", ISCA 2006), which the
+// paper uses both as the motivation study-case baseline (Table I) and
+// as the concurrency signal of the M-CARE comparison point.
+//
+// MLP-based cost divides every *miss access cycle* of an outstanding
+// miss equally among all concurrent outstanding misses from the same
+// core. Unlike PMC it ignores hit-miss overlapping: a miss cycle that
+// is fully hidden under another access's base phase still costs
+// 1/N_x. Comparing CARE (PMC) against M-CARE (MLP cost) isolates the
+// value of modelling hit-miss overlap.
+package mlp
+
+import (
+	"care/internal/cache"
+	"care/internal/mem"
+)
+
+// Tracker accumulates MLP-based cost on MSHR entries. It implements
+// cache.Tracker.
+type Tracker struct {
+	cores int
+}
+
+var _ cache.Tracker = (*Tracker)(nil)
+
+// New creates an MLP-cost tracker for cores cores.
+func New(cores int) *Tracker {
+	if cores < 1 {
+		cores = 1
+	}
+	return &Tracker{cores: cores}
+}
+
+// OnAccessStart implements cache.Tracker; MLP-based cost does not
+// look at base access phases.
+func (t *Tracker) OnAccessStart(core int, kind mem.Kind, cycle uint64) {}
+
+// Tick implements cache.Tracker: every outstanding miss from core x
+// gains 1/N_x for this miss access cycle.
+func (t *Tracker) Tick(cycle uint64, m *cache.MSHR) {
+	m.ForEach(func(e *cache.MSHREntry) {
+		n := m.OutstandingForCore(e.Core)
+		if n <= 0 {
+			// Entries attributed to out-of-range cores (defensive).
+			n = 1
+		}
+		e.MLPCost += 1.0 / float64(n)
+	})
+}
+
+// OnMissComplete implements cache.Tracker; the accumulated value is
+// already on the entry.
+func (t *Tracker) OnMissComplete(e *cache.MSHREntry, cycle uint64) {}

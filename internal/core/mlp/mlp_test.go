@@ -1,0 +1,96 @@
+package mlp
+
+import (
+	"math"
+	"testing"
+
+	"care/internal/cache"
+	"care/internal/mem"
+)
+
+func alloc(m *cache.MSHR, core int, block uint64) *cache.MSHREntry {
+	return m.Allocate(&mem.Request{
+		Addr: mem.Addr(block << mem.BlockBits),
+		Core: core,
+		Kind: mem.Load,
+	}, 0)
+}
+
+func TestIsolatedMissCostsFullCycles(t *testing.T) {
+	tr := New(1)
+	m := cache.NewMSHR(8, 1)
+	e := alloc(m, 0, 1)
+	for cy := uint64(0); cy < 6; cy++ {
+		tr.Tick(cy, m)
+	}
+	if e.MLPCost != 6 {
+		t.Fatalf("isolated miss MLP cost = %v, want 6", e.MLPCost)
+	}
+}
+
+func TestConcurrentMissesShareCost(t *testing.T) {
+	tr := New(1)
+	m := cache.NewMSHR(8, 1)
+	e1 := alloc(m, 0, 1)
+	e2 := alloc(m, 0, 2)
+	e3 := alloc(m, 0, 3)
+	tr.Tick(0, m)
+	for _, e := range []*cache.MSHREntry{e1, e2, e3} {
+		if math.Abs(e.MLPCost-1.0/3.0) > 1e-12 {
+			t.Fatalf("three concurrent misses should each get 1/3, got %v", e.MLPCost)
+		}
+	}
+}
+
+func TestBaseAccessDoesNotHideMLPCost(t *testing.T) {
+	tr := New(1)
+	m := cache.NewMSHR(8, 1)
+	e := alloc(m, 0, 1)
+	tr.OnAccessStart(0, mem.Load, 0) // no-op for MLP
+	tr.Tick(0, m)
+	if e.MLPCost != 1 {
+		t.Fatalf("MLP cost must ignore base phases, got %v", e.MLPCost)
+	}
+}
+
+func TestPerCoreDivision(t *testing.T) {
+	tr := New(2)
+	m := cache.NewMSHR(8, 2)
+	a := alloc(m, 0, 1)
+	b := alloc(m, 0, 2)
+	c := alloc(m, 1, 3)
+	tr.Tick(0, m)
+	if math.Abs(a.MLPCost-0.5) > 1e-12 || math.Abs(b.MLPCost-0.5) > 1e-12 {
+		t.Fatalf("core 0 entries should split: %v %v", a.MLPCost, b.MLPCost)
+	}
+	if c.MLPCost != 1 {
+		t.Fatalf("core 1's lone miss should get the full cycle, got %v", c.MLPCost)
+	}
+}
+
+func TestCostSumEqualsMissCycles(t *testing.T) {
+	// Invariant: per core, the MLP costs of all misses sum to the
+	// number of cycles with at least one outstanding miss.
+	tr := New(1)
+	m := cache.NewMSHR(8, 1)
+	e1 := alloc(m, 0, 1)
+	tr.Tick(0, m)
+	e2 := alloc(m, 0, 2)
+	tr.Tick(1, m)
+	m.Release(e1)
+	tr.Tick(2, m)
+	total := e1.MLPCost + e2.MLPCost
+	if math.Abs(total-3) > 1e-12 {
+		t.Fatalf("cost sum = %v, want 3 (three miss cycles)", total)
+	}
+}
+
+func TestOnMissCompleteIsNoOp(t *testing.T) {
+	tr := New(1)
+	m := cache.NewMSHR(8, 1)
+	e := alloc(m, 0, 1)
+	tr.OnMissComplete(e, 10) // must not panic or mutate
+	if e.MLPCost != 0 {
+		t.Fatal("OnMissComplete must not change cost")
+	}
+}

@@ -1,0 +1,230 @@
+// Package pmc implements the paper's Pure Miss Contribution
+// measurement logic (PML, §IV): the Access Detector (AD), the Pure
+// Miss Detector (PMD), and the PMC Calculation Unit (PCU) of
+// Algorithm 1.
+//
+// The PML attaches to a cache level (the LLC in the paper) as a
+// cache.Tracker. Every cycle it decides, per core, whether the cycle
+// is an *active pure miss cycle* — the core has outstanding misses
+// and no access from that core is inside its base-access (tag lookup)
+// phase — and if so it divides the cycle equally among the core's
+// outstanding misses, accumulating 1/N_x on each MSHR entry's PMC
+// field. A miss that accumulated at least one pure miss cycle is a
+// *pure miss*.
+//
+// The same per-cycle scan also computes the two secondary statistics
+// the paper reports: hit-miss overlapping (Figure 3) and the Average
+// Overlapping Cycles Per Access, AOCPA (Table XI).
+package pmc
+
+import (
+	"care/internal/cache"
+	"care/internal/mem"
+)
+
+// Sample records one completed miss for offline analysis (PMC
+// distributions, per-PC predictability).
+type Sample struct {
+	// Core is the core that issued the miss.
+	Core int
+	// PC is the program counter of the missing access.
+	PC mem.Addr
+	// PMC is the measured pure miss contribution in cycles.
+	PMC float64
+	// Pure reports whether the miss had any pure miss cycle.
+	Pure bool
+	// Cycle is the completion cycle.
+	Cycle uint64
+}
+
+// Logic is the PMC measurement logic for one cache level. It
+// implements cache.Tracker.
+type Logic struct {
+	// latency is the level's base access (tag lookup) duration; the
+	// AD "monitors for a fixed amount of cycles" (§IV-B).
+	latency uint64
+	cores   int
+
+	// baseEnds holds, per core, the end cycles (exclusive) of base
+	// access phases currently in flight. The AD uses it to set the
+	// per-core NoNewAccess bit; its length is also the number of
+	// concurrently active base phases, which feeds AOCPA.
+	baseEnds [][]uint64
+
+	// Per-core aggregate counters.
+	activePureMissCycles []uint64
+	overlapCycles        []uint64
+	accessCount          []uint64
+
+	// OnSample, if set, receives every completed miss. Used by the
+	// distribution and predictability experiments (Fig. 5, Table III).
+	OnSample func(Sample)
+
+	// TrackMLP makes the same per-cycle pass also accumulate the
+	// MLP-based cost on each entry (what internal/core/mlp computes
+	// standalone), saving a second MSHR sweep on the simulator's
+	// hottest path.
+	TrackMLP bool
+
+	// states is the per-core scratch buffer reused every Tick to
+	// avoid a per-cycle allocation on the simulator's hottest path.
+	states []coreState
+}
+
+type coreState struct {
+	baseActive bool
+	n          int
+	pure       bool
+}
+
+var _ cache.Tracker = (*Logic)(nil)
+
+// New creates the measurement logic for a level with the given base
+// access latency serving cores cores.
+func New(latency uint64, cores int) *Logic {
+	if cores < 1 {
+		cores = 1
+	}
+	return &Logic{
+		latency:              latency,
+		cores:                cores,
+		baseEnds:             make([][]uint64, cores),
+		activePureMissCycles: make([]uint64, cores),
+		overlapCycles:        make([]uint64, cores),
+		accessCount:          make([]uint64, cores),
+		states:               make([]coreState, cores),
+	}
+}
+
+// OnAccessStart implements cache.Tracker: the AD observes a new
+// access from core entering its base access phase.
+func (l *Logic) OnAccessStart(core int, kind mem.Kind, cycle uint64) {
+	if core < 0 || core >= l.cores {
+		core = 0
+	}
+	l.baseEnds[core] = append(l.baseEnds[core], cycle+l.latency)
+	l.accessCount[core]++
+}
+
+// expireBase drops finished base phases and returns how many remain
+// active at cycle for core x.
+func (l *Logic) expireBase(x int, cycle uint64) int {
+	live := l.baseEnds[x][:0]
+	for _, end := range l.baseEnds[x] {
+		if end > cycle {
+			live = append(live, end)
+		}
+	}
+	l.baseEnds[x] = live
+	return len(live)
+}
+
+// Tick implements cache.Tracker and is Algorithm 1: called every
+// cycle with the level's MSHR file.
+func (l *Logic) Tick(cycle uint64, m *cache.MSHR) {
+	// First pass (AD + PMD): per-core NoNewAccess bit and N_x.
+	states := l.states
+	anyMiss := false
+	for x := 0; x < l.cores; x++ {
+		active := l.expireBase(x, cycle)
+		n := m.OutstandingForCore(x)
+		states[x] = coreState{
+			baseActive: active > 0,
+			n:          n,
+			// NoNewAccess_x set and outstanding misses present ⇒
+			// active pure miss cycle for core x.
+			pure: active == 0 && n > 0,
+		}
+		if states[x].pure {
+			l.activePureMissCycles[x]++
+		}
+		if n > 0 {
+			anyMiss = true
+		}
+		// AOCPA: cycles in which more than one access from the core
+		// is in flight at this level (base phases + outstanding
+		// misses) are overlapping cycles.
+		if inFlight := active + n; inFlight > 1 {
+			l.overlapCycles[x] += uint64(inFlight - 1)
+		}
+	}
+	if !anyMiss {
+		return
+	}
+	// Second pass (PCU): update each outstanding miss.
+	m.ForEach(func(e *cache.MSHREntry) {
+		x := e.Core
+		if x < 0 || x >= l.cores {
+			x = 0
+		}
+		st := states[x]
+		if st.n <= 0 {
+			return
+		}
+		if l.TrackMLP {
+			// MLP-based cost charges every miss cycle, hidden or not.
+			e.MLPCost += 1.0 / float64(st.n)
+		}
+		if st.baseActive {
+			// A miss access cycle overlapped by a base access cycle
+			// from the same core: hit-miss overlapping (Figure 3).
+			e.HitOverlapped = true
+			return
+		}
+		// Active pure miss cycle: the PCU's lookup-table divider
+		// spreads the cycle across all concurrent pure misses.
+		e.PMC += 1.0 / float64(st.n)
+		e.PureCycles++
+	})
+}
+
+// OnMissComplete implements cache.Tracker.
+func (l *Logic) OnMissComplete(e *cache.MSHREntry, cycle uint64) {
+	if l.OnSample == nil {
+		return
+	}
+	l.OnSample(Sample{
+		Core:  e.Core,
+		PC:    e.PC,
+		PMC:   e.PMC,
+		Pure:  e.PureCycles > 0,
+		Cycle: cycle,
+	})
+}
+
+// ResetStats zeroes the aggregate counters (end of warmup) without
+// disturbing the in-flight base-phase tracking.
+func (l *Logic) ResetStats() {
+	for i := range l.activePureMissCycles {
+		l.activePureMissCycles[i] = 0
+		l.overlapCycles[i] = 0
+		l.accessCount[i] = 0
+	}
+}
+
+// ActivePureMissCycles returns core x's accumulated active pure miss
+// cycle count. By construction this equals the sum of the PMC values
+// of all of x's misses (the invariant of Table II).
+func (l *Logic) ActivePureMissCycles(x int) uint64 {
+	if x < 0 || x >= l.cores {
+		return 0
+	}
+	return l.activePureMissCycles[x]
+}
+
+// AOCPA returns core x's Average Overlapping Cycles Per Access
+// (Table XI): total overlapping cycles divided by accesses observed.
+func (l *Logic) AOCPA(x int) float64 {
+	if x < 0 || x >= l.cores || l.accessCount[x] == 0 {
+		return 0
+	}
+	return float64(l.overlapCycles[x]) / float64(l.accessCount[x])
+}
+
+// Accesses returns the number of accesses observed from core x.
+func (l *Logic) Accesses(x int) uint64 {
+	if x < 0 || x >= l.cores {
+		return 0
+	}
+	return l.accessCount[x]
+}

@@ -1,0 +1,164 @@
+package studycase
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const eps = 1e-9
+
+func byName(t *testing.T, rs []Result) map[string]Result {
+	t.Helper()
+	m := make(map[string]Result, len(rs))
+	for _, r := range rs {
+		m[r.Name] = r
+	}
+	return m
+}
+
+// TestTableI pins the paper's Table I: MLP-based cost of the study
+// case is A=5, C=D=E=7/3.
+func TestTableI(t *testing.T) {
+	rs, _ := RunPaper()
+	m := byName(t, rs)
+	want := map[string]float64{
+		"A": 5,
+		"C": 7.0 / 3.0,
+		"D": 7.0 / 3.0,
+		"E": 7.0 / 3.0,
+	}
+	for name, w := range want {
+		if got := m[name].MLPCost; math.Abs(got-w) > eps {
+			t.Errorf("MLP-cost(%s) = %v, want %v", name, got, w)
+		}
+	}
+	for _, hit := range []string{"B", "F"} {
+		if m[hit].MLPCost != 0 {
+			t.Errorf("hit %s should have zero MLP cost", hit)
+		}
+	}
+}
+
+// TestTableII pins the paper's Table II: PMC of the study case is
+// A=0, C=1, D=2, E=2, and the active pure miss cycles total 5
+// (cycles 10-14).
+func TestTableII(t *testing.T) {
+	rs, totalPure := RunPaper()
+	m := byName(t, rs)
+	want := map[string]float64{"A": 0, "C": 1, "D": 2, "E": 2}
+	for name, w := range want {
+		if got := m[name].PMC; math.Abs(got-w) > eps {
+			t.Errorf("PMC(%s) = %v, want %v", name, got, w)
+		}
+	}
+	if totalPure != 5 {
+		t.Errorf("active pure miss cycles = %d, want 5", totalPure)
+	}
+	// Invariant from the paper: the sum of the PMC values of all
+	// misses equals the number of active pure miss cycles.
+	var sum float64
+	for _, r := range rs {
+		sum += r.PMC
+	}
+	if math.Abs(sum-float64(totalPure)) > eps {
+		t.Errorf("sum of PMC = %v, want %d", sum, totalPure)
+	}
+}
+
+// TestPureCycles checks the per-access pure miss cycle counts the
+// paper derives in §IV-C: C has three (cycles 10-12), D and E have
+// five (cycles 10-14), and A has none.
+func TestPureCycles(t *testing.T) {
+	rs, _ := RunPaper()
+	m := byName(t, rs)
+	want := map[string]uint64{"A": 0, "C": 3, "D": 5, "E": 5}
+	for name, w := range want {
+		if got := m[name].PureCycles; got != w {
+			t.Errorf("pure cycles(%s) = %d, want %d", name, got, w)
+		}
+	}
+	// A is not a pure miss but it does experience hit-miss
+	// overlapping (all of its miss cycles are hidden).
+	if !m["A"].HitOverlapped {
+		t.Error("A's miss should be flagged as hit-miss overlapped")
+	}
+}
+
+// TestIsolatedMiss sanity-checks the model on the degenerate case of
+// a single miss with nothing to overlap: its PMC must equal its miss
+// access cycles and equal its MLP cost.
+func TestIsolatedMiss(t *testing.T) {
+	rs, totalPure := Run(PaperConfig, []Access{{Name: "X", Arrive: 1, Miss: true}})
+	if len(rs) != 1 {
+		t.Fatal("one access expected")
+	}
+	if got := rs[0].PMC; math.Abs(got-6) > eps {
+		t.Errorf("isolated miss PMC = %v, want 6 (all miss cycles pure)", got)
+	}
+	if got := rs[0].MLPCost; math.Abs(got-6) > eps {
+		t.Errorf("isolated miss MLP = %v, want 6", got)
+	}
+	if totalPure != 6 {
+		t.Errorf("total pure cycles = %d, want 6", totalPure)
+	}
+}
+
+// TestFullyHiddenMiss: a miss whose entire miss phase is covered by
+// back-to-back hits has PMC 0 but non-zero MLP cost — the exact
+// distinction motivating the paper.
+func TestFullyHiddenMiss(t *testing.T) {
+	accesses := []Access{
+		{Name: "M", Arrive: 1, Miss: true},
+		{Name: "H1", Arrive: 3, Miss: false},
+		{Name: "H2", Arrive: 5, Miss: false},
+		{Name: "H3", Arrive: 7, Miss: false},
+	}
+	rs, totalPure := Run(PaperConfig, accesses)
+	m := byName(t, rs)
+	if m["M"].PMC != 0 {
+		t.Errorf("fully hidden miss PMC = %v, want 0", m["M"].PMC)
+	}
+	if m["M"].MLPCost != 6 {
+		t.Errorf("fully hidden miss MLP = %v, want 6 (MLP ignores hit overlap)", m["M"].MLPCost)
+	}
+	if totalPure != 0 {
+		t.Errorf("no pure cycles expected, got %d", totalPure)
+	}
+	if !m["M"].HitOverlapped {
+		t.Error("hidden miss must be flagged hit-overlapped")
+	}
+}
+
+// TestConcurrentEqualMisses: k simultaneous misses split every pure
+// cycle k ways, so each PMC is missCycles/k — the MLP intuition that
+// concurrent misses amortise the stall.
+func TestConcurrentEqualMisses(t *testing.T) {
+	accesses := []Access{
+		{Name: "M1", Arrive: 1, Miss: true},
+		{Name: "M2", Arrive: 1, Miss: true},
+		{Name: "M3", Arrive: 1, Miss: true},
+	}
+	rs, totalPure := Run(PaperConfig, accesses)
+	for _, r := range rs {
+		if math.Abs(r.PMC-2) > eps {
+			t.Errorf("PMC(%s) = %v, want 2 (6 cycles / 3 misses)", r.Name, r.PMC)
+		}
+	}
+	if totalPure != 6 {
+		t.Errorf("total pure cycles = %d, want 6", totalPure)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	rs, total := RunPaper()
+	out := Format(rs, total)
+	for _, want := range []string{"A", "C", "D", "E", "Active pure miss cycles: 5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "B ") {
+		t.Error("hits should not appear in the miss table")
+	}
+}

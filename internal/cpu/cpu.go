@@ -1,0 +1,349 @@
+// Package cpu models the processor cores that drive the memory
+// hierarchy. The model approximates the paper's out-of-order cores
+// (8-issue, 256-entry ROB, Table VII) at trace granularity:
+//
+//   - up to IssueWidth instructions dispatch into the ROB per cycle;
+//   - non-memory instructions complete in one cycle;
+//   - loads complete when the hierarchy answers; independent loads
+//     overlap freely (memory-level parallelism bounded by the ROB and
+//     the MSHRs), while loads marked DependsPrev wait for the previous
+//     memory instruction (pointer chasing);
+//   - stores retire through a write buffer (they issue their access
+//     but do not block retirement);
+//   - retirement is in order, up to IssueWidth per cycle.
+//
+// This captures exactly the behaviours PMC measures: how much of a
+// miss's latency is hidden under other accesses from the same core.
+package cpu
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"care/internal/mem"
+	"care/internal/trace"
+)
+
+// Level is the memory-side interface the core issues accesses into
+// (satisfied by *cache.Cache; declared here to keep cpu independent
+// of the cache implementation).
+type Level interface {
+	Access(req *mem.Request, cycle uint64)
+}
+
+// Translator maps virtual to physical addresses before issue
+// (satisfied by *vmem.TLB). A nil translator means the simulation
+// runs on untranslated addresses, the paper's configuration.
+type Translator interface {
+	Translate(vaddr mem.Addr, cycle uint64, done func(paddr mem.Addr, cycle uint64))
+}
+
+// Params configures a core.
+type Params struct {
+	// IssueWidth is the dispatch and retire width per cycle.
+	IssueWidth int
+	// ROBSize is the reorder-buffer capacity in instructions.
+	ROBSize int
+}
+
+// DefaultParams matches the paper's Table VII (8-issue, 256 ROB).
+func DefaultParams() Params { return Params{IssueWidth: 8, ROBSize: 256} }
+
+// Stats aggregates a core's progress.
+type Stats struct {
+	// Cycles the core has executed.
+	Cycles uint64
+	// Retired counts retired instructions (memory + non-memory).
+	Retired uint64
+	// Loads and Stores count retired memory operations.
+	Loads, Stores uint64
+	// ROBStallCycles counts cycles in which dispatch was blocked by a
+	// full ROB.
+	ROBStallCycles uint64
+}
+
+// IPC returns retired instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.Cycles)
+}
+
+// robEntry is one memory instruction in flight.
+type robEntry struct {
+	isLoad bool
+	done   bool
+	issued bool
+	addr   mem.Addr
+	pc     mem.Addr
+	// dependent chains pointer-chasing loads: issued when this
+	// entry's data arrives.
+	dependent *robEntry
+}
+
+// robItem groups a run of non-memory instructions with the memory
+// instruction that follows them. Batching keeps the per-cycle cost
+// independent of the non-memory instruction count.
+type robItem struct {
+	nonMem int       // completed non-memory instructions before mem
+	mem    *robEntry // nil while the tail batch has no mem op yet
+}
+
+// Core replays one trace through the memory hierarchy.
+type Core struct {
+	Params
+	id    int
+	src   trace.Reader
+	l1    Level
+	stats Stats
+
+	rob    []robItem // FIFO, head at index 0
+	robLen int       // total instructions resident
+	// current record being expanded into instructions.
+	rec        trace.Record
+	recValid   bool
+	nonMemLeft int
+	lastMem    *robEntry
+	exhausted  bool
+	nextReqID  uint64
+	freeList   []*robEntry
+	tlb        Translator
+}
+
+// New creates core id with parameters p, reading src and issuing
+// memory accesses into l1.
+func New(id int, p Params, src trace.Reader, l1 Level) *Core {
+	if p.IssueWidth <= 0 || p.ROBSize <= 0 {
+		panic(fmt.Sprintf("cpu: invalid params %+v", p))
+	}
+	return &Core{Params: p, id: id, src: src, l1: l1}
+}
+
+// ID returns the core index.
+func (c *Core) ID() int { return c.id }
+
+// SetTranslator attaches a TLB; loads and stores then issue with
+// translated addresses (and wait for page walks on TLB misses).
+func (c *Core) SetTranslator(t Translator) { c.tlb = t }
+
+// Stats returns the live counters.
+func (c *Core) Stats() *Stats { return &c.stats }
+
+// ResetStats zeroes the counters (used at the end of warmup) without
+// disturbing architectural state.
+func (c *Core) ResetStats() { c.stats = Stats{} }
+
+// Exhausted reports that the trace ended and the pipeline drained.
+func (c *Core) Exhausted() bool { return c.exhausted && c.robLen == 0 }
+
+// Retired returns the retired instruction count.
+func (c *Core) Retired() uint64 { return c.stats.Retired }
+
+// Tick advances the core one cycle: retire, then dispatch.
+func (c *Core) Tick(cycle uint64) {
+	c.stats.Cycles++
+	c.retire()
+	c.dispatch(cycle)
+}
+
+// retire removes up to IssueWidth completed instructions in order.
+func (c *Core) retire() {
+	budget := c.IssueWidth
+	for budget > 0 && len(c.rob) > 0 {
+		it := &c.rob[0]
+		if it.nonMem > 0 {
+			take := it.nonMem
+			if take > budget {
+				take = budget
+			}
+			it.nonMem -= take
+			c.robLen -= take
+			c.stats.Retired += uint64(take)
+			budget -= take
+			if it.nonMem > 0 {
+				return // budget exhausted mid-batch
+			}
+		}
+		if it.mem == nil {
+			// Tail batch with no mem op yet: fully retired.
+			c.rob = c.rob[1:]
+			continue
+		}
+		if !it.mem.done {
+			return // in-order retirement blocks here
+		}
+		e := it.mem
+		c.rob = c.rob[1:]
+		c.robLen--
+		budget--
+		c.stats.Retired++
+		if e.isLoad {
+			c.stats.Loads++
+		} else {
+			c.stats.Stores++
+		}
+		if c.lastMem == e {
+			// A retired producer can no longer gate dependents.
+			c.lastMem = nil
+		}
+		c.recycle(e)
+	}
+}
+
+// recycle returns a completed entry to the free list.
+func (c *Core) recycle(e *robEntry) {
+	*e = robEntry{}
+	c.freeList = append(c.freeList, e)
+}
+
+// newEntry allocates or reuses a robEntry.
+func (c *Core) newEntry() *robEntry {
+	if n := len(c.freeList); n > 0 {
+		e := c.freeList[n-1]
+		c.freeList = c.freeList[:n-1]
+		return e
+	}
+	return &robEntry{}
+}
+
+// nextRecord pulls the next trace record if needed.
+func (c *Core) nextRecord() bool {
+	if c.recValid || c.exhausted {
+		return c.recValid
+	}
+	rec, err := c.src.Next()
+	if err != nil {
+		if !errors.Is(err, io.EOF) {
+			// Trace corruption is a programming error in this
+			// simulator: fail loudly rather than silently truncate.
+			panic(fmt.Sprintf("cpu: core %d trace error: %v", c.id, err))
+		}
+		c.exhausted = true
+		return false
+	}
+	c.rec = rec
+	c.recValid = true
+	c.nonMemLeft = int(rec.NonMem)
+	return true
+}
+
+// pushNonMem adds completed non-memory instructions to the tail
+// batch.
+func (c *Core) pushNonMem(n int) {
+	if last := len(c.rob) - 1; last >= 0 && c.rob[last].mem == nil {
+		c.rob[last].nonMem += n
+	} else {
+		c.rob = append(c.rob, robItem{nonMem: n})
+	}
+	c.robLen += n
+}
+
+// pushMem closes the tail batch with a memory instruction.
+func (c *Core) pushMem(e *robEntry) {
+	if last := len(c.rob) - 1; last >= 0 && c.rob[last].mem == nil {
+		c.rob[last].mem = e
+	} else {
+		c.rob = append(c.rob, robItem{mem: e})
+	}
+	c.robLen++
+}
+
+// dispatch admits up to IssueWidth instructions into the ROB.
+func (c *Core) dispatch(cycle uint64) {
+	budget := c.IssueWidth
+	for budget > 0 {
+		if c.robLen >= c.ROBSize {
+			c.stats.ROBStallCycles++
+			return
+		}
+		if !c.nextRecord() {
+			return
+		}
+		if c.nonMemLeft > 0 {
+			take := c.nonMemLeft
+			if take > budget {
+				take = budget
+			}
+			if room := c.ROBSize - c.robLen; take > room {
+				take = room
+			}
+			c.nonMemLeft -= take
+			budget -= take
+			c.pushNonMem(take)
+			continue
+		}
+		// The memory instruction itself.
+		rec := c.rec
+		c.recValid = false
+		e := c.newEntry()
+		e.isLoad = !rec.IsWrite
+		e.addr = rec.Addr
+		e.pc = rec.PC
+		if rec.IsWrite {
+			// Stores retire through the write buffer; the access
+			// still goes to the hierarchy for coherence/allocation.
+			e.done = true
+			e.issued = true
+			c.issue(e, mem.Store, cycle)
+		} else if rec.DependsPrev && c.lastMem != nil && !c.lastMem.done {
+			// Pointer chase: wait for the producer's data.
+			c.lastMem.dependent = e
+		} else {
+			c.issueLoad(e, cycle)
+		}
+		c.pushMem(e)
+		c.lastMem = e
+		budget--
+	}
+}
+
+// issueLoad sends a load into the hierarchy (translating first when
+// a TLB is attached); completion marks the entry done and releases a
+// waiting dependent chase.
+func (c *Core) issueLoad(e *robEntry, cycle uint64) {
+	e.issued = true
+	send := func(addr mem.Addr, at uint64) {
+		c.nextReqID++
+		c.l1.Access(&mem.Request{
+			ID:         c.nextReqID,
+			Addr:       addr,
+			PC:         e.pc,
+			Core:       c.id,
+			Kind:       mem.Load,
+			IssueCycle: at,
+			Done: func(done uint64) {
+				e.done = true
+				if dep := e.dependent; dep != nil && !dep.issued {
+					c.issueLoad(dep, done)
+				}
+			},
+		}, at)
+	}
+	if c.tlb == nil {
+		send(e.addr, cycle)
+		return
+	}
+	c.tlb.Translate(e.addr, cycle, send)
+}
+
+// issue sends a non-load access (store) into the hierarchy.
+func (c *Core) issue(e *robEntry, kind mem.Kind, cycle uint64) {
+	send := func(addr mem.Addr, at uint64) {
+		c.nextReqID++
+		c.l1.Access(&mem.Request{
+			ID:         c.nextReqID,
+			Addr:       addr,
+			PC:         e.pc,
+			Core:       c.id,
+			Kind:       kind,
+			IssueCycle: at,
+		}, at)
+	}
+	if c.tlb == nil {
+		send(e.addr, cycle)
+		return
+	}
+	c.tlb.Translate(e.addr, cycle, send)
+}

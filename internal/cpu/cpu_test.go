@@ -1,0 +1,246 @@
+package cpu
+
+import (
+	"testing"
+
+	"care/internal/mem"
+	"care/internal/trace"
+)
+
+// instantMem answers every load after `lat` cycles via a tiny event
+// list; the test advances it manually.
+type instantMem struct {
+	lat     uint64
+	pending []struct {
+		req   *mem.Request
+		ready uint64
+	}
+	loads, stores int
+	serialized    []mem.Addr // order of load arrivals
+}
+
+func (m *instantMem) Access(req *mem.Request, cycle uint64) {
+	if req.Kind == mem.Store {
+		m.stores++
+		req.Respond(cycle)
+		return
+	}
+	m.loads++
+	m.serialized = append(m.serialized, req.Addr)
+	m.pending = append(m.pending, struct {
+		req   *mem.Request
+		ready uint64
+	}{req, cycle + m.lat})
+}
+
+func (m *instantMem) Tick(cycle uint64) {
+	rest := m.pending[:0]
+	for _, p := range m.pending {
+		if p.ready <= cycle {
+			p.req.Respond(cycle)
+		} else {
+			rest = append(rest, p)
+		}
+	}
+	m.pending = rest
+}
+
+func runCore(c *Core, m *instantMem, maxCycles uint64) {
+	for cy := uint64(0); cy < maxCycles && !c.Exhausted(); cy++ {
+		c.Tick(cy)
+		m.Tick(cy)
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid params should panic")
+		}
+	}()
+	New(0, Params{}, trace.NewSlice(nil), &instantMem{})
+}
+
+func TestRetiresAllInstructions(t *testing.T) {
+	recs := []trace.Record{
+		{PC: 1, Addr: 0x1000, NonMem: 5},
+		{PC: 2, Addr: 0x2000, NonMem: 3, IsWrite: true},
+		{PC: 3, Addr: 0x3000, NonMem: 0},
+	}
+	src := trace.NewSlice(recs)
+	m := &instantMem{lat: 3}
+	c := New(0, DefaultParams(), src, m)
+	runCore(c, m, 10000)
+	if !c.Exhausted() {
+		t.Fatal("core did not drain")
+	}
+	want := src.Instructions()
+	if c.Retired() != want {
+		t.Fatalf("retired %d, want %d", c.Retired(), want)
+	}
+	s := c.Stats()
+	if s.Loads != 2 || s.Stores != 1 {
+		t.Fatalf("loads/stores = %d/%d, want 2/1", s.Loads, s.Stores)
+	}
+	if m.loads != 2 || m.stores != 1 {
+		t.Fatalf("memory saw %d loads %d stores", m.loads, m.stores)
+	}
+}
+
+func TestIPCReflectsMemoryLatency(t *testing.T) {
+	// 100 independent loads, no non-mem instructions.
+	mkTrace := func() trace.Reader {
+		recs := make([]trace.Record, 100)
+		for i := range recs {
+			recs[i] = trace.Record{PC: 1, Addr: mem.Addr(i * 0x1000)}
+		}
+		return trace.NewSlice(recs)
+	}
+	fast := &instantMem{lat: 1}
+	cf := New(0, DefaultParams(), mkTrace(), fast)
+	runCore(cf, fast, 100000)
+	slow := &instantMem{lat: 200}
+	cs := New(0, DefaultParams(), mkTrace(), slow)
+	runCore(cs, slow, 100000)
+	if cf.Stats().Cycles >= cs.Stats().Cycles {
+		t.Fatalf("higher latency must cost cycles: fast=%d slow=%d", cf.Stats().Cycles, cs.Stats().Cycles)
+	}
+	if cf.Stats().IPC() <= cs.Stats().IPC() {
+		t.Fatal("IPC must drop with memory latency")
+	}
+}
+
+func TestIndependentLoadsOverlap(t *testing.T) {
+	// 64 independent loads at latency 100: overlapped execution must
+	// take far less than 64*100 cycles.
+	recs := make([]trace.Record, 64)
+	for i := range recs {
+		recs[i] = trace.Record{PC: 1, Addr: mem.Addr(i * 0x1000)}
+	}
+	m := &instantMem{lat: 100}
+	c := New(0, DefaultParams(), trace.NewSlice(recs), m)
+	runCore(c, m, 100000)
+	if c.Stats().Cycles > 1000 {
+		t.Fatalf("independent loads should overlap: took %d cycles", c.Stats().Cycles)
+	}
+}
+
+func TestDependentLoadsSerialise(t *testing.T) {
+	mk := func(dep bool) []trace.Record {
+		recs := make([]trace.Record, 20)
+		for i := range recs {
+			recs[i] = trace.Record{PC: 1, Addr: mem.Addr(i * 0x1000), DependsPrev: dep}
+		}
+		return recs
+	}
+	mi := &instantMem{lat: 50}
+	ci := New(0, DefaultParams(), trace.NewSlice(mk(false)), mi)
+	runCore(ci, mi, 100000)
+	md := &instantMem{lat: 50}
+	cd := New(0, DefaultParams(), trace.NewSlice(mk(true)), md)
+	runCore(cd, md, 100000)
+	// The dependent chain must take roughly 20*50 cycles; the
+	// independent one roughly 50.
+	if cd.Stats().Cycles < 10*ci.Stats().Cycles {
+		t.Fatalf("pointer chase should serialise: dep=%d indep=%d cycles",
+			cd.Stats().Cycles, ci.Stats().Cycles)
+	}
+	// Dependent issue order must follow program order strictly.
+	for i := 1; i < len(md.serialized); i++ {
+		if md.serialized[i] < md.serialized[i-1] {
+			t.Fatal("dependent loads issued out of order")
+		}
+	}
+}
+
+func TestROBBoundsConcurrency(t *testing.T) {
+	// With a 4-entry ROB, at most 4 loads can be in flight.
+	recs := make([]trace.Record, 40)
+	for i := range recs {
+		recs[i] = trace.Record{PC: 1, Addr: mem.Addr(i * 0x1000)}
+	}
+	m := &instantMem{lat: 30}
+	c := New(0, Params{IssueWidth: 8, ROBSize: 4}, trace.NewSlice(recs), m)
+	maxInflight := 0
+	for cy := uint64(0); cy < 100000 && !c.Exhausted(); cy++ {
+		c.Tick(cy)
+		if len(m.pending) > maxInflight {
+			maxInflight = len(m.pending)
+		}
+		m.Tick(cy)
+	}
+	if maxInflight > 4 {
+		t.Fatalf("ROB should bound in-flight loads to 4, saw %d", maxInflight)
+	}
+	if c.Stats().ROBStallCycles == 0 {
+		t.Fatal("expected ROB stalls with a tiny ROB")
+	}
+}
+
+func TestStoresDoNotBlockRetirement(t *testing.T) {
+	recs := []trace.Record{
+		{PC: 1, Addr: 0x1000, IsWrite: true},
+		{PC: 2, Addr: 0x2000, IsWrite: true},
+	}
+	m := &instantMem{lat: 1000} // irrelevant: stores respond instantly
+	c := New(0, DefaultParams(), trace.NewSlice(recs), m)
+	runCore(c, m, 100)
+	if !c.Exhausted() {
+		t.Fatal("stores should retire without waiting")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	recs := []trace.Record{{PC: 1, Addr: 0x1000, NonMem: 3}}
+	m := &instantMem{lat: 1}
+	c := New(0, DefaultParams(), trace.NewSlice(recs), m)
+	runCore(c, m, 100)
+	if c.Stats().Retired == 0 {
+		t.Fatal("expected retirement")
+	}
+	c.ResetStats()
+	if c.Stats().Retired != 0 || c.Stats().Cycles != 0 {
+		t.Fatal("ResetStats should zero counters")
+	}
+}
+
+func TestIPCZeroCycles(t *testing.T) {
+	var s Stats
+	if s.IPC() != 0 {
+		t.Fatal("IPC with zero cycles must be 0")
+	}
+}
+
+// fakeTLB translates by adding a fixed offset after a delay of one
+// callback hop, recording lookups.
+type fakeTLB struct {
+	lookups int
+	shift   mem.Addr
+}
+
+func (f *fakeTLB) Translate(vaddr mem.Addr, cycle uint64, done func(mem.Addr, uint64)) {
+	f.lookups++
+	done(vaddr+f.shift, cycle)
+}
+
+func TestTranslatorAppliedToLoadsAndStores(t *testing.T) {
+	recs := []trace.Record{
+		{PC: 1, Addr: 0x1000},
+		{PC: 2, Addr: 0x2000, IsWrite: true},
+	}
+	m := &instantMem{lat: 2}
+	c := New(0, DefaultParams(), trace.NewSlice(recs), m)
+	tlb := &fakeTLB{shift: 0x100000}
+	c.SetTranslator(tlb)
+	runCore(c, m, 1000)
+	if tlb.lookups != 2 {
+		t.Fatalf("TLB lookups = %d, want 2", tlb.lookups)
+	}
+	// The load reached memory with the translated address.
+	if len(m.serialized) != 1 || m.serialized[0] != 0x101000 {
+		t.Fatalf("translated load addr = %#x", uint64(m.serialized[0]))
+	}
+	if m.stores != 1 {
+		t.Fatal("store must still be issued")
+	}
+}

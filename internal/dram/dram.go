@@ -1,0 +1,234 @@
+// Package dram models the main memory behind the LLC: channels,
+// ranks, banks, open-row policy, and the tRP/tRCD/tCAS timing of the
+// paper's configuration (Table VII). The model is deliberately simple
+// — FCFS scheduling with per-bank row state and a shared data bus per
+// channel — but it produces the property the paper's evaluation
+// depends on: variable, contention-sensitive miss latencies that
+// create miss-miss and hit-miss overlapping at the LLC.
+package dram
+
+import (
+	"fmt"
+
+	"care/internal/mem"
+)
+
+// Params configures the memory system. All timings are in CPU cycles.
+type Params struct {
+	// Channels is the number of independent channels (1 single-core,
+	// 2 multi-core in the paper).
+	Channels int
+	// BanksPerChannel is the number of banks behind each channel.
+	BanksPerChannel int
+	// RowBytes is the DRAM row (page) size per bank.
+	RowBytes int
+	// TRP, TRCD, TCAS are precharge, activate, and CAS latencies.
+	TRP, TRCD, TCAS uint64
+	// BurstCycles is the data-bus occupancy of one 64-byte block.
+	BurstCycles uint64
+}
+
+// DefaultParams returns the paper's DRAM configuration converted to
+// 4 GHz CPU cycles: tRP=15ns=60, tRCD=15ns=60, tCAS=12.5ns=50; a
+// 64-bit 2400MT/s channel moves 64B in ~13 cycles.
+func DefaultParams(channels int) Params {
+	return Params{
+		Channels:        channels,
+		BanksPerChannel: 16,
+		RowBytes:        8192,
+		TRP:             60,
+		TRCD:            60,
+		TCAS:            50,
+		BurstCycles:     13,
+	}
+}
+
+// Stats counts memory traffic.
+type Stats struct {
+	Reads, Writes      uint64
+	RowHits, RowMisses uint64
+	TotalReadLatency   uint64
+	MaxQueued          int
+}
+
+// MeanReadLatency returns the average read service latency in cycles.
+func (s *Stats) MeanReadLatency() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return float64(s.TotalReadLatency) / float64(s.Reads)
+}
+
+type bank struct {
+	openRow   uint64
+	hasOpen   bool
+	busyUntil uint64
+}
+
+type channel struct {
+	banks    []bank
+	busUntil uint64
+}
+
+type pending struct {
+	req   *mem.Request
+	ready uint64
+}
+
+// writeQueueHigh is the buffered-write count that forces drain mode
+// even while reads are pending (per controller).
+const writeQueueHigh = 32
+
+// DRAM is the memory controller + devices. It implements cache.Level.
+type DRAM struct {
+	Params
+	channels []channel
+	inflight []pending
+	// writeQ buffers posted writes; the controller drains them
+	// opportunistically (when no reads are in flight) or in bursts
+	// once the queue passes the high watermark, so writeback-heavy
+	// policies do not serialise demand reads behind writes.
+	writeQ []mem.Addr
+	// minReady caches the earliest completion among inflight reads so
+	// Tick can return without scanning on idle cycles.
+	minReady uint64
+	stats    Stats
+}
+
+// New builds a DRAM model.
+func New(p Params) *DRAM {
+	if p.Channels <= 0 || p.BanksPerChannel <= 0 || p.RowBytes <= 0 {
+		panic(fmt.Sprintf("dram: invalid params %+v", p))
+	}
+	d := &DRAM{Params: p, channels: make([]channel, p.Channels)}
+	for i := range d.channels {
+		d.channels[i].banks = make([]bank, p.BanksPerChannel)
+	}
+	return d
+}
+
+// Stats returns the live counters.
+func (d *DRAM) Stats() *Stats { return &d.stats }
+
+// ResetStats zeroes the counters (end of warmup) without touching
+// bank state or in-flight reads.
+func (d *DRAM) ResetStats() { d.stats = Stats{} }
+
+// route maps a block address to (channel, bank, row). Channel and
+// bank interleave on block bits so sequential streams spread across
+// the system; the row is the address within a bank.
+func (d *DRAM) route(a mem.Addr) (ch, bk int, row uint64) {
+	blk := a.BlockID()
+	ch = int(blk % uint64(d.Channels))
+	blk /= uint64(d.Channels)
+	bk = int(blk % uint64(d.BanksPerChannel))
+	blk /= uint64(d.BanksPerChannel)
+	rowBlocks := uint64(d.RowBytes / mem.BlockSize)
+	row = blk / rowBlocks
+	return
+}
+
+// service runs one block access through the bank/bus timing and
+// returns its completion cycle.
+func (d *DRAM) service(addr mem.Addr, cycle uint64) uint64 {
+	ch, bk, row := d.route(addr)
+	c := &d.channels[ch]
+	b := &c.banks[bk]
+
+	start := cycle
+	if b.busyUntil > start {
+		start = b.busyUntil
+	}
+
+	var access uint64
+	switch {
+	case b.hasOpen && b.openRow == row:
+		access = d.TCAS
+		d.stats.RowHits++
+	case b.hasOpen:
+		access = d.TRP + d.TRCD + d.TCAS
+		d.stats.RowMisses++
+	default:
+		access = d.TRCD + d.TCAS
+		d.stats.RowMisses++
+	}
+
+	dataStart := start + access
+	if c.busUntil > dataStart {
+		dataStart = c.busUntil
+	}
+	done := dataStart + d.BurstCycles
+	c.busUntil = done
+	b.busyUntil = done
+	b.openRow = row
+	b.hasOpen = true
+	return done
+}
+
+// Access implements the Level interface. Reads respond through the
+// request's Done callback after the modelled latency; writes are
+// posted into the write queue (they respond immediately and occupy
+// device time only when drained).
+func (d *DRAM) Access(req *mem.Request, cycle uint64) {
+	if req.Kind == mem.Writeback {
+		d.stats.Writes++
+		d.writeQ = append(d.writeQ, req.Addr)
+		req.Respond(cycle)
+		return
+	}
+	done := d.service(req.Addr, cycle)
+	d.stats.Reads++
+	d.stats.TotalReadLatency += done - cycle
+	if len(d.inflight) == 0 || done < d.minReady {
+		d.minReady = done
+	}
+	d.inflight = append(d.inflight, pending{req: req, ready: done})
+	if len(d.inflight) > d.stats.MaxQueued {
+		d.stats.MaxQueued = len(d.inflight)
+	}
+}
+
+// drainWrites issues buffered writes when reads are idle or the
+// queue is past the high watermark (read-priority scheduling).
+func (d *DRAM) drainWrites(cycle uint64) {
+	if len(d.writeQ) == 0 {
+		return
+	}
+	if len(d.inflight) == 0 || len(d.writeQ) >= writeQueueHigh {
+		// Drain a small burst to amortise row activations.
+		n := 2
+		if n > len(d.writeQ) {
+			n = len(d.writeQ)
+		}
+		for i := 0; i < n; i++ {
+			d.service(d.writeQ[i], cycle)
+		}
+		d.writeQ = d.writeQ[n:]
+	}
+}
+
+// Tick delivers completed reads and drains buffered writes. It must
+// be called once per cycle.
+func (d *DRAM) Tick(cycle uint64) {
+	d.drainWrites(cycle)
+	if len(d.inflight) == 0 || cycle < d.minReady {
+		return
+	}
+	rest := d.inflight[:0]
+	next := ^uint64(0)
+	for _, p := range d.inflight {
+		if p.ready <= cycle {
+			p.req.Respond(cycle)
+		} else {
+			if p.ready < next {
+				next = p.ready
+			}
+			rest = append(rest, p)
+		}
+	}
+	d.inflight = rest
+	d.minReady = next
+}
+
+// Drained reports whether no reads are in flight.
+func (d *DRAM) Drained() bool { return len(d.inflight) == 0 }

@@ -1,0 +1,229 @@
+// Package graph provides the GAP benchmark substrate (see DESIGN.md,
+// substitution 2): CSR graphs, synthetic dataset generators with the
+// degree-distribution shapes of the paper's datasets (orkut, twitter,
+// urand — Table IX), and instrumented implementations of the five
+// GAP kernels (bc, bfs, cc, pr, sssp) that record the memory
+// reference stream of their region of interest as a replayable trace.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Graph is a directed graph in Compressed Sparse Row form, the layout
+// the GAP benchmark suite uses and whose access pattern (sequential
+// offset/edge scans + random vertex-property gathers) defines
+// graph-workload cache behaviour.
+type Graph struct {
+	// N is the vertex count.
+	N int
+	// Offsets has N+1 entries; vertex v's edges are
+	// Edges[Offsets[v]:Offsets[v+1]].
+	Offsets []uint32
+	// Edges holds destination vertex ids.
+	Edges []uint32
+	// Weights holds per-edge weights for sssp (1..15).
+	Weights []uint8
+}
+
+// Degree returns vertex v's out-degree.
+func (g *Graph) Degree(v int) int { return int(g.Offsets[v+1] - g.Offsets[v]) }
+
+// EdgeCount returns the number of directed edges.
+func (g *Graph) EdgeCount() int { return len(g.Edges) }
+
+// Neighbors returns v's adjacency slice (shared storage; do not
+// mutate).
+func (g *Graph) Neighbors(v int) []uint32 {
+	return g.Edges[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// Transpose returns the graph with every edge reversed. Pull-based
+// kernels (PageRank) gather over in-neighbours, which the transpose
+// materialises, exactly as the GAP reference implementations build an
+// inverse graph at load time.
+func (g *Graph) Transpose() *Graph {
+	t := &Graph{N: g.N, Offsets: make([]uint32, g.N+1)}
+	counts := make([]uint32, g.N)
+	for _, u := range g.Edges {
+		counts[u]++
+	}
+	var total uint32
+	for v := 0; v < g.N; v++ {
+		t.Offsets[v] = total
+		total += counts[v]
+	}
+	t.Offsets[g.N] = total
+	t.Edges = make([]uint32, total)
+	t.Weights = make([]uint8, total)
+	next := append([]uint32(nil), t.Offsets[:g.N]...)
+	for v := 0; v < g.N; v++ {
+		for ei, u := range g.Neighbors(v) {
+			pos := next[u]
+			next[u]++
+			t.Edges[pos] = uint32(v)
+			t.Weights[pos] = g.Weights[int(g.Offsets[v])+ei]
+		}
+	}
+	return t
+}
+
+// xorshift PRNG for deterministic generation.
+type prng uint64
+
+func newPRNG(seed uint64) prng {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return prng(seed)
+}
+
+func (p *prng) next() uint64 {
+	v := uint64(*p)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*p = prng(v)
+	return v
+}
+
+func (p *prng) intn(n int) int { return int(p.next() % uint64(n)) }
+
+// fromAdjacency builds a CSR graph from an adjacency list, sorting
+// and deduplicating neighbours (GAP graphs are simple).
+func fromAdjacency(adj [][]uint32, seed uint64) *Graph {
+	n := len(adj)
+	g := &Graph{N: n, Offsets: make([]uint32, n+1)}
+	total := 0
+	for v := range adj {
+		sort.Slice(adj[v], func(i, j int) bool { return adj[v][i] < adj[v][j] })
+		// Dedup in place.
+		out := adj[v][:0]
+		var last uint32 = ^uint32(0)
+		for _, u := range adj[v] {
+			if u != last && int(u) != v { // no self loops
+				out = append(out, u)
+				last = u
+			}
+		}
+		adj[v] = out
+		total += len(out)
+	}
+	g.Edges = make([]uint32, 0, total)
+	g.Weights = make([]uint8, 0, total)
+	rng := newPRNG(seed ^ 0xabcdef)
+	for v := range adj {
+		g.Offsets[v] = uint32(len(g.Edges))
+		g.Edges = append(g.Edges, adj[v]...)
+		for range adj[v] {
+			g.Weights = append(g.Weights, uint8(rng.intn(15)+1))
+		}
+	}
+	g.Offsets[n] = uint32(len(g.Edges))
+	return g
+}
+
+// GenUniform generates an Erdős–Rényi-style graph with n vertices and
+// about n*degree directed edges, the shape of the paper's "urand"
+// dataset.
+func GenUniform(n, degree int, seed uint64) *Graph {
+	if n < 2 {
+		panic("graph: need at least 2 vertices")
+	}
+	rng := newPRNG(seed)
+	adj := make([][]uint32, n)
+	for v := 0; v < n; v++ {
+		adj[v] = make([]uint32, 0, degree)
+		for i := 0; i < degree; i++ {
+			adj[v] = append(adj[v], uint32(rng.intn(n)))
+		}
+	}
+	return fromAdjacency(adj, seed)
+}
+
+// GenPowerLaw generates a graph with a skewed (Zipf-like) degree
+// distribution, the shape of social networks such as orkut and
+// twitter: most edges point at a small set of hub vertices.
+func GenPowerLaw(n, degree int, skew float64, seed uint64) *Graph {
+	if n < 2 {
+		panic("graph: need at least 2 vertices")
+	}
+	if skew <= 0 {
+		skew = 1.0
+	}
+	rng := newPRNG(seed)
+	// Approximate Zipf sampling over vertex ids: vertex k is chosen
+	// with probability ∝ 1/(k+1)^skew, via inverse-CDF on a
+	// precomputed table of partial sums (coarse but fast and
+	// deterministic).
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += 1.0 / math.Pow(float64(k+1), skew)
+		cdf[k] = sum
+	}
+	pick := func() uint32 {
+		u := float64(rng.next()%1_000_000_007) / 1_000_000_007.0 * sum
+		idx := sort.SearchFloat64s(cdf, u)
+		if idx >= n {
+			idx = n - 1
+		}
+		return uint32(idx)
+	}
+	adj := make([][]uint32, n)
+	for v := 0; v < n; v++ {
+		adj[v] = make([]uint32, 0, degree)
+		for i := 0; i < degree; i++ {
+			adj[v] = append(adj[v], pick())
+		}
+	}
+	return fromAdjacency(adj, seed)
+}
+
+// DatasetSpec describes one scaled dataset.
+type DatasetSpec struct {
+	// Name and Short match Table IX ("orkut"/"or", ...).
+	Name, Short string
+	// Vertices and AvgDegree give the scaled size.
+	Vertices, AvgDegree int
+	// Skew > 0 selects a power-law graph; 0 selects uniform.
+	Skew float64
+	// Description matches the paper's table.
+	Description string
+}
+
+// Datasets lists the scaled-down stand-ins for Table IX. The paper's
+// originals have 3.1M-134M vertices; these keep the degree
+// distribution shape (power-law social networks vs. uniform
+// synthetic) at a footprint a unit-test-speed simulation can stress.
+func Datasets() []DatasetSpec {
+	return []DatasetSpec{
+		{Name: "orkut", Short: "or", Vertices: 1 << 14, AvgDegree: 24, Skew: 0.8, Description: "Social network (power-law, scaled)"},
+		{Name: "twitter", Short: "tw", Vertices: 1 << 15, AvgDegree: 20, Skew: 1.1, Description: "Social network (heavier skew, scaled)"},
+		{Name: "urand", Short: "ur", Vertices: 1 << 16, AvgDegree: 16, Skew: 0, Description: "Synthetic uniform (scaled)"},
+	}
+}
+
+// LoadDataset builds a named dataset (full or short name).
+func LoadDataset(name string) (*Graph, error) {
+	for _, d := range Datasets() {
+		if d.Name == name || d.Short == name {
+			if d.Skew > 0 {
+				return GenPowerLaw(d.Vertices, d.AvgDegree, d.Skew, hash(d.Name)), nil
+			}
+			return GenUniform(d.Vertices, d.AvgDegree, hash(d.Name)), nil
+		}
+	}
+	return nil, fmt.Errorf("graph: unknown dataset %q", name)
+}
+
+func hash(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

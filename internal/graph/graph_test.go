@@ -1,0 +1,334 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+// chain builds 0→1→2→...→n-1 (and is handy for golden distances).
+func chain(n int) *Graph {
+	adj := make([][]uint32, n)
+	for v := 0; v < n-1; v++ {
+		adj[v] = []uint32{uint32(v + 1)}
+	}
+	adj[n-1] = nil
+	return fromAdjacency(adj, 1)
+}
+
+func TestCSRConstruction(t *testing.T) {
+	adj := [][]uint32{
+		{2, 1, 1, 0}, // dup + self loop: should become {1, 2}
+		{0},
+		nil,
+	}
+	g := fromAdjacency(adj, 1)
+	if g.N != 3 {
+		t.Fatal("N")
+	}
+	if g.Degree(0) != 2 || g.Degree(1) != 1 || g.Degree(2) != 0 {
+		t.Fatalf("degrees wrong: %v", g.Offsets)
+	}
+	nb := g.Neighbors(0)
+	if nb[0] != 1 || nb[1] != 2 {
+		t.Fatalf("neighbors not sorted/deduped: %v", nb)
+	}
+	if len(g.Weights) != g.EdgeCount() {
+		t.Fatal("weights must align with edges")
+	}
+	for _, w := range g.Weights {
+		if w < 1 || w > 15 {
+			t.Fatalf("weight %d out of range", w)
+		}
+	}
+}
+
+func TestGenUniformShape(t *testing.T) {
+	g := GenUniform(1000, 8, 42)
+	if g.N != 1000 {
+		t.Fatal("N")
+	}
+	// Dedup removes a few edges; expect close to n*degree.
+	if g.EdgeCount() < 7000 || g.EdgeCount() > 8000 {
+		t.Fatalf("edge count %d implausible for degree 8", g.EdgeCount())
+	}
+	// Determinism.
+	h := GenUniform(1000, 8, 42)
+	if h.EdgeCount() != g.EdgeCount() || h.Offsets[500] != g.Offsets[500] {
+		t.Fatal("generation must be deterministic")
+	}
+}
+
+func TestGenPowerLawSkew(t *testing.T) {
+	g := GenPowerLaw(2000, 10, 1.0, 7)
+	// In-degree of low-id vertices must dominate: count edges into
+	// the first 1% of vertices.
+	inDeg := make([]int, g.N)
+	for _, u := range g.Edges {
+		inDeg[u]++
+	}
+	hub := 0
+	for v := 0; v < g.N/100; v++ {
+		hub += inDeg[v]
+	}
+	if frac := float64(hub) / float64(g.EdgeCount()); frac < 0.2 {
+		t.Fatalf("power-law hubs should attract edges, got %.2f into top 1%%", frac)
+	}
+	// Uniform graphs shouldn't have that concentration.
+	u := GenUniform(2000, 10, 7)
+	inDegU := make([]int, u.N)
+	for _, e := range u.Edges {
+		inDegU[e]++
+	}
+	hubU := 0
+	for v := 0; v < u.N/100; v++ {
+		hubU += inDegU[v]
+	}
+	if fracU := float64(hubU) / float64(u.EdgeCount()); fracU > 0.1 {
+		t.Fatalf("uniform graph unexpectedly skewed: %.2f", fracU)
+	}
+}
+
+func TestDatasets(t *testing.T) {
+	specs := Datasets()
+	if len(specs) != 3 {
+		t.Fatal("Table IX has three datasets")
+	}
+	for _, d := range specs {
+		g, err := LoadDataset(d.Short)
+		if err != nil {
+			t.Fatalf("LoadDataset(%q): %v", d.Short, err)
+		}
+		if g.N != d.Vertices {
+			t.Fatalf("%s: %d vertices, want %d", d.Name, g.N, d.Vertices)
+		}
+	}
+	if _, err := LoadDataset("nope"); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+}
+
+func TestBFSGolden(t *testing.T) {
+	g := chain(5)
+	dist := BFS(g, 0, nil)
+	for v, want := range []int32{0, 1, 2, 3, 4} {
+		if dist[v] != want {
+			t.Fatalf("dist[%d] = %d, want %d", v, dist[v], want)
+		}
+	}
+	// Unreachable from the tail.
+	d2 := BFS(g, 4, nil)
+	if d2[0] != -1 || d2[4] != 0 {
+		t.Fatalf("reverse reachability wrong: %v", d2)
+	}
+}
+
+func TestBFSMatchesReference(t *testing.T) {
+	g := GenUniform(500, 6, 3)
+	dist := BFS(g, 0, nil)
+	// Reference BFS.
+	ref := make([]int32, g.N)
+	for i := range ref {
+		ref[i] = -1
+	}
+	ref[0] = 0
+	q := []int{0}
+	for len(q) > 0 {
+		v := q[0]
+		q = q[1:]
+		for _, u := range g.Neighbors(v) {
+			if ref[u] == -1 {
+				ref[u] = ref[v] + 1
+				q = append(q, int(u))
+			}
+		}
+	}
+	for v := range ref {
+		if dist[v] != ref[v] {
+			t.Fatalf("dist[%d] = %d, ref %d", v, dist[v], ref[v])
+		}
+	}
+}
+
+func TestSSSPTriangleInequality(t *testing.T) {
+	g := GenUniform(300, 5, 9)
+	dist := SSSP(g, 0, nil)
+	if dist[0] != 0 {
+		t.Fatal("source distance must be 0")
+	}
+	// Relaxed edges must satisfy d[u] <= d[v] + w(v,u).
+	for v := 0; v < g.N; v++ {
+		if dist[v] < 0 {
+			continue
+		}
+		for ei, u := range g.Neighbors(v) {
+			e := int(g.Offsets[v]) + ei
+			if dist[u] == -1 || dist[u] > dist[v]+int32(g.Weights[e]) {
+				t.Fatalf("edge (%d,%d) violates relaxation: %d > %d + %d",
+					v, u, dist[u], dist[v], g.Weights[e])
+			}
+		}
+	}
+	// SSSP distance never exceeds 15 * BFS hops and is at least hops.
+	hops := BFS(g, 0, nil)
+	for v := range hops {
+		if hops[v] == -1 {
+			if dist[v] != -1 {
+				t.Fatalf("vertex %d BFS-unreachable but SSSP-reachable", v)
+			}
+			continue
+		}
+		if dist[v] < hops[v] || dist[v] > 15*hops[v] {
+			t.Fatalf("dist[%d]=%d out of [hops, 15*hops]=[%d,%d]", v, dist[v], hops[v], 15*hops[v])
+		}
+	}
+}
+
+func TestConnectedComponentsLabels(t *testing.T) {
+	// Two disjoint chains.
+	adj := [][]uint32{
+		{1}, {0}, // component A: 0,1
+		{3}, {2}, // component B: 2,3
+		nil, // isolated: 4
+	}
+	g := fromAdjacency(adj, 1)
+	comp := ConnectedComponents(g, nil)
+	if comp[0] != comp[1] {
+		t.Fatal("0 and 1 must share a component")
+	}
+	if comp[2] != comp[3] {
+		t.Fatal("2 and 3 must share a component")
+	}
+	if comp[0] == comp[2] || comp[0] == comp[4] || comp[2] == comp[4] {
+		t.Fatalf("disjoint components must differ: %v", comp)
+	}
+}
+
+func TestPageRankProperties(t *testing.T) {
+	g := GenPowerLaw(500, 8, 1.0, 11)
+	rank := PageRank(g, 5, nil)
+	sum := 0.0
+	for _, r := range rank {
+		if r < 0 {
+			t.Fatal("negative rank")
+		}
+		sum += r
+	}
+	// Rank mass stays near 1 (dangling vertices leak a little in
+	// this simple formulation).
+	if sum <= 0.5 || sum > 1.5 {
+		t.Fatalf("rank mass %v implausible", sum)
+	}
+	// Hubs (low ids in the power-law graph) should out-rank the tail.
+	hub, tail := 0.0, 0.0
+	for v := 0; v < 10; v++ {
+		hub += rank[v]
+	}
+	for v := g.N - 10; v < g.N; v++ {
+		tail += rank[v]
+	}
+	if hub <= tail {
+		t.Fatalf("hub rank %v should exceed tail rank %v", hub, tail)
+	}
+}
+
+func TestBCChain(t *testing.T) {
+	// On the chain 0→1→2→3→4 from source 0, interior vertices carry
+	// dependency mass: delta[v] counts downstream shortest paths.
+	g := chain(5)
+	delta := BC(g, 0, nil)
+	// delta[1] = 3 (paths to 2,3,4 pass it), delta[3] = 1, delta[4] = 0.
+	if math.Abs(delta[1]-3) > 1e-9 || math.Abs(delta[3]-1) > 1e-9 || delta[4] != 0 {
+		t.Fatalf("chain BC deltas wrong: %v", delta)
+	}
+}
+
+func TestTraceProducesRecords(t *testing.T) {
+	g := GenUniform(200, 6, 5)
+	for _, k := range Kernels() {
+		tr, err := Trace(k, g, 5000, 1)
+		if err != nil {
+			t.Fatalf("Trace(%s): %v", k, err)
+		}
+		if tr.Len() == 0 || tr.Len() > 5000 {
+			t.Fatalf("Trace(%s) returned %d records", k, tr.Len())
+		}
+		// Kernels must mix dependent and independent loads, and have
+		// stable per-PC behaviour.
+		deps := 0
+		for _, r := range tr.Records {
+			if r.DependsPrev {
+				deps++
+			}
+		}
+		if deps == 0 {
+			t.Fatalf("Trace(%s) has no dependent gathers", k)
+		}
+	}
+	if _, err := Trace("nope", g, 100, 1); err == nil {
+		t.Fatal("unknown kernel should error")
+	}
+}
+
+func TestTraceRespectsCap(t *testing.T) {
+	g := GenUniform(500, 8, 5)
+	tr, err := Trace("pr", g, 123, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 123 {
+		t.Fatalf("cap not respected: %d", tr.Len())
+	}
+}
+
+func TestTraceDeterministic(t *testing.T) {
+	g := GenUniform(300, 6, 5)
+	a, _ := Trace("bfs", g, 2000, 9)
+	b, _ := Trace("bfs", g, 2000, 9)
+	if a.Len() != b.Len() {
+		t.Fatal("trace lengths differ")
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("records differ at %d", i)
+		}
+	}
+}
+
+func TestTransposeProperties(t *testing.T) {
+	g := GenPowerLaw(500, 8, 1.0, 3)
+	gt := g.Transpose()
+	if gt.EdgeCount() != g.EdgeCount() {
+		t.Fatalf("transpose edge count %d != %d", gt.EdgeCount(), g.EdgeCount())
+	}
+	// Every edge (v,u) must appear as (u,v) in the transpose.
+	for v := 0; v < g.N; v++ {
+		for _, u := range g.Neighbors(v) {
+			found := false
+			for _, w := range gt.Neighbors(int(u)) {
+				if int(w) == v {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge (%d,%d) missing from transpose", v, u)
+			}
+		}
+	}
+	// Double transpose preserves degree sequence.
+	gtt := gt.Transpose()
+	for v := 0; v < g.N; v++ {
+		if gtt.Degree(v) != g.Degree(v) {
+			t.Fatalf("double transpose degree mismatch at %d", v)
+		}
+	}
+}
+
+func TestBCNonNegative(t *testing.T) {
+	g := GenUniform(300, 6, 21)
+	for _, d := range BC(g, 5, nil) {
+		if d < 0 {
+			t.Fatal("BC deltas must be non-negative")
+		}
+	}
+}

@@ -1,0 +1,363 @@
+package graph
+
+import (
+	"fmt"
+
+	"care/internal/mem"
+	"care/internal/trace"
+)
+
+// The simulated address-space layout of the GAP kernels' data
+// structures. The kernels run for real on the in-memory Graph; the
+// tracer translates every array access into the address a CSR
+// implementation would touch, which is the reference stream the
+// simulator replays.
+const (
+	offsetsBase mem.Addr = 0x1_0000_0000
+	edgesBase   mem.Addr = 0x2_0000_0000
+	weightsBase mem.Addr = 0x2_8000_0000
+	prop0Base   mem.Addr = 0x3_0000_0000 // dist / comp / rank
+	prop1Base   mem.Addr = 0x3_8000_0000 // next-rank / sigma
+	prop2Base   mem.Addr = 0x4_0000_0000 // delta (bc)
+	frontBase   mem.Addr = 0x4_8000_0000 // frontier queues
+)
+
+// per-kernel PC bases: each kernel's load/store sites get stable,
+// distinct PCs, the property CARE's signature learning relies on.
+func kernelPC(kernel, site int) mem.Addr {
+	return mem.Addr(0x600000 + kernel*0x400 + site*8)
+}
+
+// tracer records the kernel's memory references. In counting mode it
+// only measures the reference total; otherwise it skips a leading
+// window and then records up to max references — which is how Trace
+// captures a *steady-state* region of interest rather than the
+// kernel's initialisation scans (the paper uses Pin's ROI utility for
+// the same reason, §VI).
+type tracer struct {
+	recs []trace.Record
+	max  int
+	skip uint64
+	// count is the total references observed (all modes).
+	count     uint64
+	countOnly bool
+	// nonMem is the fixed arithmetic gap between memory references
+	// (graph kernels are memory-bound, so it is small).
+	nonMem uint16
+}
+
+func newTracer(maxRecords int) *tracer {
+	return &tracer{max: maxRecords, nonMem: 2}
+}
+
+// full reports that recording is complete (kernels use it to stop
+// early once the window is captured).
+func (t *tracer) full() bool {
+	return t != nil && !t.countOnly && t.max > 0 && t.skip == 0 && len(t.recs) >= t.max
+}
+
+func (t *tracer) emit(pc, addr mem.Addr, write, dep bool) {
+	if t == nil {
+		return
+	}
+	t.count++
+	if t.countOnly {
+		return
+	}
+	if t.skip > 0 {
+		t.skip--
+		return
+	}
+	if t.max > 0 && len(t.recs) >= t.max {
+		return
+	}
+	t.recs = append(t.recs, trace.Record{
+		PC: pc, Addr: addr, IsWrite: write, DependsPrev: dep, NonMem: t.nonMem,
+	})
+}
+
+func (t *tracer) load(pc, addr mem.Addr)    { t.emit(pc, addr, false, false) }
+func (t *tracer) loadDep(pc, addr mem.Addr) { t.emit(pc, addr, false, true) }
+func (t *tracer) store(pc, addr mem.Addr)   { t.emit(pc, addr, true, false) }
+
+// element addresses.
+func offAddr(v int) mem.Addr      { return offsetsBase + mem.Addr(4*v) }
+func edgeAddr(e int) mem.Addr     { return edgesBase + mem.Addr(4*e) }
+func weightAddr(e int) mem.Addr   { return weightsBase + mem.Addr(e) }
+func prop0Addr(v int) mem.Addr    { return prop0Base + mem.Addr(8*v) }
+func prop1Addr(v int) mem.Addr    { return prop1Base + mem.Addr(8*v) }
+func prop2Addr(v int) mem.Addr    { return prop2Base + mem.Addr(8*v) }
+func frontierAddr(i int) mem.Addr { return frontBase + mem.Addr(4*i) }
+
+const unreached = int32(-1)
+
+// BFS runs breadth-first search from src, returning hop distances
+// (-1 = unreachable) and recording the reference stream into tr.
+func BFS(g *Graph, src int, tr *tracer) []int32 {
+	const k = 0
+	dist := make([]int32, g.N)
+	for i := range dist {
+		dist[i] = unreached
+	}
+	dist[src] = 0
+	frontier := []int{src}
+	for depth := int32(1); len(frontier) > 0 && !tr.full(); depth++ {
+		var next []int
+		for fi, v := range frontier {
+			tr.load(kernelPC(k, 0), frontierAddr(fi)) // frontier[fi]
+			tr.load(kernelPC(k, 1), offAddr(v))       // offsets[v]
+			tr.load(kernelPC(k, 2), offAddr(v+1))     // offsets[v+1]
+			for ei, u := range g.Neighbors(v) {
+				e := int(g.Offsets[v]) + ei
+				tr.load(kernelPC(k, 3), edgeAddr(e))          // edges[e]
+				tr.loadDep(kernelPC(k, 4), prop0Addr(int(u))) // dist[u] ← depends on edges[e]
+				if dist[u] == unreached {
+					dist[u] = depth
+					tr.store(kernelPC(k, 5), prop0Addr(int(u)))
+					next = append(next, int(u))
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+// PageRank runs iters pull-based power iterations with damping 0.85,
+// the GAP formulation: each iteration first computes every vertex's
+// outgoing contribution (one sequential pass, one store per vertex),
+// then each vertex gathers its in-neighbours' contributions over the
+// transposed graph and writes its new rank once.
+func PageRank(g *Graph, iters int, tr *tracer) []float64 {
+	const k = 1
+	const damping = 0.85
+	gt := g.Transpose() // built at load time, outside the ROI
+	rank := make([]float64, g.N)
+	contrib := make([]float64, g.N)
+	for i := range rank {
+		rank[i] = 1.0 / float64(g.N)
+	}
+	base := (1 - damping) / float64(g.N)
+	for it := 0; it < iters && !tr.full(); it++ {
+		// Phase 1: outgoing_contrib[u] = rank[u] / out_degree(u).
+		for u := 0; u < g.N; u++ {
+			tr.load(kernelPC(k, 0), offAddr(u))
+			tr.load(kernelPC(k, 1), offAddr(u+1))
+			tr.load(kernelPC(k, 2), prop0Addr(u)) // rank[u]
+			if d := g.Degree(u); d > 0 {
+				contrib[u] = rank[u] / float64(d)
+			} else {
+				contrib[u] = 0
+			}
+			tr.store(kernelPC(k, 3), prop1Addr(u)) // contrib[u]
+		}
+		// Phase 2: rank[v] = base + d * Σ contrib[in-neighbour].
+		for v := 0; v < g.N; v++ {
+			tr.load(kernelPC(k, 4), offAddr(v))
+			tr.load(kernelPC(k, 5), offAddr(v+1))
+			sum := 0.0
+			for ei, u := range gt.Neighbors(v) {
+				e := int(gt.Offsets[v]) + ei
+				tr.load(kernelPC(k, 6), edgeAddr(e))
+				tr.loadDep(kernelPC(k, 7), prop1Addr(int(u))) // contrib gather
+				sum += contrib[u]
+			}
+			rank[v] = base + damping*sum
+			tr.store(kernelPC(k, 8), prop0Addr(v)) // rank[v]
+		}
+	}
+	return rank
+}
+
+// ConnectedComponents runs label propagation until a fixed point,
+// treating edges as undirected (v adopts the minimum label it sees).
+func ConnectedComponents(g *Graph, tr *tracer) []uint32 {
+	const k = 2
+	comp := make([]uint32, g.N)
+	for i := range comp {
+		comp[i] = uint32(i)
+	}
+	for changed := true; changed && !tr.full(); {
+		changed = false
+		for v := 0; v < g.N; v++ {
+			tr.load(kernelPC(k, 0), offAddr(v))
+			tr.load(kernelPC(k, 1), offAddr(v+1))
+			tr.load(kernelPC(k, 2), prop0Addr(v)) // comp[v]
+			best := comp[v]
+			for ei, u := range g.Neighbors(v) {
+				e := int(g.Offsets[v]) + ei
+				tr.load(kernelPC(k, 3), edgeAddr(e))
+				tr.loadDep(kernelPC(k, 4), prop0Addr(int(u))) // comp[u]
+				if comp[u] < best {
+					best = comp[u]
+				}
+				// Propagate both directions, as GAP's CC does on the
+				// undirected view.
+				if comp[v] < comp[u] {
+					comp[u] = comp[v]
+					tr.store(kernelPC(k, 5), prop0Addr(int(u)))
+					changed = true
+				}
+			}
+			if best < comp[v] {
+				comp[v] = best
+				tr.store(kernelPC(k, 6), prop0Addr(v))
+				changed = true
+			}
+		}
+	}
+	return comp
+}
+
+// SSSP runs Bellman-Ford rounds from src over the weighted graph,
+// returning distances (-1 = unreachable).
+func SSSP(g *Graph, src int, tr *tracer) []int32 {
+	const k = 3
+	const inf = int32(1 << 30)
+	dist := make([]int32, g.N)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src] = 0
+	for round := 0; round < g.N && !tr.full(); round++ {
+		changed := false
+		for v := 0; v < g.N; v++ {
+			tr.load(kernelPC(k, 0), prop0Addr(v)) // dist[v]
+			if dist[v] == inf {
+				continue
+			}
+			tr.load(kernelPC(k, 1), offAddr(v))
+			tr.load(kernelPC(k, 2), offAddr(v+1))
+			for ei, u := range g.Neighbors(v) {
+				e := int(g.Offsets[v]) + ei
+				tr.load(kernelPC(k, 3), edgeAddr(e))
+				tr.load(kernelPC(k, 4), weightAddr(e))
+				tr.loadDep(kernelPC(k, 5), prop0Addr(int(u))) // dist[u]
+				if nd := dist[v] + int32(g.Weights[e]); nd < dist[u] {
+					dist[u] = nd
+					tr.store(kernelPC(k, 6), prop0Addr(int(u)))
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for i := range dist {
+		if dist[i] == inf {
+			dist[i] = -1
+		}
+	}
+	return dist
+}
+
+// BC computes Brandes betweenness centrality from a single source:
+// a forward BFS counting shortest paths (sigma), then a backward
+// dependency accumulation (delta).
+func BC(g *Graph, src int, tr *tracer) []float64 {
+	const k = 4
+	dist := make([]int32, g.N)
+	sigma := make([]float64, g.N)
+	delta := make([]float64, g.N)
+	for i := range dist {
+		dist[i] = unreached
+	}
+	dist[src] = 0
+	sigma[src] = 1
+	var order []int // vertices in BFS discovery order
+	frontier := []int{src}
+	for depth := int32(1); len(frontier) > 0 && !tr.full(); depth++ {
+		var next []int
+		for fi, v := range frontier {
+			order = append(order, v)
+			tr.load(kernelPC(k, 0), frontierAddr(fi))
+			tr.load(kernelPC(k, 1), offAddr(v))
+			tr.load(kernelPC(k, 2), offAddr(v+1))
+			for ei, u := range g.Neighbors(v) {
+				e := int(g.Offsets[v]) + ei
+				tr.load(kernelPC(k, 3), edgeAddr(e))
+				tr.loadDep(kernelPC(k, 4), prop0Addr(int(u))) // dist[u]
+				if dist[u] == unreached {
+					dist[u] = depth
+					tr.store(kernelPC(k, 5), prop0Addr(int(u)))
+					next = append(next, int(u))
+				}
+				if dist[u] == depth {
+					tr.loadDep(kernelPC(k, 6), prop1Addr(int(u))) // sigma[u]
+					sigma[u] += sigma[v]
+					tr.store(kernelPC(k, 7), prop1Addr(int(u)))
+				}
+			}
+		}
+		frontier = next
+	}
+	// Backward accumulation in reverse BFS order.
+	for i := len(order) - 1; i >= 0 && !tr.full(); i-- {
+		v := order[i]
+		tr.load(kernelPC(k, 8), offAddr(v))
+		tr.load(kernelPC(k, 9), offAddr(v+1))
+		for ei, u := range g.Neighbors(v) {
+			e := int(g.Offsets[v]) + ei
+			tr.load(kernelPC(k, 10), edgeAddr(e))
+			tr.loadDep(kernelPC(k, 11), prop0Addr(int(u)))
+			if dist[u] == dist[v]+1 && sigma[u] > 0 {
+				tr.loadDep(kernelPC(k, 12), prop2Addr(int(u))) // delta[u]
+				delta[v] += sigma[v] / sigma[u] * (1 + delta[u])
+				tr.store(kernelPC(k, 13), prop2Addr(v))
+			}
+		}
+	}
+	return delta
+}
+
+// Kernels lists the five GAP kernels in the paper's order.
+func Kernels() []string { return []string{"bc", "bfs", "cc", "pr", "sssp"} }
+
+// runKernel dispatches to the named kernel implementation.
+func runKernel(kernel string, g *Graph, src int, tr *tracer) error {
+	switch kernel {
+	case "bfs":
+		BFS(g, src, tr)
+	case "pr":
+		PageRank(g, 3, tr)
+	case "cc":
+		ConnectedComponents(g, tr)
+	case "sssp":
+		SSSP(g, src, tr)
+	case "bc":
+		BC(g, src, tr)
+	default:
+		return fmt.Errorf("graph: unknown kernel %q (have %v)", kernel, Kernels())
+	}
+	return nil
+}
+
+// Trace runs the named kernel over g and returns a replayable trace
+// of at most maxRecords references taken from the middle of the
+// kernel's execution (its steady state), mirroring the paper's
+// region-of-interest capture. seed selects the source vertex for
+// source-based kernels.
+func Trace(kernel string, g *Graph, maxRecords int, seed uint64) (*trace.Slice, error) {
+	src := int(seed % uint64(g.N))
+	// Pass 1: count total references so the recording window can be
+	// centred on the steady state.
+	counter := &tracer{countOnly: true}
+	if err := runKernel(kernel, g, src, counter); err != nil {
+		return nil, err
+	}
+	var skip uint64
+	if maxRecords > 0 && counter.count > uint64(maxRecords) {
+		skip = (counter.count - uint64(maxRecords)) / 2
+	}
+	// Pass 2: record the window.
+	tr := newTracer(maxRecords)
+	tr.skip = skip
+	if err := runKernel(kernel, g, src, tr); err != nil {
+		return nil, err
+	}
+	if len(tr.recs) == 0 {
+		return nil, fmt.Errorf("graph: kernel %q produced no references", kernel)
+	}
+	return trace.NewSlice(tr.recs), nil
+}

@@ -1,0 +1,352 @@
+// Package harness defines one named, runnable experiment per table
+// and figure of the paper's evaluation (the index in DESIGN.md §4).
+// cmd/care-bench and bench_test.go drive these; each experiment
+// prints the same rows/series the paper reports.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"care/internal/graph"
+	"care/internal/mem"
+	"care/internal/sim"
+	"care/internal/stats"
+	"care/internal/synth"
+	"care/internal/trace"
+)
+
+// Options tunes every experiment. The zero value is completed by
+// Defaults.
+type Options struct {
+	// Out receives the experiment's report.
+	Out io.Writer
+	// Scale divides every cache (and synthetic footprint) by this
+	// factor so the evaluation runs in minutes; 1 = the paper's
+	// full-size hierarchy.
+	Scale int
+	// Warmup and Measure are per-core instruction budgets.
+	Warmup, Measure uint64
+	// Workloads restricts SPEC experiments (nil = experiment default).
+	Workloads []string
+	// Schemes restricts the compared policies (nil = default set).
+	Schemes []string
+	// CoreCounts for the scalability experiments.
+	CoreCounts []int
+	// Mixes is the number of 4-core mixed workloads for fig10 (the
+	// paper uses 100).
+	Mixes int
+	// GAPRecords caps each GAP kernel trace.
+	GAPRecords int
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+	// CSV switches table output from aligned text to CSV, for plot
+	// pipelines.
+	CSV bool
+}
+
+// Defaults fills unset fields with evaluation-friendly values.
+func (o *Options) Defaults() {
+	if o.Out == nil {
+		o.Out = io.Discard
+	}
+	if o.Scale <= 0 {
+		o.Scale = 16
+	}
+	if o.Measure == 0 {
+		o.Measure = 100_000
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 30_000
+	}
+	if len(o.CoreCounts) == 0 {
+		o.CoreCounts = []int{4, 8, 16}
+	}
+	if o.Mixes <= 0 {
+		o.Mixes = 12
+	}
+	if o.GAPRecords <= 0 {
+		o.GAPRecords = 250_000
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+}
+
+// DefaultSchemes is the comparison set of Figures 7-12 (the paper
+// adds Mockingjay in the no-prefetch scalability study).
+func DefaultSchemes() []string {
+	return []string{"lru", "ship++", "hawkeye", "glider", "m-care", "care"}
+}
+
+// schemes returns the option override or the default set.
+func (o *Options) schemes() []string {
+	if len(o.Schemes) > 0 {
+		return o.Schemes
+	}
+	return DefaultSchemes()
+}
+
+// specProfiles resolves the workload list.
+func (o *Options) specProfiles(defaults []synth.Profile) ([]synth.Profile, error) {
+	if len(o.Workloads) == 0 {
+		return defaults, nil
+	}
+	var out []synth.Profile
+	for _, name := range o.Workloads {
+		p, err := synth.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// ScalabilitySubset is the representative 8-workload subset the
+// multi-core scalability experiments default to (full 30-workload
+// sweeps remain available via Options.Workloads).
+func ScalabilitySubset() []string {
+	return []string{
+		"429.mcf", "450.soplex", "462.libquantum", "470.lbm",
+		"473.astar", "482.sphinx3", "483.xalancbmk", "603.bwaves_s",
+	}
+}
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	// ID is the index key ("fig7", "tab2", ...).
+	ID string
+	// Title describes what is reproduced.
+	Title string
+	// Run executes the experiment and writes its report to o.Out.
+	Run func(o *Options) error
+}
+
+var experiments = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := experiments[e.ID]; dup {
+		panic("harness: duplicate experiment " + e.ID)
+	}
+	experiments[e.ID] = e
+}
+
+// Get returns the experiment with the given ID.
+func Get(id string) (Experiment, error) {
+	e, ok := experiments[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("harness: unknown experiment %q (have %v)", id, IDs())
+	}
+	return e, nil
+}
+
+// IDs lists registered experiments in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(experiments))
+	for id := range experiments {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns the experiments sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(experiments))
+	for _, id := range IDs() {
+		out = append(out, experiments[id])
+	}
+	return out
+}
+
+// Run executes one experiment by ID with defaulted options.
+func Run(id string, o Options) error {
+	e, err := Get(id)
+	if err != nil {
+		return err
+	}
+	o.Defaults()
+	return e.Run(&o)
+}
+
+// ---- shared simulation plumbing ----
+
+// runKey identifies one simulation for memoisation: several
+// experiments (fig7/fig8/tab10) share the same runs.
+type runKey struct {
+	kind     string // "spec" or "gap"
+	workload string
+	scheme   string
+	cores    int
+	prefetch bool
+	scale    int
+	warmup   uint64
+	measure  uint64
+	gapRecs  int
+}
+
+var (
+	memoMu sync.Mutex
+	memo   = map[runKey]sim.Result{}
+)
+
+// ResetCache clears the memoised results (tests use it).
+func ResetCache() {
+	memoMu.Lock()
+	defer memoMu.Unlock()
+	memo = map[runKey]sim.Result{}
+}
+
+// specTraces builds cores copies of one synthetic workload.
+func specTraces(p synth.Profile, cores, scale int) []trace.Reader {
+	out := make([]trace.Reader, cores)
+	for i := range out {
+		out[i] = synth.NewScaledGenerator(p, uint64(i+1), scale)
+	}
+	return out
+}
+
+// gapTraceCache holds generated kernel traces (generation itself is
+// deterministic but not free).
+var (
+	gapMu    sync.Mutex
+	gapCache = map[string]*trace.Slice{}
+)
+
+// gapBase returns the shared record slice for kernel-dataset.
+func gapBase(kernel, dataset string, maxRecords int) (*trace.Slice, error) {
+	key := fmt.Sprintf("%s-%s-%d", kernel, dataset, maxRecords)
+	gapMu.Lock()
+	if s, ok := gapCache[key]; ok {
+		gapMu.Unlock()
+		return s, nil
+	}
+	gapMu.Unlock()
+	g, err := graph.LoadDataset(dataset)
+	if err != nil {
+		return nil, err
+	}
+	s, err := graph.Trace(kernel, g, maxRecords, 1)
+	if err != nil {
+		return nil, err
+	}
+	gapMu.Lock()
+	gapCache[key] = s
+	gapMu.Unlock()
+	return s, nil
+}
+
+// gapTraces builds cores desynchronised, address-shifted copies of a
+// GAP kernel trace (multi-copy methodology, §VI).
+func gapTraces(kernel, dataset string, cores, maxRecords int) ([]trace.Reader, error) {
+	base, err := gapBase(kernel, dataset, maxRecords)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]trace.Reader, cores)
+	for i := range out {
+		start := i * base.Len() / cores
+		out[i] = trace.NewOffset(
+			trace.NewLooping(trace.NewSliceAt(base.Records, start)),
+			mem.Addr(uint64(i)<<36),
+		)
+	}
+	return out, nil
+}
+
+// runSim executes (or recalls) one simulation.
+func runSim(key runKey, o *Options) (sim.Result, error) {
+	memoMu.Lock()
+	if r, ok := memo[key]; ok {
+		memoMu.Unlock()
+		return r, nil
+	}
+	memoMu.Unlock()
+
+	var traces []trace.Reader
+	switch key.kind {
+	case "spec":
+		p, err := synth.Lookup(key.workload)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		traces = specTraces(p, key.cores, key.scale)
+	case "gap":
+		// workload is encoded as "kernel-dataset" (e.g. "bfs-or").
+		kernel, dataset, ok := strings.Cut(key.workload, "-")
+		if !ok {
+			return sim.Result{}, fmt.Errorf("harness: bad GAP workload %q", key.workload)
+		}
+		tr, err := gapTraces(kernel, dataset, key.cores, key.gapRecs)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		traces = tr
+	default:
+		return sim.Result{}, fmt.Errorf("harness: bad run kind %q", key.kind)
+	}
+
+	cfg := sim.ScaledConfig(key.cores, key.scale)
+	cfg.LLCPolicy = key.scheme
+	cfg.Prefetch = key.prefetch
+	r, err := sim.Run(cfg, traces, key.warmup, key.measure)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	memoMu.Lock()
+	memo[key] = r
+	memoMu.Unlock()
+	return r, nil
+}
+
+// parallel runs n jobs over a bounded worker pool and returns the
+// first error.
+func parallel(n, workers int, job func(i int) error) error {
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = job(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// gapWorkloads enumerates the 15 kernel-dataset pairs of Figure 9.
+func gapWorkloads() []string {
+	var out []string
+	for _, k := range graph.Kernels() {
+		for _, d := range graph.Datasets() {
+			out = append(out, k+"-"+d.Short)
+		}
+	}
+	return out
+}
+
+// emitTable renders a result table in the selected output format.
+func emitTable(o *Options, t *stats.Table) {
+	if o.CSV {
+		fmt.Fprint(o.Out, t.CSV())
+		return
+	}
+	fmt.Fprint(o.Out, t.String())
+}

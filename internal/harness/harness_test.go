@@ -1,0 +1,193 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tiny returns options small enough for unit tests.
+func tiny() Options {
+	return Options{
+		Scale:      32,
+		Warmup:     2000,
+		Measure:    10000,
+		Mixes:      2,
+		CoreCounts: []int{1, 2},
+		GAPRecords: 20000,
+		Workloads:  []string{"429.mcf", "482.sphinx3"},
+		Schemes:    []string{"lru", "care"},
+	}
+}
+
+func runExp(t *testing.T, id string, o Options) string {
+	t.Helper()
+	var buf bytes.Buffer
+	o.Out = &buf
+	if err := Run(id, o); err != nil {
+		t.Fatalf("Run(%s): %v", id, err)
+	}
+	if buf.Len() == 0 {
+		t.Fatalf("Run(%s) produced no output", id)
+	}
+	return buf.String()
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig3", "fig5", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+		"fig13", "fig14", "tab1", "tab2", "tab3", "tab5", "tab6", "tab8",
+		"tab7", "tab10", "tab11",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(All()) != len(IDs()) {
+		t.Fatal("All/IDs mismatch")
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestStaticExperiments(t *testing.T) {
+	out := runExp(t, "tab1", tiny())
+	if !strings.Contains(out, "5.0000") {
+		t.Fatalf("tab1 should show A's MLP cost of 5:\n%s", out)
+	}
+	out = runExp(t, "tab2", tiny())
+	if !strings.Contains(out, "Active pure miss cycles: 5") {
+		t.Fatalf("tab2 should show 5 active pure miss cycles:\n%s", out)
+	}
+	out = runExp(t, "tab5", tiny())
+	if !strings.Contains(out, "26.6") {
+		t.Fatalf("tab5 should total ≈26.64KB:\n%s", out)
+	}
+	out = runExp(t, "tab6", tiny())
+	for _, fw := range []string{"LRU", "SHiP++", "Hawkeye", "Glider", "Mockingjay", "CARE", "SBAR"} {
+		if !strings.Contains(out, fw) {
+			t.Fatalf("tab6 missing %s:\n%s", fw, out)
+		}
+	}
+}
+
+func TestFig3(t *testing.T) {
+	out := runExp(t, "fig3", tiny())
+	if !strings.Contains(out, "429.mcf") || !strings.Contains(out, "MEAN") {
+		t.Fatalf("fig3 output malformed:\n%s", out)
+	}
+}
+
+func TestFig5AndTab3(t *testing.T) {
+	o := tiny()
+	out := runExp(t, "fig5", o)
+	if !strings.Contains(out, "350+") {
+		t.Fatalf("fig5 must include the open-ended bin:\n%s", out)
+	}
+	out = runExp(t, "tab3", o)
+	if !strings.Contains(out, "median") {
+		t.Fatalf("tab3 must report medians:\n%s", out)
+	}
+}
+
+func TestTab8(t *testing.T) {
+	out := runExp(t, "tab8", tiny())
+	if !strings.Contains(out, "MPKI") {
+		t.Fatalf("tab8 malformed:\n%s", out)
+	}
+}
+
+func TestFig7Fig8Tab10ShareRuns(t *testing.T) {
+	ResetCache()
+	o := tiny()
+	out := runExp(t, "fig7", o)
+	if !strings.Contains(out, "GEOMEAN") || !strings.Contains(out, "care") {
+		t.Fatalf("fig7 malformed:\n%s", out)
+	}
+	// fig8 and tab10 reuse the memoised runs: they must be fast and
+	// consistent.
+	out8 := runExp(t, "fig8", o)
+	if !strings.Contains(out8, "MEAN") {
+		t.Fatalf("fig8 malformed:\n%s", out8)
+	}
+	out10 := runExp(t, "tab10", o)
+	if !strings.Contains(out10, "pMR") || !strings.Contains(out10, "PMC") {
+		t.Fatalf("tab10 malformed:\n%s", out10)
+	}
+}
+
+func TestFig10(t *testing.T) {
+	out := runExp(t, "fig10", tiny())
+	if !strings.Contains(out, "GEOMEAN") || !strings.Contains(out, "best for") {
+		t.Fatalf("fig10 malformed:\n%s", out)
+	}
+}
+
+func TestScalability(t *testing.T) {
+	o := tiny()
+	out := runExp(t, "fig11", o)
+	if !strings.Contains(out, "cores") {
+		t.Fatalf("fig11 malformed:\n%s", out)
+	}
+	out = runExp(t, "fig13", o)
+	if !strings.Contains(out, "care") {
+		t.Fatalf("fig13 malformed:\n%s", out)
+	}
+}
+
+func TestGAPExperiments(t *testing.T) {
+	o := tiny()
+	o.Workloads = nil
+	out := runExp(t, "fig9", o)
+	for _, wl := range []string{"bfs-or", "pr-tw", "sssp-ur", "GEOMEAN"} {
+		if !strings.Contains(out, wl) {
+			t.Fatalf("fig9 missing %s:\n%s", wl, out)
+		}
+	}
+}
+
+func TestTab11(t *testing.T) {
+	out := runExp(t, "tab11", tiny())
+	if !strings.Contains(out, "AOCPA") {
+		t.Fatalf("tab11 malformed:\n%s", out)
+	}
+}
+
+func TestUnknownWorkloadErrors(t *testing.T) {
+	o := tiny()
+	o.Workloads = []string{"does-not-exist"}
+	o.Out = &bytes.Buffer{}
+	o.Defaults()
+	if err := Run("fig7", o); err == nil {
+		t.Fatal("unknown workload should error")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	o := tiny()
+	o.Workloads = []string{"429.mcf"}
+	for _, id := range []string{"abl-dtrm", "abl-sample", "abl-mshr"} {
+		out := runExp(t, id, o)
+		if !strings.Contains(out, "GEOMEAN") && !strings.Contains(out, "MSHR") {
+			t.Fatalf("%s output malformed:\n%s", id, out)
+		}
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	o := tiny()
+	o.CSV = true
+	out := runExp(t, "tab8", o)
+	if !strings.Contains(out, "workload,suite,LLC MPKI") {
+		t.Fatalf("CSV header missing:\n%s", out)
+	}
+	if strings.Contains(out, "---") {
+		t.Fatal("CSV output must not contain text-table rules")
+	}
+}

@@ -1,0 +1,123 @@
+// Package mem defines the primitive types shared by every layer of the
+// simulated memory system: physical addresses, cache-block geometry,
+// access kinds, and the request objects that travel through the
+// hierarchy.
+//
+// The package is deliberately free of simulation logic; it exists so
+// that the CPU model, the cache hierarchy, the DRAM model, the
+// prefetchers, and the replacement policies can exchange requests
+// without import cycles.
+package mem
+
+import "fmt"
+
+// BlockBits is log2 of the cache block size. The whole simulator uses
+// 64-byte blocks, matching the paper's configuration (Table VII).
+const BlockBits = 6
+
+// BlockSize is the cache block size in bytes.
+const BlockSize = 1 << BlockBits
+
+// Addr is a physical (simulated) byte address.
+type Addr uint64
+
+// Block returns the block-aligned address (low bits cleared).
+func (a Addr) Block() Addr { return a &^ (BlockSize - 1) }
+
+// BlockID returns the block number (address >> BlockBits).
+func (a Addr) BlockID() uint64 { return uint64(a) >> BlockBits }
+
+// Offset returns the byte offset within the block.
+func (a Addr) Offset() uint64 { return uint64(a) & (BlockSize - 1) }
+
+// Kind classifies a memory access as it is seen by a cache.
+type Kind uint8
+
+const (
+	// Load is a demand read issued by a core.
+	Load Kind = iota
+	// Store is a demand write issued by a core (write-allocate).
+	Store
+	// Prefetch is a request issued by a hardware prefetcher.
+	Prefetch
+	// Writeback is a dirty block evicted from an upper level.
+	Writeback
+	// Translation marks a page-walk access; kept for extension work,
+	// treated as a demand load by the hierarchy.
+	Translation
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Prefetch:
+		return "prefetch"
+	case Writeback:
+		return "writeback"
+	case Translation:
+		return "translation"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// IsDemand reports whether the access was directly issued by a core
+// (as opposed to a prefetcher or a writeback). Demand accesses train
+// predictors and contribute to IPC; non-demand accesses do not.
+func (k Kind) IsDemand() bool { return k == Load || k == Store || k == Translation }
+
+// Request is a memory access travelling down the hierarchy.
+//
+// A single Request object is reused as the access descends (L1 → L2 →
+// LLC → DRAM) so identity is stable; response routing happens through
+// the Done callback installed by the issuing component.
+type Request struct {
+	// ID is unique per issued request within a simulation; useful for
+	// debugging and deterministic tie-breaking.
+	ID uint64
+	// Addr is the accessed byte address. Block alignment is applied by
+	// the caches; Addr keeps the original offset for realism.
+	Addr Addr
+	// PC is the program counter of the instruction that caused the
+	// access. For prefetches it is the PC of the triggering
+	// instruction (the paper's CARE learns per-PC behaviour for both).
+	PC Addr
+	// Core is the issuing core's index.
+	Core int
+	// Kind classifies the access.
+	Kind Kind
+	// IssueCycle is the cycle the request entered the hierarchy.
+	IssueCycle uint64
+	// PMC is filled in by the PMC measurement logic when an LLC miss
+	// completes; it rides back with the response so the replacement
+	// policy can see it at fill time.
+	PMC float64
+	// MLPCost is the analogous MLP-based cost (Qureshi et al.), used
+	// by SBAR and M-CARE.
+	MLPCost float64
+	// Done, if non-nil, is invoked exactly once when the request's
+	// data is available to the requester, with the completion cycle.
+	Done func(completeCycle uint64)
+	// PrefetchHit records that a demand access hit a block that was
+	// brought in by a prefetcher (used by prefetch-aware policies).
+	PrefetchHit bool
+}
+
+// Respond invokes the completion callback, if any, and clears it so a
+// double response is detectable during testing.
+func (r *Request) Respond(cycle uint64) {
+	if r.Done != nil {
+		cb := r.Done
+		r.Done = nil
+		cb(cycle)
+	}
+}
+
+// String implements fmt.Stringer for debugging.
+func (r *Request) String() string {
+	return fmt.Sprintf("req{id=%d core=%d %s pc=%#x addr=%#x}", r.ID, r.Core, r.Kind, uint64(r.PC), uint64(r.Addr))
+}

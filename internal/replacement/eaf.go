@@ -1,0 +1,112 @@
+package replacement
+
+import (
+	"care/internal/cache"
+	"care/internal/mem"
+)
+
+func init() {
+	Register("eaf", func(cores int) cache.Policy { return NewEAF() })
+}
+
+// EAF is the Evicted-Address Filter of Seshadri et al. (PACT 2012),
+// one of the pollution/thrashing mitigations the paper's introduction
+// surveys. A Bloom filter remembers recently evicted block addresses;
+// a missing block that *is* in the filter was evicted prematurely
+// (has reuse), so it is inserted with high priority, while unseen
+// blocks are inserted bimodally. The filter is cleared periodically,
+// giving it the "recent" horizon.
+const (
+	eafBits      = 1 << 14 // filter size in bits
+	eafHashes    = 2
+	eafClearEvts = eafBits / 2 // evictions per clear period
+)
+
+// EAF implements cache.Policy over an SRRIP backbone.
+type EAF struct {
+	rripBase
+	rng        xorshift
+	filter     []uint64 // bitset
+	insertions int
+}
+
+// NewEAF returns an EAF policy.
+func NewEAF() *EAF { return &EAF{rng: newXorshift(11)} }
+
+// Name implements cache.Policy.
+func (p *EAF) Name() string { return "eaf" }
+
+// Init implements cache.Policy.
+func (p *EAF) Init(sets, ways int) {
+	p.rripBase.Init(sets, ways)
+	p.filter = make([]uint64, eafBits/64)
+}
+
+func eafHash(tag uint64, i int) uint64 {
+	h := tag + uint64(i)*0x9E3779B97F4A7C15
+	h ^= h >> 27
+	h *= 0x3C79AC492BA7B653
+	h ^= h >> 33
+	return h % eafBits
+}
+
+func (p *EAF) filterHas(tag uint64) bool {
+	for i := 0; i < eafHashes; i++ {
+		b := eafHash(tag, i)
+		if p.filter[b/64]&(1<<(b%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *EAF) filterAdd(tag uint64) {
+	for i := 0; i < eafHashes; i++ {
+		b := eafHash(tag, i)
+		p.filter[b/64] |= 1 << (b % 64)
+	}
+	p.insertions++
+	if p.insertions >= eafClearEvts {
+		// Periodic clear bounds the filter's false-positive rate and
+		// implements the "recently evicted" horizon.
+		for j := range p.filter {
+			p.filter[j] = 0
+		}
+		p.insertions = 0
+	}
+}
+
+// Victim implements cache.Policy.
+func (p *EAF) Victim(set int, blocks []cache.Block, info cache.AccessInfo) int {
+	return p.victim(set)
+}
+
+// OnHit implements cache.Policy.
+func (p *EAF) OnHit(set, way int, blocks []cache.Block, info cache.AccessInfo) {
+	p.rrpv[set][way] = 0
+}
+
+// OnFill implements cache.Policy: blocks the filter remembers were
+// evicted too early — protect them; everything else inserts bimodally.
+func (p *EAF) OnFill(set, way int, blocks []cache.Block, info cache.AccessInfo) {
+	if info.Kind == mem.Writeback {
+		p.rrpv[set][way] = maxRRPV
+		return
+	}
+	tag := info.Addr.BlockID()
+	switch {
+	case p.filterHas(tag):
+		p.rrpv[set][way] = 0
+	case p.rng.intn(32) == 0:
+		p.rrpv[set][way] = maxRRPV - 1
+	default:
+		p.rrpv[set][way] = maxRRPV
+	}
+}
+
+// OnEvict implements cache.Policy: remember the departing block.
+func (p *EAF) OnEvict(set, way int, evicted cache.Block, info cache.AccessInfo) {
+	if evicted.Valid {
+		p.filterAdd(evicted.Tag)
+	}
+}

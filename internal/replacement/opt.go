@@ -1,0 +1,100 @@
+package replacement
+
+import "care/internal/mem"
+
+// SimulateOPT runs Belady's optimal replacement (MIN) offline over a
+// block-address sequence for a sets×ways cache and returns the hit
+// and miss counts. It is the locality upper bound the paper cites
+// (§II-C) and the oracle the Hawkeye/Glider tests validate OPTgen
+// against.
+func SimulateOPT(addrs []mem.Addr, sets, ways int) (hits, misses uint64) {
+	if sets <= 0 || ways <= 0 {
+		return 0, 0
+	}
+	// Precompute, for each position, the next use of the same block.
+	const never = int(^uint(0) >> 1)
+	blocks := make([]uint64, len(addrs))
+	setOf := make([]int, len(addrs))
+	for i, a := range addrs {
+		blocks[i] = a.BlockID()
+		setOf[i] = int(a.BlockID() % uint64(sets))
+	}
+	nextUse := make([]int, len(addrs))
+	last := make(map[uint64]int, len(addrs))
+	for i := len(addrs) - 1; i >= 0; i-- {
+		if n, ok := last[blocks[i]]; ok {
+			nextUse[i] = n
+		} else {
+			nextUse[i] = never
+		}
+		last[blocks[i]] = i
+	}
+
+	// Per set: resident block -> next use index.
+	resident := make([]map[uint64]int, sets)
+	for i := range resident {
+		resident[i] = make(map[uint64]int, ways)
+	}
+	for i := range addrs {
+		set := setOf[i]
+		blk := blocks[i]
+		r := resident[set]
+		if _, ok := r[blk]; ok {
+			hits++
+			r[blk] = nextUse[i]
+			continue
+		}
+		misses++
+		if len(r) >= ways {
+			// Evict the block used furthest in the future.
+			var victim uint64
+			furthest := -1
+			for b, n := range r {
+				if n > furthest {
+					victim, furthest = b, n
+				}
+			}
+			delete(r, victim)
+		}
+		r[blk] = nextUse[i]
+	}
+	return hits, misses
+}
+
+// SimulateLRUOffline runs true LRU over the same input for
+// hit/miss-count comparisons against SimulateOPT.
+func SimulateLRUOffline(addrs []mem.Addr, sets, ways int) (hits, misses uint64) {
+	if sets <= 0 || ways <= 0 {
+		return 0, 0
+	}
+	type node struct{ stamp uint64 }
+	resident := make([]map[uint64]*node, sets)
+	for i := range resident {
+		resident[i] = make(map[uint64]*node, ways)
+	}
+	var clock uint64
+	for _, a := range addrs {
+		set := int(a.BlockID() % uint64(sets))
+		blk := a.BlockID()
+		clock++
+		r := resident[set]
+		if n, ok := r[blk]; ok {
+			hits++
+			n.stamp = clock
+			continue
+		}
+		misses++
+		if len(r) >= ways {
+			var victim uint64
+			oldest := uint64(^uint64(0))
+			for b, n := range r {
+				if n.stamp < oldest {
+					victim, oldest = b, n.stamp
+				}
+			}
+			delete(r, victim)
+		}
+		r[blk] = &node{stamp: clock}
+	}
+	return hits, misses
+}

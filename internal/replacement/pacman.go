@@ -1,0 +1,52 @@
+package replacement
+
+import (
+	"care/internal/cache"
+	"care/internal/mem"
+)
+
+func init() {
+	Register("pacman", func(cores int) cache.Policy { return NewPACMan() })
+}
+
+// PACMan is the prefetch-aware cache management of Wu et al. (MICRO
+// 2011), the work the paper cites for the observation that demand and
+// prefetch requests deserve different treatment (§V-E builds the same
+// idea into CARE). This is the PACMan-DYN-style composite distilled
+// to its static core (PACMan-M + PACMan-H on an SRRIP backbone):
+//
+//   - prefetch fills insert with the distant RRPV (PACMan-M);
+//   - prefetch *hits* do not promote (PACMan-H);
+//   - demand traffic behaves exactly like SRRIP.
+type PACMan struct {
+	rripBase
+}
+
+// NewPACMan returns a PACMan policy.
+func NewPACMan() *PACMan { return &PACMan{} }
+
+// Name implements cache.Policy.
+func (p *PACMan) Name() string { return "pacman" }
+
+// Victim implements cache.Policy.
+func (p *PACMan) Victim(set int, blocks []cache.Block, info cache.AccessInfo) int {
+	return p.victim(set)
+}
+
+// OnHit implements cache.Policy.
+func (p *PACMan) OnHit(set, way int, blocks []cache.Block, info cache.AccessInfo) {
+	if info.Kind == mem.Prefetch {
+		return // PACMan-H: prefetch hits leave the RRPV alone
+	}
+	p.rrpv[set][way] = 0
+}
+
+// OnFill implements cache.Policy.
+func (p *PACMan) OnFill(set, way int, blocks []cache.Block, info cache.AccessInfo) {
+	switch info.Kind {
+	case mem.Prefetch, mem.Writeback:
+		p.rrpv[set][way] = maxRRPV // PACMan-M: prefetches insert distant
+	default:
+		p.rrpv[set][way] = maxRRPV - 1
+	}
+}

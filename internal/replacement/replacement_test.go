@@ -1,0 +1,645 @@
+package replacement
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"care/internal/cache"
+	"care/internal/mem"
+)
+
+// runSeq replays a sequence of accesses through a standalone cache
+// (no lower level: misses fill instantly) under the given policy and
+// returns the demand hit/miss counts.
+func runSeq(p cache.Policy, sets, ways int, accs []cache.AccessInfo) (hits, misses uint64) {
+	c := cache.New(cache.Params{
+		Name: "t", Sets: sets, Ways: ways, Latency: 1, MSHREntries: 16, Cores: 4,
+	}, p)
+	cycle := uint64(0)
+	for _, a := range accs {
+		c.Access(&mem.Request{Addr: a.Addr, PC: a.PC, Core: a.Core, Kind: a.Kind}, cycle)
+		c.Tick(cycle)
+		c.Tick(cycle + 1)
+		cycle += 2
+	}
+	s := c.Stats()
+	return s.DemandHits, s.DemandMisses
+}
+
+// loads converts block indexes to load AccessInfos with one PC.
+func loads(pc mem.Addr, blocks ...uint64) []cache.AccessInfo {
+	out := make([]cache.AccessInfo, len(blocks))
+	for i, b := range blocks {
+		out[i] = cache.AccessInfo{Addr: mem.Addr(b << mem.BlockBits), PC: pc, Kind: mem.Load}
+	}
+	return out
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	if len(names) == 0 {
+		t.Fatal("no registered policies")
+	}
+	for _, n := range names {
+		p, err := New(n, 4)
+		if err != nil {
+			t.Fatalf("New(%q): %v", n, err)
+		}
+		if p.Name() == "" {
+			t.Fatalf("policy %q has empty Name()", n)
+		}
+	}
+	if _, err := New("no-such-policy", 1); err == nil {
+		t.Fatal("unknown policy should error")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register should panic")
+		}
+	}()
+	Register("lru", func(int) cache.Policy { return NewLRU() })
+}
+
+func TestSignature(t *testing.T) {
+	a := Signature(0x400123, false)
+	if a != Signature(0x400123, false) {
+		t.Fatal("signature must be deterministic")
+	}
+	if a>>SignatureBits != 0 {
+		t.Fatalf("signature %#x exceeds %d bits", a, SignatureBits)
+	}
+	if Signature(0x400123, true) == a {
+		t.Fatal("prefetch bit must change the signature")
+	}
+	// The prefetch bit is the top bit; lower bits match.
+	mask := uint16(1<<(SignatureBits-1)) - 1
+	if Signature(0x400123, true)&mask != a&mask {
+		t.Fatal("prefetch variant should share the hash bits")
+	}
+}
+
+func TestSampledSets(t *testing.T) {
+	s := NewSampledSets(2048, 64)
+	count := 0
+	for i := 0; i < 2048; i++ {
+		if s.Sampled(i) {
+			count++
+		}
+	}
+	if count != 64 {
+		t.Fatalf("sampled %d sets, want 64", count)
+	}
+	all := NewSampledSets(16, 0)
+	for i := 0; i < 16; i++ {
+		if !all.Sampled(i) {
+			t.Fatal("want=0 should sample everything")
+		}
+	}
+}
+
+func TestDuelingLeadersSteerPSEL(t *testing.T) {
+	d := newDueling(64, 4)
+	// Misses in A-leader sets push PSEL up (toward B).
+	start := d.psel
+	for set := 0; set < 64; set++ {
+		if d.leaderA[set] {
+			d.onMiss(set)
+		}
+	}
+	if d.psel <= start {
+		t.Fatal("A-leader misses should raise PSEL")
+	}
+	// Follower sets follow the winner.
+	for i := 0; i < 2000; i++ {
+		for set := 0; set < 64; set++ {
+			if d.leaderA[set] {
+				d.onMiss(set)
+			}
+		}
+	}
+	follower := -1
+	for set := 0; set < 64; set++ {
+		if !d.leaderA[set] && !d.leaderB[set] {
+			follower = set
+			break
+		}
+	}
+	if follower == -1 {
+		t.Fatal("no follower set found")
+	}
+	if d.useA(follower) {
+		t.Fatal("followers should switch to B when A keeps missing")
+	}
+	// Leaders always use their own policy.
+	for set := 0; set < 64; set++ {
+		if d.leaderA[set] && !d.useA(set) {
+			t.Fatal("A leaders must use A")
+		}
+		if d.leaderB[set] && d.useA(set) {
+			t.Fatal("B leaders must use B")
+		}
+	}
+}
+
+func TestLRUStackProperty(t *testing.T) {
+	// With the real cache plumbing, LRU must match the offline LRU
+	// simulator on any sequence.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 300
+		addrs := make([]mem.Addr, n)
+		accs := make([]cache.AccessInfo, n)
+		for i := range addrs {
+			b := uint64(rng.Intn(64))
+			addrs[i] = mem.Addr(b << mem.BlockBits)
+			accs[i] = cache.AccessInfo{Addr: addrs[i], PC: 0x400, Kind: mem.Load}
+		}
+		hits, misses := runSeq(NewLRU(), 4, 4, accs)
+		wantHits, wantMisses := SimulateLRUOffline(addrs, 4, 4)
+		return hits == wantHits && misses == wantMisses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// thrash generates k passes over a working set one block larger than
+// one set's capacity, all mapping to set 0.
+func thrash(sets, ways, extra, passes int) []cache.AccessInfo {
+	var accs []cache.AccessInfo
+	for p := 0; p < passes; p++ {
+		for b := 0; b < ways+extra; b++ {
+			blk := uint64(b * sets) // same set
+			accs = append(accs, cache.AccessInfo{Addr: mem.Addr(blk << mem.BlockBits), PC: 0x400, Kind: mem.Load})
+		}
+	}
+	return accs
+}
+
+func TestLIPBeatsLRUOnThrash(t *testing.T) {
+	accs := thrash(16, 4, 1, 50)
+	lruHits, _ := runSeq(NewLRU(), 16, 4, accs)
+	lipHits, _ := runSeq(NewLIP(), 16, 4, accs)
+	if lruHits != 0 {
+		t.Fatalf("LRU should get zero hits on a cyclic over-capacity scan, got %d", lruHits)
+	}
+	if lipHits == 0 {
+		t.Fatal("LIP should retain part of a thrashing working set")
+	}
+}
+
+func TestBIPAdaptsLikeLIP(t *testing.T) {
+	accs := thrash(16, 4, 1, 50)
+	bipHits, _ := runSeq(NewBIP(), 16, 4, accs)
+	if bipHits == 0 {
+		t.Fatal("BIP should also survive thrash")
+	}
+}
+
+func TestDIPNeverFarFromBest(t *testing.T) {
+	// Recency-friendly pattern: repeated small working set. LRU is
+	// ideal here; DIP must not collapse.
+	var accs []cache.AccessInfo
+	for p := 0; p < 100; p++ {
+		for b := 0; b < 3; b++ {
+			accs = append(accs, cache.AccessInfo{Addr: mem.Addr(uint64(b*16) << mem.BlockBits), PC: 1, Kind: mem.Load})
+		}
+	}
+	lruHits, _ := runSeq(NewLRU(), 16, 4, accs)
+	dipHits, _ := runSeq(NewDIP(), 16, 4, accs)
+	if float64(dipHits) < 0.8*float64(lruHits) {
+		t.Fatalf("DIP hits %d too far below LRU %d on friendly pattern", dipHits, lruHits)
+	}
+}
+
+func TestSRRIPScanResistance(t *testing.T) {
+	// Interleave a reused working set with a one-time scan. SRRIP
+	// should keep more of the working set than LRU.
+	var accs []cache.AccessInfo
+	scan := uint64(1000)
+	for p := 0; p < 60; p++ {
+		// Hot blocks are touched twice so they earn near-immediate
+		// re-reference predictions before the scan arrives.
+		for r := 0; r < 2; r++ {
+			for b := 0; b < 2; b++ {
+				accs = append(accs, cache.AccessInfo{Addr: mem.Addr(uint64(b*16) << mem.BlockBits), PC: 1, Kind: mem.Load})
+			}
+		}
+		for s := 0; s < 3; s++ {
+			accs = append(accs, cache.AccessInfo{Addr: mem.Addr((scan * 16) << mem.BlockBits), PC: 2, Kind: mem.Load})
+			scan++
+		}
+	}
+	lruHits, _ := runSeq(NewLRU(), 16, 4, accs)
+	srripHits, _ := runSeq(NewSRRIP(), 16, 4, accs)
+	if srripHits <= lruHits {
+		t.Fatalf("SRRIP (%d hits) should beat LRU (%d hits) under scanning", srripHits, lruHits)
+	}
+}
+
+func TestRRIPVictimAging(t *testing.T) {
+	p := NewSRRIP()
+	p.Init(1, 4)
+	blocks := make([]cache.Block, 4)
+	info := cache.AccessInfo{Kind: mem.Load}
+	// Fill all ways: RRPV = 2 each.
+	for w := 0; w < 4; w++ {
+		p.OnFill(0, w, blocks, info)
+	}
+	// Victim search must age RRPVs until one saturates, then pick it.
+	v := p.Victim(0, blocks, info)
+	if v != 0 {
+		t.Fatalf("victim = %d, want leftmost after uniform aging", v)
+	}
+	if p.rrpv[0][3] != maxRRPV {
+		t.Fatal("aging should have advanced all RRPVs to max")
+	}
+}
+
+func TestSHiPLearnsDeadPC(t *testing.T) {
+	// PC 0xdead streams blocks that are never reused; PC 0xbeef has a
+	// hot working set. After training, SHiP should beat LRU.
+	var accs []cache.AccessInfo
+	stream := uint64(5000)
+	for p := 0; p < 120; p++ {
+		for r := 0; r < 2; r++ {
+			for b := 0; b < 2; b++ {
+				accs = append(accs, cache.AccessInfo{Addr: mem.Addr(uint64(b*16) << mem.BlockBits), PC: 0xbeef, Kind: mem.Load})
+			}
+		}
+		for s := 0; s < 3; s++ {
+			accs = append(accs, cache.AccessInfo{Addr: mem.Addr((stream * 16) << mem.BlockBits), PC: 0xdead, Kind: mem.Load})
+			stream++
+		}
+	}
+	lruHits, _ := runSeq(NewLRU(), 16, 4, accs)
+	shipHits, _ := runSeq(NewSHiP(), 16, 4, accs)
+	if shipHits <= lruHits {
+		t.Fatalf("SHiP (%d) should beat LRU (%d) with a dead streaming PC", shipHits, lruHits)
+	}
+}
+
+func TestSHiPPPWritebackInsertion(t *testing.T) {
+	p := NewSHiPPP()
+	p.Init(4, 4)
+	blocks := make([]cache.Block, 4)
+	p.OnFill(0, 1, blocks, cache.AccessInfo{Kind: mem.Writeback})
+	if p.rrpv[0][1] != maxRRPV {
+		t.Fatal("writeback fills must be inserted distant")
+	}
+	// Writeback blocks never train the SHCT on eviction.
+	before := p.shct[0]
+	p.OnEvict(0, 1, cache.Block{}, cache.AccessInfo{})
+	if p.shct[0] != before {
+		t.Fatal("writeback eviction must not train")
+	}
+}
+
+func TestSHiPPPPrefetchDemotion(t *testing.T) {
+	p := NewSHiPPP()
+	p.Init(4, 4)
+	blocks := make([]cache.Block, 4)
+	p.OnFill(0, 0, blocks, cache.AccessInfo{PC: 0x1, Kind: mem.Prefetch})
+	// First demand hit on a prefetched block demotes it.
+	p.OnHit(0, 0, blocks, cache.AccessInfo{PC: 0x1, Kind: mem.Load, HitPrefetched: true})
+	if p.rrpv[0][0] != maxRRPV {
+		t.Fatalf("first demand touch of prefetched block should demote, rrpv=%d", p.rrpv[0][0])
+	}
+	// Subsequent demand hit promotes normally.
+	p.OnHit(0, 0, blocks, cache.AccessInfo{PC: 0x1, Kind: mem.Load})
+	if p.rrpv[0][0] != 0 {
+		t.Fatal("later demand hits should promote")
+	}
+	// Pure prefetch hits change nothing.
+	p.rrpv[0][0] = 2
+	p.OnHit(0, 0, blocks, cache.AccessInfo{PC: 0x1, Kind: mem.Prefetch})
+	if p.rrpv[0][0] != 2 {
+		t.Fatal("prefetch hits must not promote")
+	}
+}
+
+func TestOptgenBasics(t *testing.T) {
+	og := newOptgen(2) // 2 ways → window 16
+	// Two interleaved blocks reuse within capacity: both cacheable.
+	first := og.now
+	og.advance()
+	second := og.now
+	og.advance()
+	if !og.shouldCache(first) {
+		t.Fatal("first interval fits")
+	}
+	if !og.shouldCache(second) {
+		t.Fatal("second interval fits")
+	}
+	// A third overlapping interval exceeds 2 ways.
+	if og.shouldCache(first) {
+		t.Fatal("third overlapping interval must not fit in 2 ways")
+	}
+}
+
+func TestOptgenWindowExpiry(t *testing.T) {
+	og := newOptgen(2)
+	start := og.now
+	for i := 0; i < 100; i++ {
+		og.advance()
+	}
+	if og.shouldCache(start) {
+		t.Fatal("intervals beyond the window are uncacheable")
+	}
+}
+
+func TestOPTBeatsLRUProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		addrs := make([]mem.Addr, 500)
+		for i := range addrs {
+			addrs[i] = mem.Addr(uint64(rng.Intn(96)) << mem.BlockBits)
+		}
+		optHits, optMisses := SimulateOPT(addrs, 4, 4)
+		lruHits, lruMisses := SimulateLRUOffline(addrs, 4, 4)
+		if optHits+optMisses != uint64(len(addrs)) || lruHits+lruMisses != uint64(len(addrs)) {
+			return false
+		}
+		return optHits >= lruHits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOPTGolden(t *testing.T) {
+	// Classic example: A B C A B C on a 2-way set. LRU thrashes (0
+	// hits); OPT keeps A (or B) and gets 2 hits.
+	seq := []mem.Addr{}
+	for _, b := range []uint64{0, 1, 2, 0, 1, 2} {
+		seq = append(seq, mem.Addr(b<<mem.BlockBits))
+	}
+	optHits, _ := SimulateOPT(seq, 1, 2)
+	lruHits, _ := SimulateLRUOffline(seq, 1, 2)
+	if lruHits != 0 {
+		t.Fatalf("LRU hits = %d, want 0", lruHits)
+	}
+	if optHits != 2 {
+		t.Fatalf("OPT hits = %d, want 2", optHits)
+	}
+}
+
+func TestLINPrefersEvictingLowCost(t *testing.T) {
+	p := NewLIN()
+	p.Init(1, 4)
+	blocks := make([]cache.Block, 4)
+	// Fill 4 ways; way 0 is oldest but very costly, way 1 cheap.
+	p.OnFill(0, 0, blocks, cache.AccessInfo{Kind: mem.Load, MLPCost: 500})
+	p.OnFill(0, 1, blocks, cache.AccessInfo{Kind: mem.Load, MLPCost: 0})
+	p.OnFill(0, 2, blocks, cache.AccessInfo{Kind: mem.Load, MLPCost: 500})
+	p.OnFill(0, 3, blocks, cache.AccessInfo{Kind: mem.Load, MLPCost: 500})
+	if v := p.Victim(0, blocks, cache.AccessInfo{}); v != 1 {
+		t.Fatalf("LIN victim = %d, want the cheap block (1) despite being newer", v)
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	cases := map[float64]uint8{0: 0, 59: 0, 60: 1, 300: 5, 10000: 7, -5: 0}
+	for in, want := range cases {
+		if got := quantize(in); got != want {
+			t.Errorf("quantize(%v) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+// Functional smoke tests: every registered policy must survive a
+// mixed random workload through the real cache without panicking and
+// with sane stats.
+func TestAllPoliciesSmoke(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var accs []cache.AccessInfo
+	for i := 0; i < 3000; i++ {
+		kind := mem.Load
+		switch rng.Intn(10) {
+		case 0:
+			kind = mem.Store
+		case 1:
+			kind = mem.Prefetch
+		case 2:
+			kind = mem.Writeback
+		}
+		accs = append(accs, cache.AccessInfo{
+			Addr: mem.Addr(uint64(rng.Intn(512)) << mem.BlockBits),
+			PC:   mem.Addr(0x400000 + uint64(rng.Intn(32))*4),
+			Core: rng.Intn(4),
+			Kind: kind,
+		})
+	}
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			p, err := New(name, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := cache.New(cache.Params{Name: "smoke", Sets: 32, Ways: 4, Latency: 1, MSHREntries: 16, Cores: 4}, p)
+			cycle := uint64(0)
+			for _, a := range accs {
+				c.Access(&mem.Request{Addr: a.Addr, PC: a.PC, Core: a.Core, Kind: a.Kind}, cycle)
+				c.Tick(cycle)
+				c.Tick(cycle + 1)
+				cycle += 2
+			}
+			s := c.Stats()
+			if s.DemandAccesses == 0 {
+				t.Fatal("no demand accesses recorded")
+			}
+			if s.DemandHits+s.DemandMisses != s.DemandAccesses {
+				t.Fatalf("hits+misses != accesses: %+v", s)
+			}
+		})
+	}
+}
+
+// Mockingjay should approach OPT-like behaviour on a PC-stable
+// pattern: one PC with short reuse, another streaming.
+func TestMockingjayLearnsReuseDistance(t *testing.T) {
+	var accs []cache.AccessInfo
+	stream := uint64(9000)
+	for p := 0; p < 150; p++ {
+		for b := 0; b < 3; b++ {
+			accs = append(accs, cache.AccessInfo{Addr: mem.Addr(uint64(b*16) << mem.BlockBits), PC: 0x10, Kind: mem.Load})
+		}
+		for s := 0; s < 3; s++ {
+			accs = append(accs, cache.AccessInfo{Addr: mem.Addr((stream * 16) << mem.BlockBits), PC: 0x20, Kind: mem.Load})
+			stream++
+		}
+	}
+	lruHits, _ := runSeq(NewLRU(), 16, 4, accs)
+	mjHits, _ := runSeq(NewMockingjay(), 16, 4, accs)
+	if mjHits <= lruHits {
+		t.Fatalf("Mockingjay (%d) should beat LRU (%d) on scan+reuse mix", mjHits, lruHits)
+	}
+}
+
+func TestGliderLearnsDeadPC(t *testing.T) {
+	var accs []cache.AccessInfo
+	stream := uint64(7000)
+	for p := 0; p < 200; p++ {
+		for b := 0; b < 3; b++ {
+			accs = append(accs, cache.AccessInfo{Addr: mem.Addr(uint64(b*16) << mem.BlockBits), PC: 0x30, Kind: mem.Load})
+		}
+		for s := 0; s < 3; s++ {
+			accs = append(accs, cache.AccessInfo{Addr: mem.Addr((stream * 16) << mem.BlockBits), PC: 0x40, Kind: mem.Load})
+			stream++
+		}
+	}
+	lruHits, _ := runSeq(NewLRU(), 16, 4, accs)
+	gliderHits, _ := runSeq(NewGlider(1), 16, 4, accs)
+	if gliderHits <= lruHits {
+		t.Fatalf("Glider (%d) should beat LRU (%d) on scan+reuse mix", gliderHits, lruHits)
+	}
+}
+
+func TestHawkeyeLearnsDeadPC(t *testing.T) {
+	var accs []cache.AccessInfo
+	stream := uint64(11000)
+	for p := 0; p < 200; p++ {
+		for b := 0; b < 3; b++ {
+			accs = append(accs, cache.AccessInfo{Addr: mem.Addr(uint64(b*16) << mem.BlockBits), PC: 0x50, Kind: mem.Load})
+		}
+		for s := 0; s < 3; s++ {
+			accs = append(accs, cache.AccessInfo{Addr: mem.Addr((stream * 16) << mem.BlockBits), PC: 0x60, Kind: mem.Load})
+			stream++
+		}
+	}
+	lruHits, _ := runSeq(NewLRU(), 16, 4, accs)
+	hawkHits, _ := runSeq(NewHawkeye(), 16, 4, accs)
+	if hawkHits <= lruHits {
+		t.Fatalf("Hawkeye (%d) should beat LRU (%d) on scan+reuse mix", hawkHits, lruHits)
+	}
+}
+
+func TestLACSProtectsCostlyFetches(t *testing.T) {
+	p := NewLACS()
+	p.Init(1, 4)
+	blocks := make([]cache.Block, 4)
+	// Way 0: costly fetch. Ways 1-3: cheap fetches.
+	p.OnFill(0, 0, blocks, cache.AccessInfo{Kind: mem.Load, MissLatency: 500})
+	p.OnFill(0, 1, blocks, cache.AccessInfo{Kind: mem.Load, MissLatency: 20})
+	p.OnFill(0, 2, blocks, cache.AccessInfo{Kind: mem.Load, MissLatency: 20})
+	p.OnFill(0, 3, blocks, cache.AccessInfo{Kind: mem.Load, MissLatency: 20})
+	if v := p.Victim(0, blocks, cache.AccessInfo{}); v == 0 {
+		t.Fatal("LACS must not evict the costly block first")
+	}
+	// Hits credit locality even on cheap blocks.
+	p.OnHit(0, 1, blocks, cache.AccessInfo{Kind: mem.Load})
+	if v := p.Victim(0, blocks, cache.AccessInfo{}); v == 1 {
+		t.Fatal("hit block should outrank untouched cheap blocks")
+	}
+	// Prefetch hits do not credit.
+	before := p.counter[0][2]
+	p.OnHit(0, 2, blocks, cache.AccessInfo{Kind: mem.Prefetch})
+	if p.counter[0][2] != before {
+		t.Fatal("prefetch hits must not train LACS")
+	}
+}
+
+func TestRLRPriorityFeatures(t *testing.T) {
+	p := NewRLR()
+	p.Init(1, 4)
+	blocks := make([]cache.Block, 4)
+	// Fill all ways as demand.
+	for w := 0; w < 4; w++ {
+		p.OnFill(0, w, blocks, cache.AccessInfo{Kind: mem.Load})
+	}
+	// Way 2 gets a hit: it must be safer than the others.
+	p.OnHit(0, 2, blocks, cache.AccessInfo{Kind: mem.Load})
+	if v := p.Victim(0, blocks, cache.AccessInfo{}); v == 2 {
+		t.Fatal("hit block should not be the victim")
+	}
+	// A prefetch-filled block loses the type preference.
+	p.OnFill(0, 3, blocks, cache.AccessInfo{Kind: mem.Prefetch})
+	if v := p.Victim(0, blocks, cache.AccessInfo{}); v != 3 && v != 0 && v != 1 {
+		t.Fatalf("victim = %d unexpected", v)
+	}
+	// Stale blocks lose the dominant age feature: age way 0 far
+	// beyond the set's reuse distance.
+	for i := 0; i < 200; i++ {
+		p.OnHit(0, 2, blocks, cache.AccessInfo{Kind: mem.Load})
+	}
+	if v := p.Victim(0, blocks, cache.AccessInfo{}); v == 2 {
+		t.Fatal("freshly hit block must survive ageing")
+	}
+}
+
+func TestRLRBeatsRandomOnLoopingSet(t *testing.T) {
+	var accs []cache.AccessInfo
+	for pass := 0; pass < 80; pass++ {
+		for b := 0; b < 3; b++ {
+			accs = append(accs, cache.AccessInfo{Addr: mem.Addr(uint64(b*16) << mem.BlockBits), PC: 7, Kind: mem.Load})
+		}
+	}
+	rlrHits, _ := runSeq(NewRLR(), 16, 4, accs)
+	randHits, _ := runSeq(NewRandom(1), 16, 4, accs)
+	if rlrHits < randHits {
+		t.Fatalf("RLR (%d) should not lose to random (%d) on a friendly loop", rlrHits, randHits)
+	}
+}
+
+func TestEAFRescuesPrematureEvictions(t *testing.T) {
+	p := NewEAF()
+	p.Init(4, 4)
+	blocks := make([]cache.Block, 4)
+	tag := uint64(0xABC)
+	// Unknown block: bimodal distant insertion (usually max).
+	p.OnFill(0, 0, blocks, cache.AccessInfo{Addr: mem.Addr(tag << mem.BlockBits), Kind: mem.Load})
+	if p.rrpv[0][0] == 0 {
+		t.Fatal("unseen block should not insert protected")
+	}
+	// Evict it; the filter remembers.
+	p.OnEvict(0, 0, cache.Block{Valid: true, Tag: tag}, cache.AccessInfo{})
+	// Refill: now protected.
+	p.OnFill(0, 1, blocks, cache.AccessInfo{Addr: mem.Addr(tag << mem.BlockBits), Kind: mem.Load})
+	if p.rrpv[0][1] != 0 {
+		t.Fatalf("filter-hit refill should insert protected, rrpv=%d", p.rrpv[0][1])
+	}
+}
+
+func TestEAFFilterClears(t *testing.T) {
+	p := NewEAF()
+	p.Init(4, 4)
+	tag := uint64(0x123)
+	p.filterAdd(tag)
+	if !p.filterHas(tag) {
+		t.Fatal("filter should remember")
+	}
+	for i := 0; i < eafClearEvts; i++ {
+		p.filterAdd(uint64(0x10000 + i))
+	}
+	if p.filterHas(tag) {
+		t.Fatal("periodic clear should forget old evictions")
+	}
+}
+
+func TestPACManPrefetchHandling(t *testing.T) {
+	p := NewPACMan()
+	p.Init(4, 4)
+	blocks := make([]cache.Block, 4)
+	p.OnFill(0, 0, blocks, cache.AccessInfo{Kind: mem.Prefetch})
+	if p.rrpv[0][0] != maxRRPV {
+		t.Fatal("prefetch fills insert distant (PACMan-M)")
+	}
+	p.rrpv[0][0] = 2
+	p.OnHit(0, 0, blocks, cache.AccessInfo{Kind: mem.Prefetch})
+	if p.rrpv[0][0] != 2 {
+		t.Fatal("prefetch hits must not promote (PACMan-H)")
+	}
+	p.OnHit(0, 0, blocks, cache.AccessInfo{Kind: mem.Load})
+	if p.rrpv[0][0] != 0 {
+		t.Fatal("demand hits promote")
+	}
+	p.OnFill(0, 1, blocks, cache.AccessInfo{Kind: mem.Load})
+	if p.rrpv[0][1] != maxRRPV-1 {
+		t.Fatal("demand fills insert long (SRRIP)")
+	}
+}

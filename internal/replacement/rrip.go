@@ -1,0 +1,147 @@
+package replacement
+
+import "care/internal/cache"
+
+func init() {
+	Register("srrip", func(cores int) cache.Policy { return NewSRRIP() })
+	Register("brrip", func(cores int) cache.Policy { return NewBRRIP() })
+	Register("drrip", func(cores int) cache.Policy { return NewDRRIP() })
+}
+
+// maxRRPV is the saturating re-reference prediction value of the
+// 2-bit RRIP family (Jaleel et al., ISCA 2010).
+const maxRRPV = 3
+
+// rripBase holds the RRPV array and the shared victim search.
+type rripBase struct {
+	rrpv [][]uint8
+}
+
+func (p *rripBase) Init(sets, ways int) {
+	p.rrpv = make([][]uint8, sets)
+	backing := make([]uint8, sets*ways)
+	for i := range p.rrpv {
+		p.rrpv[i] = backing[i*ways : (i+1)*ways]
+		for w := range p.rrpv[i] {
+			p.rrpv[i][w] = maxRRPV
+		}
+	}
+}
+
+// victim finds the leftmost way with RRPV==max, aging the whole set
+// until one exists (the SRRIP search loop).
+func (p *rripBase) victim(set int) int {
+	for {
+		for w, v := range p.rrpv[set] {
+			if v >= maxRRPV {
+				return w
+			}
+		}
+		for w := range p.rrpv[set] {
+			p.rrpv[set][w]++
+		}
+	}
+}
+
+func (p *rripBase) OnEvict(set, way int, evicted cache.Block, info cache.AccessInfo) {}
+
+// SRRIP statically inserts blocks with a "long" re-reference
+// prediction (max-1) and promotes to "near-immediate" (0) on hits.
+type SRRIP struct{ rripBase }
+
+// NewSRRIP returns a static RRIP policy.
+func NewSRRIP() *SRRIP { return &SRRIP{} }
+
+// Name implements cache.Policy.
+func (p *SRRIP) Name() string { return "srrip" }
+
+// Victim implements cache.Policy.
+func (p *SRRIP) Victim(set int, blocks []cache.Block, info cache.AccessInfo) int {
+	return p.victim(set)
+}
+
+// OnHit implements cache.Policy.
+func (p *SRRIP) OnHit(set, way int, blocks []cache.Block, info cache.AccessInfo) {
+	p.rrpv[set][way] = 0
+}
+
+// OnFill implements cache.Policy.
+func (p *SRRIP) OnFill(set, way int, blocks []cache.Block, info cache.AccessInfo) {
+	p.rrpv[set][way] = maxRRPV - 1
+}
+
+// BRRIP is the bimodal RRIP: fills get a distant prediction (max)
+// except 1-in-32 which get long (max-1), resisting thrash.
+type BRRIP struct {
+	rripBase
+	rng xorshift
+}
+
+// NewBRRIP returns a bimodal RRIP policy.
+func NewBRRIP() *BRRIP { return &BRRIP{rng: newXorshift(5)} }
+
+// Name implements cache.Policy.
+func (p *BRRIP) Name() string { return "brrip" }
+
+// Victim implements cache.Policy.
+func (p *BRRIP) Victim(set int, blocks []cache.Block, info cache.AccessInfo) int {
+	return p.victim(set)
+}
+
+// OnHit implements cache.Policy.
+func (p *BRRIP) OnHit(set, way int, blocks []cache.Block, info cache.AccessInfo) {
+	p.rrpv[set][way] = 0
+}
+
+// OnFill implements cache.Policy.
+func (p *BRRIP) OnFill(set, way int, blocks []cache.Block, info cache.AccessInfo) {
+	if p.rng.intn(32) == 0 {
+		p.rrpv[set][way] = maxRRPV - 1
+	} else {
+		p.rrpv[set][way] = maxRRPV
+	}
+}
+
+// DRRIP set-duels SRRIP against BRRIP (Jaleel et al.), the strongest
+// of the non-PC-based baselines.
+type DRRIP struct {
+	rripBase
+	rng  xorshift
+	duel *dueling
+}
+
+// NewDRRIP returns a dynamic RRIP policy.
+func NewDRRIP() *DRRIP { return &DRRIP{rng: newXorshift(6)} }
+
+// Name implements cache.Policy.
+func (p *DRRIP) Name() string { return "drrip" }
+
+// Init implements cache.Policy.
+func (p *DRRIP) Init(sets, ways int) {
+	p.rripBase.Init(sets, ways)
+	p.duel = newDueling(sets, 32)
+}
+
+// Victim implements cache.Policy.
+func (p *DRRIP) Victim(set int, blocks []cache.Block, info cache.AccessInfo) int {
+	return p.victim(set)
+}
+
+// OnHit implements cache.Policy.
+func (p *DRRIP) OnHit(set, way int, blocks []cache.Block, info cache.AccessInfo) {
+	p.rrpv[set][way] = 0
+}
+
+// OnFill implements cache.Policy.
+func (p *DRRIP) OnFill(set, way int, blocks []cache.Block, info cache.AccessInfo) {
+	p.duel.onMiss(set)
+	if p.duel.useA(set) {
+		p.rrpv[set][way] = maxRRPV - 1 // SRRIP
+		return
+	}
+	if p.rng.intn(32) == 0 {
+		p.rrpv[set][way] = maxRRPV - 1
+	} else {
+		p.rrpv[set][way] = maxRRPV
+	}
+}

@@ -1,0 +1,148 @@
+package replacement
+
+import (
+	"care/internal/cache"
+	"care/internal/mem"
+)
+
+func init() {
+	Register("lin", func(cores int) cache.Policy { return NewLIN() })
+	Register("sbar", func(cores int) cache.Policy { return NewSBAR() })
+}
+
+// linLambda is the cost weight of the LIN victim function (Qureshi et
+// al. use λ=4).
+const linLambda = 4
+
+// linCostQuantum converts an MLP-based cost in cycles to the 3-bit
+// quantized cost (cost_q = min(7, cost/quantum)); the original paper
+// quantizes in steps of 60 cycles.
+const linCostQuantum = 60.0
+
+// LIN is the linear (recency + λ·cost) MLP-aware replacement policy
+// of Qureshi et al. (ISCA 2006). It requires an MLP-cost tracker on
+// the cache so fills carry MLPCost.
+type LIN struct {
+	stamp [][]uint64
+	costq [][]uint8
+	clock uint64
+}
+
+// NewLIN returns a LIN policy.
+func NewLIN() *LIN { return &LIN{} }
+
+// Name implements cache.Policy.
+func (p *LIN) Name() string { return "lin" }
+
+// Init implements cache.Policy.
+func (p *LIN) Init(sets, ways int) {
+	p.stamp = make([][]uint64, sets)
+	p.costq = make([][]uint8, sets)
+	for i := range p.stamp {
+		p.stamp[i] = make([]uint64, ways)
+		p.costq[i] = make([]uint8, ways)
+	}
+}
+
+func (p *LIN) touch(set, way int) {
+	p.clock++
+	p.stamp[set][way] = p.clock
+}
+
+// quantize maps an MLP cost to 0..7.
+func quantize(cost float64) uint8 {
+	q := int(cost / linCostQuantum)
+	if q > 7 {
+		q = 7
+	}
+	if q < 0 {
+		q = 0
+	}
+	return uint8(q)
+}
+
+// Victim implements cache.Policy: minimise recency-rank + λ·cost_q,
+// where the LRU block has rank 0.
+func (p *LIN) Victim(set int, blocks []cache.Block, info cache.AccessInfo) int {
+	ways := len(blocks)
+	// Rank ways by stamp: rank[w] = number of ways older than w.
+	best, bestVal := 0, int(^uint(0)>>1)
+	for w := 0; w < ways; w++ {
+		rank := 0
+		for v := 0; v < ways; v++ {
+			if p.stamp[set][v] < p.stamp[set][w] {
+				rank++
+			}
+		}
+		val := rank + linLambda*int(p.costq[set][w])
+		if val < bestVal {
+			best, bestVal = w, val
+		}
+	}
+	return best
+}
+
+// OnHit implements cache.Policy.
+func (p *LIN) OnHit(set, way int, blocks []cache.Block, info cache.AccessInfo) {
+	p.touch(set, way)
+}
+
+// OnFill implements cache.Policy.
+func (p *LIN) OnFill(set, way int, blocks []cache.Block, info cache.AccessInfo) {
+	p.touch(set, way)
+	if info.Kind == mem.Writeback {
+		p.costq[set][way] = 0
+		return
+	}
+	p.costq[set][way] = quantize(info.MLPCost)
+}
+
+// OnEvict implements cache.Policy.
+func (p *LIN) OnEvict(set, way int, evicted cache.Block, info cache.AccessInfo) {}
+
+// SBAR (sampling-based adaptive replacement) tournament-selects
+// between LIN and LRU per Qureshi et al.: MLP-aware replacement only
+// pays off when costly misses are predictable, so leader sets decide.
+type SBAR struct {
+	lin  *LIN
+	lru  *LRU
+	duel *dueling
+}
+
+// NewSBAR returns the adaptive MLP-aware policy.
+func NewSBAR() *SBAR { return &SBAR{lin: NewLIN(), lru: NewLRU()} }
+
+// Name implements cache.Policy.
+func (p *SBAR) Name() string { return "sbar" }
+
+// Init implements cache.Policy.
+func (p *SBAR) Init(sets, ways int) {
+	p.lin.Init(sets, ways)
+	p.lru.Init(sets, ways)
+	p.duel = newDueling(sets, 32)
+}
+
+// Victim implements cache.Policy.
+func (p *SBAR) Victim(set int, blocks []cache.Block, info cache.AccessInfo) int {
+	if p.duel.useA(set) {
+		return p.lin.Victim(set, blocks, info)
+	}
+	return p.lru.Victim(set, blocks, info)
+}
+
+// OnHit implements cache.Policy: both component policies observe all
+// events so either can take over seamlessly.
+func (p *SBAR) OnHit(set, way int, blocks []cache.Block, info cache.AccessInfo) {
+	p.lin.OnHit(set, way, blocks, info)
+	p.lru.OnHit(set, way, blocks, info)
+}
+
+// OnFill implements cache.Policy.
+func (p *SBAR) OnFill(set, way int, blocks []cache.Block, info cache.AccessInfo) {
+	p.duel.onMiss(set)
+	p.lin.OnFill(set, way, blocks, info)
+	p.lru.OnFill(set, way, blocks, info)
+}
+
+// OnEvict implements cache.Policy.
+func (p *SBAR) OnEvict(set, way int, evicted cache.Block, info cache.AccessInfo) {}

@@ -1,0 +1,194 @@
+package replacement
+
+import (
+	"care/internal/cache"
+	"care/internal/mem"
+)
+
+func init() {
+	Register("ship", func(cores int) cache.Policy { return NewSHiP() })
+	Register("ship++", func(cores int) cache.Policy { return NewSHiPPP() })
+}
+
+// shctSize is the Signature History Counter Table size (16K entries,
+// per the SHiP and CARE papers).
+const shctSize = 1 << SignatureBits
+
+// shctMax is the saturating counter ceiling (3-bit counters).
+const shctMax = 7
+
+// SHiP is the Signature-based Hit Predictor (Wu et al., MICRO 2011):
+// an SRRIP backbone whose insertion position is predicted per PC
+// signature from a history of whether past blocks of that signature
+// were re-referenced before eviction.
+type SHiP struct {
+	rripBase
+	shct []uint8
+	// sig and outcome are per-(set,way) training metadata.
+	sig     [][]uint16
+	outcome [][]bool
+	sampled SampledSets
+}
+
+// NewSHiP returns a SHiP-PC policy.
+func NewSHiP() *SHiP { return &SHiP{} }
+
+// Name implements cache.Policy.
+func (p *SHiP) Name() string { return "ship" }
+
+// Init implements cache.Policy.
+func (p *SHiP) Init(sets, ways int) {
+	p.rripBase.Init(sets, ways)
+	p.shct = make([]uint8, shctSize)
+	for i := range p.shct {
+		p.shct[i] = 1 // weakly reused, as in the reference code
+	}
+	p.sig = make([][]uint16, sets)
+	p.outcome = make([][]bool, sets)
+	for i := range p.sig {
+		p.sig[i] = make([]uint16, ways)
+		p.outcome[i] = make([]bool, ways)
+	}
+	p.sampled = NewSampledSets(sets, 64)
+}
+
+// Victim implements cache.Policy.
+func (p *SHiP) Victim(set int, blocks []cache.Block, info cache.AccessInfo) int {
+	return p.victim(set)
+}
+
+// OnHit implements cache.Policy.
+func (p *SHiP) OnHit(set, way int, blocks []cache.Block, info cache.AccessInfo) {
+	p.rrpv[set][way] = 0
+	if p.sampled.Sampled(set) && !p.outcome[set][way] {
+		p.outcome[set][way] = true
+		if s := p.sig[set][way]; p.shct[s] < shctMax {
+			p.shct[s]++
+		}
+	}
+}
+
+// OnFill implements cache.Policy.
+func (p *SHiP) OnFill(set, way int, blocks []cache.Block, info cache.AccessInfo) {
+	s := Signature(info.PC, false)
+	p.sig[set][way] = s
+	p.outcome[set][way] = false
+	if p.shct[s] == 0 {
+		p.rrpv[set][way] = maxRRPV // predicted dead on arrival
+	} else {
+		p.rrpv[set][way] = maxRRPV - 1
+	}
+}
+
+// OnEvict implements cache.Policy.
+func (p *SHiP) OnEvict(set, way int, evicted cache.Block, info cache.AccessInfo) {
+	if p.sampled.Sampled(set) && !p.outcome[set][way] {
+		if s := p.sig[set][way]; p.shct[s] > 0 {
+			p.shct[s]--
+		}
+	}
+}
+
+// SHiPPP is SHiP++ (Young et al., CRC-2 2017): SHiP with the
+// enhancements the CARE paper builds on — prefetch-aware signatures
+// (a prefetch bit in the signature), writeback-aware insertion
+// (writebacks inserted distant and excluded from training), insertion
+// at RRPV 0 for strongly-reused signatures, and demotion of
+// prefetched blocks on their first demand hit.
+type SHiPPP struct {
+	rripBase
+	shct    []uint8
+	sig     [][]uint16
+	outcome [][]bool
+	wb      [][]bool
+	sampled SampledSets
+}
+
+// NewSHiPPP returns a SHiP++ policy.
+func NewSHiPPP() *SHiPPP { return &SHiPPP{} }
+
+// Name implements cache.Policy.
+func (p *SHiPPP) Name() string { return "ship++" }
+
+// Init implements cache.Policy.
+func (p *SHiPPP) Init(sets, ways int) {
+	p.rripBase.Init(sets, ways)
+	p.shct = make([]uint8, shctSize)
+	for i := range p.shct {
+		p.shct[i] = 1
+	}
+	p.sig = make([][]uint16, sets)
+	p.outcome = make([][]bool, sets)
+	p.wb = make([][]bool, sets)
+	for i := range p.sig {
+		p.sig[i] = make([]uint16, ways)
+		p.outcome[i] = make([]bool, ways)
+		p.wb[i] = make([]bool, ways)
+	}
+	p.sampled = NewSampledSets(sets, 64)
+}
+
+// Victim implements cache.Policy.
+func (p *SHiPPP) Victim(set int, blocks []cache.Block, info cache.AccessInfo) int {
+	return p.victim(set)
+}
+
+// OnHit implements cache.Policy.
+func (p *SHiPPP) OnHit(set, way int, blocks []cache.Block, info cache.AccessInfo) {
+	if info.Kind == mem.Prefetch {
+		// Prefetch hits do not promote: a block repeatedly touched
+		// only by the prefetcher is not demand-useful.
+		return
+	}
+	if info.HitPrefetched {
+		// First demand touch of a prefetched block: SHiP++ predicts
+		// single-use prefetches and demotes instead of promoting.
+		p.rrpv[set][way] = maxRRPV
+	} else {
+		p.rrpv[set][way] = 0
+	}
+	if p.sampled.Sampled(set) && !p.outcome[set][way] && !p.wb[set][way] {
+		p.outcome[set][way] = true
+		if s := p.sig[set][way]; p.shct[s] < shctMax {
+			p.shct[s]++
+		}
+	}
+}
+
+// OnFill implements cache.Policy.
+func (p *SHiPPP) OnFill(set, way int, blocks []cache.Block, info cache.AccessInfo) {
+	if info.Kind == mem.Writeback {
+		// Writebacks are background traffic: distant insertion, no
+		// signature training.
+		p.wb[set][way] = true
+		p.outcome[set][way] = false
+		p.sig[set][way] = 0
+		p.rrpv[set][way] = maxRRPV
+		return
+	}
+	s := Signature(info.PC, info.Kind == mem.Prefetch)
+	p.sig[set][way] = s
+	p.outcome[set][way] = false
+	p.wb[set][way] = false
+	switch {
+	case p.shct[s] == 0:
+		p.rrpv[set][way] = maxRRPV
+	case p.shct[s] == shctMax && info.Kind != mem.Prefetch:
+		// Strongly reused demand signature: intermediate insertion
+		// per SHiP++'s refined placement.
+		p.rrpv[set][way] = 0
+	case info.Kind == mem.Prefetch:
+		p.rrpv[set][way] = maxRRPV - 1
+	default:
+		p.rrpv[set][way] = maxRRPV - 1
+	}
+}
+
+// OnEvict implements cache.Policy.
+func (p *SHiPPP) OnEvict(set, way int, evicted cache.Block, info cache.AccessInfo) {
+	if p.sampled.Sampled(set) && !p.outcome[set][way] && !p.wb[set][way] {
+		if s := p.sig[set][way]; p.shct[s] > 0 {
+			p.shct[s]--
+		}
+	}
+}

@@ -1,0 +1,388 @@
+// Package sim wires cores, the three-level cache hierarchy, the
+// prefetchers, the DRAM model, and the concurrency trackers into a
+// runnable multi-core system, mirroring the paper's simulated
+// configuration (Table VII). It is the integration layer every
+// experiment and example drives.
+package sim
+
+import (
+	"fmt"
+
+	"care/internal/cache"
+	careplc "care/internal/core/care"
+	"care/internal/core/pmc"
+	"care/internal/cpu"
+	"care/internal/dram"
+	"care/internal/mem"
+	"care/internal/prefetch"
+	"care/internal/replacement"
+	"care/internal/trace"
+	"care/internal/vmem"
+)
+
+// CacheGeom describes one cache level.
+type CacheGeom struct {
+	Sets, Ways  int
+	Latency     uint64
+	MSHREntries int
+}
+
+// Config describes a full system.
+type Config struct {
+	// Cores is the number of cores (each replays one trace).
+	Cores int
+	// LLCPolicy names the LLC replacement policy (see replacement
+	// package; "care" and "m-care" are registered by the care
+	// package).
+	LLCPolicy string
+	// Prefetch enables the paper's prefetcher pairing: next-line at
+	// L1, IP-stride at L2.
+	Prefetch bool
+	// L1Prefetcher / L2Prefetcher override the pairing by name
+	// ("none", "next-line", "ip-stride", "stream"); empty uses the
+	// Prefetch default. See internal/prefetch.
+	L1Prefetcher, L2Prefetcher string
+	// L1, L2, LLC geometry. LLC is shared and should scale with the
+	// core count (the paper uses 2MB/core).
+	L1, L2, LLC CacheGeom
+	// CARE tunes the CARE/M-CARE policy when selected.
+	CARE careplc.Config
+	// DRAMChannels overrides the channel count (0 = 1 for one core,
+	// 2 otherwise, per Table VII).
+	DRAMChannels int
+	// TLB enables per-core address translation: loads and stores go
+	// through a data TLB and misses trigger radix page walks whose
+	// accesses travel through the hierarchy. Off in the paper's
+	// configuration; available for extension studies.
+	TLB bool
+	// InclusiveLLC enforces inclusion: LLC evictions back-invalidate
+	// the private L1/L2 copies. The paper's ChampSim hierarchy is
+	// non-inclusive (the default here).
+	InclusiveLLC bool
+}
+
+// DefaultConfig returns the paper's full-size configuration for the
+// given core count: 32KB/8-way L1 (4 cycles, 8 MSHRs), 256KB/8-way L2
+// (10 cycles, 32 MSHRs), 2MB/core 16-way LLC (20 cycles, 64 MSHRs).
+func DefaultConfig(cores int) Config {
+	return scaledConfig(cores, 1)
+}
+
+// ScaledConfig shrinks every cache by the scale factor (power of two)
+// so full evaluations run quickly on small synthetic footprints while
+// preserving relative level sizes, associativity, and latencies.
+func ScaledConfig(cores, scale int) Config {
+	if scale < 1 {
+		scale = 1
+	}
+	return scaledConfig(cores, scale)
+}
+
+func scaledConfig(cores, scale int) Config {
+	if cores < 1 {
+		cores = 1
+	}
+	div := func(sets int) int {
+		s := sets / scale
+		if s < 4 {
+			s = 4
+		}
+		return s
+	}
+	return Config{
+		Cores:     cores,
+		LLCPolicy: "lru",
+		L1:        CacheGeom{Sets: div(64), Ways: 8, Latency: 4, MSHREntries: 8},
+		L2:        CacheGeom{Sets: div(512), Ways: 8, Latency: 10, MSHREntries: 32},
+		LLC:       CacheGeom{Sets: div(2048 * cores), Ways: 16, Latency: 20, MSHREntries: 64},
+	}
+}
+
+// System is a runnable multi-core simulation.
+type System struct {
+	cfg   Config
+	cores []*cpu.Core
+	l1s   []*cache.Cache
+	l2s   []*cache.Cache
+	llc   *cache.Cache
+	mem   *dram.DRAM
+	pml   *pmc.Logic
+	tlbs  []*vmem.TLB
+	cycle uint64
+}
+
+// New builds a system running one trace per core. len(traces) must
+// equal cfg.Cores.
+func New(cfg Config, traces []trace.Reader) (*System, error) {
+	if cfg.Cores < 1 {
+		return nil, fmt.Errorf("sim: need at least one core, got %d", cfg.Cores)
+	}
+	if len(traces) != cfg.Cores {
+		return nil, fmt.Errorf("sim: %d cores but %d traces", cfg.Cores, len(traces))
+	}
+
+	var llcPolicy cache.Policy
+	switch cfg.LLCPolicy {
+	case "care":
+		llcPolicy = careplc.New(cfg.CARE)
+	case "m-care":
+		llcPolicy = careplc.NewMCARE(cfg.CARE)
+	default:
+		p, err := replacement.New(cfg.LLCPolicy, cfg.Cores)
+		if err != nil {
+			return nil, err
+		}
+		llcPolicy = p
+	}
+
+	s := &System{cfg: cfg}
+
+	channels := cfg.DRAMChannels
+	if channels == 0 {
+		channels = 2
+		if cfg.Cores == 1 {
+			channels = 1
+		}
+	}
+	s.mem = dram.New(dram.DefaultParams(channels))
+
+	s.llc = cache.New(cache.Params{
+		Name: "LLC", Sets: cfg.LLC.Sets, Ways: cfg.LLC.Ways,
+		Latency: cfg.LLC.Latency, MSHREntries: cfg.LLC.MSHREntries,
+		Cores: cfg.Cores,
+	}, llcPolicy)
+	s.llc.SetLower(s.mem)
+
+	// The PML measures PMC at the LLC (the paper's target level) and,
+	// in the same pass, the MLP-based cost SBAR/M-CARE consume.
+	s.pml = pmc.New(cfg.LLC.Latency, cfg.Cores)
+	s.pml.TrackMLP = true
+	s.llc.AddTracker(s.pml)
+
+	for i := 0; i < cfg.Cores; i++ {
+		l2 := cache.New(cache.Params{
+			Name: fmt.Sprintf("L2-%d", i), Sets: cfg.L2.Sets, Ways: cfg.L2.Ways,
+			Latency: cfg.L2.Latency, MSHREntries: cfg.L2.MSHREntries, Cores: 1,
+		}, replacement.NewLRU())
+		l2.SetLower(s.llc)
+		l1 := cache.New(cache.Params{
+			Name: fmt.Sprintf("L1D-%d", i), Sets: cfg.L1.Sets, Ways: cfg.L1.Ways,
+			Latency: cfg.L1.Latency, MSHREntries: cfg.L1.MSHREntries, Cores: 1,
+		}, replacement.NewLRU())
+		l1.SetLower(l2)
+		l1Name, l2Name := cfg.L1Prefetcher, cfg.L2Prefetcher
+		if cfg.Prefetch {
+			if l1Name == "" {
+				l1Name = "next-line"
+			}
+			if l2Name == "" {
+				l2Name = "ip-stride"
+			}
+		}
+		if pf, err := prefetch.New(l1Name); err != nil {
+			return nil, err
+		} else if pf != nil {
+			l1.SetPrefetcher(pf)
+		}
+		if pf, err := prefetch.New(l2Name); err != nil {
+			return nil, err
+		} else if pf != nil {
+			l2.SetPrefetcher(pf)
+		}
+		core := cpu.New(i, cpu.DefaultParams(), traces[i], l1)
+		if cfg.TLB {
+			tlb := vmem.New(i, vmem.DefaultParams(), l1)
+			core.SetTranslator(tlb)
+			s.tlbs = append(s.tlbs, tlb)
+		}
+		s.cores = append(s.cores, core)
+		s.l1s = append(s.l1s, l1)
+		s.l2s = append(s.l2s, l2)
+	}
+	if cfg.InclusiveLLC {
+		s.llc.SetEvictionHook(func(addr mem.Addr, cycle uint64) {
+			for i := range s.l1s {
+				s.l1s[i].Invalidate(addr, cycle)
+				s.l2s[i].Invalidate(addr, cycle)
+			}
+		})
+	}
+	return s, nil
+}
+
+// TLBFor returns core i's TLB when translation is enabled, else nil.
+func (s *System) TLBFor(i int) *vmem.TLB {
+	if i < 0 || i >= len(s.tlbs) {
+		return nil
+	}
+	return s.tlbs[i]
+}
+
+// Cycle returns the current simulation cycle.
+func (s *System) Cycle() uint64 { return s.cycle }
+
+// LLC exposes the shared cache for experiments.
+func (s *System) LLC() *cache.Cache { return s.llc }
+
+// PML exposes the PMC measurement logic (sample hooks, AOCPA).
+func (s *System) PML() *pmc.Logic { return s.pml }
+
+// DRAM exposes the memory model.
+func (s *System) DRAM() *dram.DRAM { return s.mem }
+
+// Core returns core i.
+func (s *System) Core(i int) *cpu.Core { return s.cores[i] }
+
+// CAREStats returns the CARE policy counters when the LLC runs
+// CARE/M-CARE, else nil.
+func (s *System) CAREStats() *careplc.Stats {
+	if p, ok := s.llc.Policy().(*careplc.Policy); ok {
+		return p.Stats()
+	}
+	return nil
+}
+
+// step advances the whole system one cycle.
+func (s *System) step() {
+	for _, c := range s.cores {
+		c.Tick(s.cycle)
+	}
+	for _, c := range s.l1s {
+		c.Tick(s.cycle)
+	}
+	for _, c := range s.l2s {
+		c.Tick(s.cycle)
+	}
+	s.llc.Tick(s.cycle)
+	s.mem.Tick(s.cycle)
+	s.cycle++
+}
+
+// RunInstructions advances until every core has retired at least n
+// more instructions (or exhausted its trace), with a generous cycle
+// cap to guarantee termination. It returns the cycles executed.
+func (s *System) RunInstructions(n uint64) uint64 {
+	start := s.cycle
+	targets := make([]uint64, len(s.cores))
+	for i, c := range s.cores {
+		targets[i] = c.Retired() + n
+	}
+	// Worst case: every instruction is an isolated DRAM row miss.
+	maxCycles := s.cycle + n*400 + 1_000_000
+	for s.cycle < maxCycles {
+		done := true
+		for i, c := range s.cores {
+			if c.Retired() < targets[i] && !c.Exhausted() {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		s.step()
+	}
+	return s.cycle - start
+}
+
+// Drain runs until all queues empty (after traces end), bounded.
+func (s *System) Drain() {
+	limit := s.cycle + 1_000_000
+	for s.cycle < limit {
+		idle := s.llc.Drained() && s.mem.Drained()
+		for _, c := range s.l1s {
+			idle = idle && c.Drained()
+		}
+		for _, c := range s.l2s {
+			idle = idle && c.Drained()
+		}
+		if idle {
+			return
+		}
+		s.step()
+	}
+}
+
+// ResetStats zeroes every component's counters; call at the end of
+// warmup so reported numbers cover only the measured region.
+func (s *System) ResetStats() {
+	for _, c := range s.cores {
+		c.ResetStats()
+	}
+	for _, c := range s.l1s {
+		c.ResetStats()
+	}
+	for _, c := range s.l2s {
+		c.ResetStats()
+	}
+	s.llc.ResetStats()
+	s.mem.ResetStats()
+	s.pml.ResetStats()
+}
+
+// Result is the summary of one simulation run.
+type Result struct {
+	// Policy is the LLC policy name.
+	Policy string
+	// Cycles executed during the measured region.
+	Cycles uint64
+	// IPC per core and the aggregate.
+	CoreIPC []float64
+	// Instructions retired per core.
+	CoreInstructions []uint64
+	// LLC counters (measured region).
+	LLC cache.Stats
+	// LLCPMR is the pure miss rate at the LLC.
+	LLCPMR float64
+	// MeanPMC is the average PMC per LLC miss.
+	MeanPMC float64
+	// AOCPA per core.
+	AOCPA []float64
+	// DRAM counters.
+	DRAM dram.Stats
+}
+
+// Snapshot captures the current statistics as a Result.
+func (s *System) Snapshot() Result {
+	r := Result{
+		Policy:  s.cfg.LLCPolicy,
+		LLC:     *s.llc.Stats(),
+		LLCPMR:  s.llc.Stats().PureMissRate(),
+		MeanPMC: s.llc.Stats().MeanPMC(),
+		DRAM:    *s.mem.Stats(),
+	}
+	for i, c := range s.cores {
+		st := c.Stats()
+		r.CoreIPC = append(r.CoreIPC, st.IPC())
+		r.CoreInstructions = append(r.CoreInstructions, st.Retired)
+		r.AOCPA = append(r.AOCPA, s.pml.AOCPA(i))
+		if st.Cycles > r.Cycles {
+			r.Cycles = st.Cycles
+		}
+	}
+	return r
+}
+
+// IPCSum returns the aggregate IPC across cores.
+func (r Result) IPCSum() float64 {
+	sum := 0.0
+	for _, v := range r.CoreIPC {
+		sum += v
+	}
+	return sum
+}
+
+// Run is the one-call entry point used by experiments: build a
+// system, warm it up, measure, and return the result.
+func Run(cfg Config, traces []trace.Reader, warmup, measure uint64) (Result, error) {
+	s, err := New(cfg, traces)
+	if err != nil {
+		return Result{}, err
+	}
+	if warmup > 0 {
+		s.RunInstructions(warmup)
+	}
+	s.ResetStats()
+	s.RunInstructions(measure)
+	return s.Snapshot(), nil
+}

@@ -1,0 +1,220 @@
+// Package stats provides the metric arithmetic the paper's evaluation
+// reports: geometric-mean speedups, weighted speedup for multi-core
+// mixes, MPKI, histograms for PMC distributions, and small text-table
+// formatting used by the experiment harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// GeoMean returns the geometric mean of xs; zero or negative inputs
+// are rejected with 0 (they would poison the product).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Median returns the middle value (average of middles for even n).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// WeightedSpeedup is the shared-cache metric the paper reports for
+// multi-core runs: sum over cores of IPC_scheme / IPC_baseline.
+// Slices must be equal length and the baseline IPCs positive.
+func WeightedSpeedup(ipc, baseline []float64) float64 {
+	if len(ipc) != len(baseline) || len(ipc) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range ipc {
+		if baseline[i] <= 0 {
+			return 0
+		}
+		sum += ipc[i] / baseline[i]
+	}
+	return sum
+}
+
+// NormalizedWeightedSpeedup divides WeightedSpeedup by the core count
+// so 1.0 means "same as baseline".
+func NormalizedWeightedSpeedup(ipc, baseline []float64) float64 {
+	if len(ipc) == 0 {
+		return 0
+	}
+	return WeightedSpeedup(ipc, baseline) / float64(len(ipc))
+}
+
+// MPKI returns misses per kilo-instruction.
+func MPKI(misses, instructions uint64) float64 {
+	if instructions == 0 {
+		return 0
+	}
+	return float64(misses) / float64(instructions) * 1000
+}
+
+// Histogram buckets values into fixed-width bins with a catch-all
+// overflow bin, like the paper's PMC distribution (Figure 5: eight
+// 50-cycle bins, the last open-ended).
+type Histogram struct {
+	// BinWidth is the width of each regular bin.
+	BinWidth float64
+	// Counts has one entry per bin; the last bin is open-ended.
+	Counts []uint64
+	// Total is the number of observations.
+	Total uint64
+}
+
+// NewHistogram creates a histogram with bins regular bins plus the
+// open-ended last bin included in that count.
+func NewHistogram(bins int, width float64) *Histogram {
+	if bins < 1 {
+		bins = 1
+	}
+	return &Histogram{BinWidth: width, Counts: make([]uint64, bins)}
+}
+
+// Add records a value.
+func (h *Histogram) Add(v float64) {
+	h.Total++
+	idx := int(v / h.BinWidth)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Counts) {
+		idx = len(h.Counts) - 1
+	}
+	h.Counts[idx]++
+}
+
+// Fractions returns each bin's share of the total.
+func (h *Histogram) Fractions() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.Total == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(h.Total)
+	}
+	return out
+}
+
+// Table accumulates rows and renders a fixed-width text table; the
+// harness uses it to print each reproduced paper table/figure.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; cells are Sprint'ed.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.4f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// CSV renders the table as comma-separated values (quoting cells
+// that contain commas or quotes), for plot pipelines.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestGeoMean(t *testing.T) {
+	if !almost(GeoMean([]float64{2, 8}), 4) {
+		t.Fatal("geomean(2,8) should be 4")
+	}
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty geomean is 0")
+	}
+	if GeoMean([]float64{1, 0}) != 0 {
+		t.Fatal("zero input rejected")
+	}
+	if GeoMean([]float64{1, -2}) != 0 {
+		t.Fatal("negative input rejected")
+	}
+}
+
+func TestGeoMeanBounds(t *testing.T) {
+	// Property: min <= geomean <= max for positive inputs.
+	f := func(a, b, c uint8) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		g := GeoMean(xs)
+		mn, mx := xs[0], xs[0]
+		for _, x := range xs {
+			mn = math.Min(mn, x)
+			mx = math.Max(mx, x)
+		}
+		return g >= mn-1e-9 && g <= mx+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanMedian(t *testing.T) {
+	if !almost(Mean([]float64{1, 2, 3}), 2) {
+		t.Fatal("mean")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if !almost(Median([]float64{3, 1, 2}), 2) {
+		t.Fatal("odd median")
+	}
+	if !almost(Median([]float64{4, 1, 2, 3}), 2.5) {
+		t.Fatal("even median")
+	}
+	if Median(nil) != 0 {
+		t.Fatal("empty median")
+	}
+	// Median must not mutate its input.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 {
+		t.Fatal("median mutated input")
+	}
+}
+
+func TestWeightedSpeedup(t *testing.T) {
+	ipc := []float64{2, 2}
+	base := []float64{1, 2}
+	if !almost(WeightedSpeedup(ipc, base), 3) {
+		t.Fatal("weighted speedup 2/1 + 2/2 = 3")
+	}
+	if !almost(NormalizedWeightedSpeedup(ipc, base), 1.5) {
+		t.Fatal("normalized = 1.5")
+	}
+	if WeightedSpeedup([]float64{1}, []float64{1, 2}) != 0 {
+		t.Fatal("length mismatch rejected")
+	}
+	if WeightedSpeedup([]float64{1}, []float64{0}) != 0 {
+		t.Fatal("zero baseline rejected")
+	}
+	if NormalizedWeightedSpeedup(nil, nil) != 0 {
+		t.Fatal("empty rejected")
+	}
+}
+
+func TestMPKI(t *testing.T) {
+	if !almost(MPKI(5, 1000), 5) {
+		t.Fatal("5 misses per 1000 instructions = 5 MPKI")
+	}
+	if MPKI(5, 0) != 0 {
+		t.Fatal("zero instructions")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(8, 50)
+	for _, v := range []float64{0, 49, 50, 125, 349, 350, 1000, -3} {
+		h.Add(v)
+	}
+	if h.Total != 8 {
+		t.Fatalf("total = %d", h.Total)
+	}
+	// Bin 0: 0, 49, -3 (clamped). Bin 1: 50. Bin 2: 125. Bin 6: 349.
+	// Bin 7 (open): 350, 1000.
+	want := []uint64{3, 1, 1, 0, 0, 0, 1, 2}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Fatalf("bin %d = %d, want %d (all %v)", i, h.Counts[i], w, h.Counts)
+		}
+	}
+	fr := h.Fractions()
+	sum := 0.0
+	for _, f := range fr {
+		sum += f
+	}
+	if !almost(sum, 1) {
+		t.Fatalf("fractions must sum to 1, got %v", sum)
+	}
+	empty := NewHistogram(4, 10)
+	for _, f := range empty.Fractions() {
+		if f != 0 {
+			t.Fatal("empty histogram fractions must be zero")
+		}
+	}
+}
+
+func TestHistogramClampsBins(t *testing.T) {
+	h := NewHistogram(0, 10) // clamped to 1 bin
+	h.Add(5)
+	if len(h.Counts) != 1 || h.Counts[0] != 1 {
+		t.Fatal("degenerate histogram should still work")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", 42)
+	out := tb.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.5000") || !strings.Contains(out, "42") {
+		t.Fatalf("table output missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, rule, 2 rows
+		t.Fatalf("table should have 4 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("plain", 1.0)
+	tb.AddRow("with,comma", `quote"inside`)
+	out := tb.CSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want 3:\n%s", len(lines), out)
+	}
+	if lines[0] != "name,value" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], `"with,comma"`) || !strings.Contains(lines[2], `"quote""inside"`) {
+		t.Fatalf("CSV quoting wrong: %q", lines[2])
+	}
+}

@@ -1,0 +1,133 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+)
+
+// profiles is the catalogue of the 30 memory-intensive SPEC
+// workloads the paper evaluates (Table VIII). Engine mixes are chosen
+// so the *relative* LLC pressure tracks the paper's MPKI column:
+// compression/codec workloads (bzip2, x264, xz) are hot-set heavy and
+// barely miss; pointer-heavy integer codes (mcf, astar, xalancbmk,
+// omnetpp) chase and gather; HPC stencils (bwaves, lbm, GemsFDTD,
+// roms) stream and stride over big arrays.
+//
+// Weights order: stream, stride, gather, chase, hot, thrash, resident.
+var profiles = []Profile{
+	{Name: "401.bzip2", Suite: "SPEC06", Weights: [numEngines]int{2, 0, 2, 0, 90, 6, 10}, NonMemMean: 6, WritePct: 25, HotKB: 96, ThrashKB: 1024, ResidentKB: 768, BigMB: 16},
+	{Name: "403.gcc", Suite: "SPEC06", Weights: [numEngines]int{5, 5, 35, 15, 35, 5, 25}, NonMemMean: 4, WritePct: 20, HotKB: 64, ThrashKB: 3072, ChaseKB: 2560, ResidentKB: 1280, BigMB: 48},
+	{Name: "410.bwaves", Suite: "SPEC06", Weights: [numEngines]int{40, 30, 5, 0, 22, 3, 15}, NonMemMean: 3, WritePct: 15, HotKB: 64, ThrashKB: 4096, ResidentKB: 1024, BigMB: 64},
+	{Name: "429.mcf", Suite: "SPEC06", Weights: [numEngines]int{2, 0, 40, 25, 30, 3, 20}, NonMemMean: 2, WritePct: 10, HotKB: 48, ThrashKB: 4096, ChaseKB: 3072, ResidentKB: 1536, BigMB: 96},
+	{Name: "433.milc", Suite: "SPEC06", Weights: [numEngines]int{35, 20, 12, 0, 30, 3, 15}, NonMemMean: 3, WritePct: 20, HotKB: 64, ThrashKB: 4096, ResidentKB: 1024, BigMB: 64},
+	{Name: "436.cactusADM", Suite: "SPEC06", Weights: [numEngines]int{15, 12, 3, 0, 65, 5, 25}, NonMemMean: 5, WritePct: 20, HotKB: 128, ThrashKB: 2048, ResidentKB: 1280, BigMB: 32},
+	{Name: "437.leslie3d", Suite: "SPEC06", Weights: [numEngines]int{18, 12, 4, 0, 60, 6, 25}, NonMemMean: 4, WritePct: 20, HotKB: 96, ThrashKB: 3072, ResidentKB: 1280, BigMB: 32},
+	{Name: "450.soplex", Suite: "SPEC06", Weights: [numEngines]int{10, 10, 40, 10, 22, 8, 20}, NonMemMean: 2, WritePct: 15, HotKB: 48, ThrashKB: 6144, ChaseKB: 3072, ResidentKB: 1536, BigMB: 96},
+	{Name: "456.hmmer", Suite: "SPEC06", Weights: [numEngines]int{3, 2, 3, 0, 88, 4, 10}, NonMemMean: 5, WritePct: 20, HotKB: 96, ThrashKB: 1024, ResidentKB: 768, BigMB: 16},
+	{Name: "459.GemsFDTD", Suite: "SPEC06", Weights: [numEngines]int{30, 30, 8, 0, 28, 4, 18}, NonMemMean: 3, WritePct: 20, HotKB: 64, ThrashKB: 4096, ResidentKB: 1024, BigMB: 64},
+	{Name: "462.libquantum", Suite: "SPEC06", Weights: [numEngines]int{60, 5, 3, 0, 30, 2, 12}, NonMemMean: 3, WritePct: 25, HotKB: 32, ThrashKB: 2048, ResidentKB: 768, BigMB: 64},
+	{Name: "470.lbm", Suite: "SPEC06", Weights: [numEngines]int{55, 12, 3, 0, 25, 5, 12}, NonMemMean: 2, WritePct: 35, HotKB: 32, ThrashKB: 3072, ResidentKB: 1024, BigMB: 64},
+	{Name: "473.astar", Suite: "SPEC06", Weights: [numEngines]int{2, 0, 35, 35, 25, 3, 22}, NonMemMean: 2, WritePct: 12, HotKB: 48, ThrashKB: 4096, ChaseKB: 3072, ResidentKB: 1536, BigMB: 96},
+	{Name: "481.wrf", Suite: "SPEC06", Weights: [numEngines]int{15, 12, 4, 0, 62, 7, 25}, NonMemMean: 5, WritePct: 22, HotKB: 128, ThrashKB: 2048, ResidentKB: 1280, BigMB: 32},
+	{Name: "482.sphinx3", Suite: "SPEC06", Weights: [numEngines]int{12, 8, 15, 4, 43, 18, 30}, NonMemMean: 3, WritePct: 10, HotKB: 64, ThrashKB: 4096, ChaseKB: 3072, ResidentKB: 1536, BigMB: 48},
+	{Name: "483.xalancbmk", Suite: "SPEC06", Weights: [numEngines]int{3, 2, 30, 28, 32, 5, 28}, NonMemMean: 3, WritePct: 12, HotKB: 64, ThrashKB: 3072, ChaseKB: 3072, ResidentKB: 1536, BigMB: 64},
+	{Name: "602.gcc_s", Suite: "SPEC17", Weights: [numEngines]int{5, 5, 30, 12, 42, 6, 25}, NonMemMean: 4, WritePct: 20, HotKB: 64, ThrashKB: 3072, ChaseKB: 2560, ResidentKB: 1280, BigMB: 48},
+	{Name: "603.bwaves_s", Suite: "SPEC17", Weights: [numEngines]int{40, 28, 6, 0, 23, 3, 15}, NonMemMean: 3, WritePct: 15, HotKB: 64, ThrashKB: 4096, ResidentKB: 1024, BigMB: 64},
+	{Name: "605.mcf_s", Suite: "SPEC17", Weights: [numEngines]int{2, 0, 48, 30, 18, 2, 18}, NonMemMean: 1, WritePct: 10, HotKB: 32, ThrashKB: 6144, ChaseKB: 3072, ResidentKB: 1536, BigMB: 128},
+	{Name: "607.cactuBSSN_s", Suite: "SPEC17", Weights: [numEngines]int{12, 10, 3, 0, 70, 5, 25}, NonMemMean: 6, WritePct: 20, HotKB: 128, ThrashKB: 2048, ResidentKB: 1280, BigMB: 32},
+	{Name: "619.lbm_s", Suite: "SPEC17", Weights: [numEngines]int{60, 12, 4, 0, 20, 4, 10}, NonMemMean: 1, WritePct: 35, HotKB: 32, ThrashKB: 3072, ResidentKB: 1024, BigMB: 96},
+	{Name: "620.omnetpp_s", Suite: "SPEC17", Weights: [numEngines]int{2, 2, 22, 18, 50, 6, 30}, NonMemMean: 4, WritePct: 15, HotKB: 96, ThrashKB: 3072, ChaseKB: 3072, ResidentKB: 1536, BigMB: 48},
+	{Name: "621.wrf_s", Suite: "SPEC17", Weights: [numEngines]int{30, 22, 8, 0, 35, 5, 20}, NonMemMean: 3, WritePct: 22, HotKB: 64, ThrashKB: 3072, ResidentKB: 1280, BigMB: 48},
+	{Name: "623.xalancbmk_s", Suite: "SPEC17", Weights: [numEngines]int{3, 2, 28, 25, 37, 5, 28}, NonMemMean: 3, WritePct: 12, HotKB: 64, ThrashKB: 3072, ChaseKB: 3072, ResidentKB: 1536, BigMB: 64},
+	{Name: "625.x264_s", Suite: "SPEC17", Weights: [numEngines]int{4, 2, 2, 0, 88, 4, 10}, NonMemMean: 6, WritePct: 25, HotKB: 128, ThrashKB: 1024, ResidentKB: 768, BigMB: 16},
+	{Name: "627.cam4_s", Suite: "SPEC17", Weights: [numEngines]int{12, 10, 5, 0, 67, 6, 22}, NonMemMean: 5, WritePct: 20, HotKB: 128, ThrashKB: 2048, ResidentKB: 1280, BigMB: 32},
+	{Name: "628.pop2_s", Suite: "SPEC17", Weights: [numEngines]int{8, 8, 4, 0, 74, 6, 20}, NonMemMean: 5, WritePct: 22, HotKB: 128, ThrashKB: 1536, ResidentKB: 1024, BigMB: 24},
+	{Name: "649.fotonik3d_s", Suite: "SPEC17", Weights: [numEngines]int{30, 20, 6, 0, 38, 6, 20}, NonMemMean: 3, WritePct: 18, HotKB: 64, ThrashKB: 3072, ResidentKB: 1280, BigMB: 48},
+	{Name: "654.roms_s", Suite: "SPEC17", Weights: [numEngines]int{32, 26, 8, 0, 29, 5, 18}, NonMemMean: 2, WritePct: 20, HotKB: 64, ThrashKB: 4096, ResidentKB: 1024, BigMB: 64},
+	{Name: "657.xz_s", Suite: "SPEC17", Weights: [numEngines]int{3, 0, 4, 1, 86, 6, 10}, NonMemMean: 6, WritePct: 25, HotKB: 96, ThrashKB: 1024, ChaseKB: 1536, ResidentKB: 768, BigMB: 16},
+}
+
+// Names returns the workload names in catalogue order.
+func Names() []string {
+	out := make([]string, len(profiles))
+	for i, p := range profiles {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// ShortNames returns the numeric prefixes ("401", "605", ...) the
+// paper's figures use as x-axis labels.
+func ShortNames() []string {
+	out := make([]string, len(profiles))
+	for i, p := range profiles {
+		out[i] = p.Name[:3]
+	}
+	return out
+}
+
+// Lookup finds a profile by full or short name.
+func Lookup(name string) (Profile, error) {
+	for _, p := range profiles {
+		if p.Name == name || p.Name[:3] == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("synth: unknown workload %q (have %v)", name, Names())
+}
+
+// All returns every profile.
+func All() []Profile { return append([]Profile(nil), profiles...) }
+
+// Selection16 is the 16-workload subset used for Figure 5 and Table
+// III (the paper lists 403..654): the memory-intensive half.
+func Selection16() []Profile {
+	names := []string{
+		"403.gcc", "429.mcf", "433.milc", "436.cactusADM", "437.leslie3d",
+		"450.soplex", "459.GemsFDTD", "462.libquantum", "470.lbm", "473.astar",
+		"482.sphinx3", "603.bwaves_s", "621.wrf_s", "623.xalancbmk_s",
+		"649.fotonik3d_s", "654.roms_s",
+	}
+	var out []Profile
+	for _, n := range names {
+		p, err := Lookup(n)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// MixedWorkload deterministically selects n benchmarks for mix index
+// i (the paper generates 100 random 4-core mixes).
+func MixedWorkload(n int, mixIndex int) []Profile {
+	rng := uint64(mixIndex)*6364136223846793005 + 1442695040888963407
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	out := make([]Profile, n)
+	for i := range out {
+		out[i] = profiles[int(next()%uint64(len(profiles)))]
+	}
+	return out
+}
+
+// SortedByWeight is a test helper: profiles ordered by total
+// big-region engine weight (a proxy for expected MPKI).
+func SortedByWeight() []Profile {
+	out := All()
+	sort.SliceStable(out, func(i, j int) bool {
+		return bigWeight(out[i]) < bigWeight(out[j])
+	})
+	return out
+}
+
+func bigWeight(p Profile) float64 {
+	big := p.Weights[engStream] + p.Weights[engStride] + p.Weights[engGather] + p.Weights[engChase]
+	total := big + p.Weights[engHot] + p.Weights[engThrash]
+	return float64(big) / float64(total)
+}

@@ -1,0 +1,203 @@
+// Package vmem models the virtual-memory machinery of the simulated
+// cores: a set-associative data TLB and a radix page-table walker
+// whose walk accesses travel through the cache hierarchy as
+// Translation requests, the way ChampSim's vmem module feeds walks
+// into the data caches. The physical mapping is a deterministic
+// hash, so simulations stay reproducible without modelling an
+// allocator.
+//
+// The subsystem is opt-in (sim.Config.TLB): the paper's evaluation
+// does not study translation, but the substrate supports it for
+// extension work (e.g. translation-aware replacement).
+package vmem
+
+import (
+	"fmt"
+
+	"care/internal/mem"
+)
+
+// PageBits is log2 of the page size (4KB pages).
+const PageBits = 12
+
+// PageSize is the page size in bytes.
+const PageSize = 1 << PageBits
+
+// WalkLevels is the radix page-table depth (x86-64-style 4 levels).
+const WalkLevels = 4
+
+// Params configures the TLB.
+type Params struct {
+	// Sets and Ways organise the TLB (64-entry, 4-way by default).
+	Sets, Ways int
+	// Latency is the TLB lookup time in cycles (overlapped with the
+	// L1 access on hits; only misses cost extra).
+	Latency uint64
+}
+
+// DefaultParams returns a typical L1 DTLB configuration.
+func DefaultParams() Params { return Params{Sets: 16, Ways: 4, Latency: 1} }
+
+// Stats counts translation activity.
+type Stats struct {
+	Lookups, Hits, Misses uint64
+	WalksIssued           uint64
+}
+
+// HitRate returns hits/lookups.
+func (s *Stats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+type tlbEntry struct {
+	valid bool
+	vpn   uint64
+	ppn   uint64
+	stamp uint64
+}
+
+// Level is the memory level page walks are issued into (the L1 data
+// cache, as on real cores).
+type Level interface {
+	Access(req *mem.Request, cycle uint64)
+}
+
+// TLB is a per-core translation lookaside buffer plus walker.
+type TLB struct {
+	Params
+	core    int
+	sets    [][]tlbEntry
+	clock   uint64
+	walkers Level
+	stats   Stats
+	nextID  uint64
+	// pending de-duplicates concurrent walks of one page: vpn →
+	// callbacks waiting for the translation.
+	pending map[uint64][]func(ppn uint64, cycle uint64)
+}
+
+// New builds a TLB for core whose walks are issued into walkLevel.
+func New(core int, p Params, walkLevel Level) *TLB {
+	if p.Sets <= 0 || p.Sets&(p.Sets-1) != 0 || p.Ways <= 0 {
+		panic(fmt.Sprintf("vmem: invalid TLB geometry %+v", p))
+	}
+	t := &TLB{
+		Params:  p,
+		core:    core,
+		sets:    make([][]tlbEntry, p.Sets),
+		walkers: walkLevel,
+		pending: make(map[uint64][]func(uint64, uint64)),
+	}
+	for i := range t.sets {
+		t.sets[i] = make([]tlbEntry, p.Ways)
+	}
+	return t
+}
+
+// Stats returns the live counters.
+func (t *TLB) Stats() *Stats { return &t.stats }
+
+// Translate maps the virtual page of vaddr. On a hit it calls done
+// synchronously with the physical address; on a miss it starts (or
+// joins) a page walk and calls done when the walk completes.
+func (t *TLB) Translate(vaddr mem.Addr, cycle uint64, done func(paddr mem.Addr, cycle uint64)) {
+	t.stats.Lookups++
+	vpn := uint64(vaddr) >> PageBits
+	set := int(vpn) & (t.Sets - 1)
+	for w := range t.sets[set] {
+		e := &t.sets[set][w]
+		if e.valid && e.vpn == vpn {
+			t.stats.Hits++
+			t.clock++
+			e.stamp = t.clock
+			done(physical(e.ppn, vaddr), cycle)
+			return
+		}
+	}
+	t.stats.Misses++
+	cb := func(ppn uint64, c uint64) { done(physical(ppn, vaddr), c) }
+	if waiters, walking := t.pending[vpn]; walking {
+		t.pending[vpn] = append(waiters, cb)
+		return
+	}
+	t.pending[vpn] = []func(uint64, uint64){cb}
+	t.walk(vpn, WalkLevels, cycle)
+}
+
+// walk issues the level-by-level page-table accesses; each level's
+// pointer load depends on the previous one, so walk latency is the
+// serial sum of the hierarchy's response times.
+func (t *TLB) walk(vpn uint64, levelsLeft int, cycle uint64) {
+	t.stats.WalksIssued++
+	t.nextID++
+	req := &mem.Request{
+		ID:   t.nextID,
+		Addr: walkAddr(vpn, levelsLeft),
+		PC:   0, // walks have no program PC
+		Core: t.core,
+		Kind: mem.Translation,
+		Done: func(c uint64) {
+			if levelsLeft > 1 {
+				t.walk(vpn, levelsLeft-1, c)
+				return
+			}
+			t.complete(vpn, c)
+		},
+	}
+	t.walkers.Access(req, cycle)
+}
+
+// complete installs the translation and releases the waiters.
+func (t *TLB) complete(vpn uint64, cycle uint64) {
+	ppn := ppnOf(vpn)
+	set := int(vpn) & (t.Sets - 1)
+	victim := 0
+	for w := range t.sets[set] {
+		if !t.sets[set][w].valid {
+			victim = w
+			break
+		}
+		if t.sets[set][w].stamp < t.sets[set][victim].stamp {
+			victim = w
+		}
+	}
+	t.clock++
+	t.sets[set][victim] = tlbEntry{valid: true, vpn: vpn, ppn: ppn, stamp: t.clock}
+	waiters := t.pending[vpn]
+	delete(t.pending, vpn)
+	for _, cb := range waiters {
+		cb(ppn, cycle)
+	}
+}
+
+// ppnOf deterministically maps a virtual page to a physical page: a
+// mixing hash so contiguous virtual pages scatter across banks/sets
+// the way a real allocator's pages do.
+func ppnOf(vpn uint64) uint64 {
+	h := vpn * 0x9E3779B97F4A7C15
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	// Keep 2^26 physical pages (256GB of simulated DRAM space).
+	return h & ((1 << 26) - 1)
+}
+
+// physical splices a physical page with the virtual offset.
+func physical(ppn uint64, vaddr mem.Addr) mem.Addr {
+	return mem.Addr(ppn<<PageBits | uint64(vaddr)&(PageSize-1))
+}
+
+// walkAddr synthesises the page-table entry address touched at a
+// walk level: each level indexes a different table region with a
+// 9-bit slice of the VPN, as a radix walk does.
+func walkAddr(vpn uint64, level int) mem.Addr {
+	const ptBase = 0x7_F000_0000_0000
+	idx := (vpn >> uint(9*(level-1))) & 0x1FF
+	tableID := vpn >> uint(9*level) // which table at this level
+	h := tableID*0x2545F4914F6CDD1D + uint64(level)
+	h ^= h >> 31
+	return mem.Addr(ptBase + (h&0xFFFF)*PageSize + idx*8 + uint64(level)<<40)
+}
