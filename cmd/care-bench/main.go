@@ -36,6 +36,9 @@ func main() {
 		schemes   = flag.String("schemes", "", "restrict compared schemes (comma-separated)")
 		par       = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		csv       = flag.Bool("csv", false, "emit CSV tables instead of aligned text")
+		maxCycles = flag.Uint64("max-cycles", 0, "abort any single simulation after this many cycles (0 = unlimited)")
+		timeout   = flag.Duration("timeout", 0, "abort any single simulation after this much wall-clock time (0 = unlimited)")
+		checkInv  = flag.Bool("check-invariants", false, "verify runtime invariants in every simulation")
 	)
 	flag.Parse()
 
@@ -51,13 +54,16 @@ func main() {
 	}
 
 	opts := harness.Options{
-		Out:         os.Stdout,
-		Scale:       *scale,
-		Measure:     *measure,
-		Warmup:      *warmup,
-		Mixes:       *mixes,
-		Parallelism: *par,
-		CSV:         *csv,
+		Out:             os.Stdout,
+		Scale:           *scale,
+		Measure:         *measure,
+		Warmup:          *warmup,
+		Mixes:           *mixes,
+		Parallelism:     *par,
+		CSV:             *csv,
+		MaxCycles:       *maxCycles,
+		Timeout:         *timeout,
+		CheckInvariants: *checkInv,
 	}
 	if *workloads != "" {
 		opts.Workloads = strings.Split(*workloads, ",")

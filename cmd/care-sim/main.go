@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"care/internal/core/care"
+	"care/internal/faultinject"
 	"care/internal/graph"
 	"care/internal/mem"
 	"care/internal/replacement"
@@ -38,6 +39,10 @@ func main() {
 		warmup        = flag.Uint64("warmup", 50_000, "warmup instructions per core")
 		listWorkloads = flag.Bool("list-workloads", false, "list available workloads")
 		listPolicies  = flag.Bool("list-policies", false, "list available policies")
+		maxCycles     = flag.Uint64("max-cycles", 0, "abort after this many simulated cycles (0 = unlimited)")
+		timeout       = flag.Duration("timeout", 0, "abort after this much wall-clock time, e.g. 30s (0 = unlimited)")
+		checkInv      = flag.Bool("check-invariants", false, "verify runtime invariants (cache accounting, EPV range, PMC conservation) during the run")
+		faults        = flag.String("faults", "", "deterministic fault-injection spec, e.g. seed=1,dram-drop=200 (keys: seed, trace-corrupt, trace-flip, dram-drop, dram-delay, dram-delay-cycles, mshr-saturate, meta-flip)")
 	)
 	flag.Parse()
 
@@ -77,17 +82,35 @@ func main() {
 	cfg := sim.ScaledConfig(*cores, *scale)
 	cfg.LLCPolicy = *policy
 	cfg.Prefetch = *prefetch
+	cfg.MaxCycles = *maxCycles
+	cfg.WallClockTimeout = *timeout
+	cfg.CheckInvariants = *checkInv
+	if *faults != "" {
+		fc, err := faultinject.ParseSpec(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "care-sim:", err)
+			os.Exit(2)
+		}
+		cfg.Faults = &fc
+	}
 
 	s, err := sim.New(cfg, traces)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "care-sim:", err)
 		os.Exit(2)
 	}
+	// A simulation failure (watchdog, cycle/time limit, invariant
+	// violation, corrupt trace) carries its own diagnostic dump; print
+	// it and exit nonzero so scripted runs notice.
 	if *warmup > 0 {
-		s.RunInstructions(*warmup)
+		if _, err := s.RunInstructions(*warmup); err != nil {
+			failSim(err)
+		}
 	}
 	s.ResetStats()
-	s.RunInstructions(*instr)
+	if _, err := s.RunInstructions(*instr); err != nil {
+		failSim(err)
+	}
 	r := s.Snapshot()
 
 	fmt.Printf("workload=%s cores=%d policy=%s prefetch=%v scale=%d\n",
@@ -195,6 +218,13 @@ func buildTraces(workload string, cores, scale int) ([]trace.Reader, error) {
 		out[i] = synth.NewScaledGenerator(p, uint64(i+1), scale)
 	}
 	return out, nil
+}
+
+// failSim reports a failed simulation (the error embeds the
+// diagnostic dump for sim failures) and exits nonzero.
+func failSim(err error) {
+	fmt.Fprintln(os.Stderr, "care-sim: simulation failed:", err)
+	os.Exit(1)
 }
 
 func nz(v uint64) float64 {

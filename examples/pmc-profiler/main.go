@@ -32,7 +32,9 @@ func main() {
 	}
 
 	// Warm up without sampling, then hook the PML.
-	sys.RunInstructions(30_000)
+	if _, err := sys.RunInstructions(30_000); err != nil {
+		log.Fatal(err)
+	}
 	sys.ResetStats()
 
 	type pcStats struct {
@@ -61,7 +63,9 @@ func main() {
 			st.pure++
 		}
 	}
-	sys.RunInstructions(150_000)
+	if _, err := sys.RunInstructions(150_000); err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("PMC profile of %s (single core, LRU, %d LLC misses)\n\n", workload, total)
 	labels := []string{"0-49", "50-99", "100-149", "150-199", "200-249", "250-299", "300-349", "350+"}

@@ -143,6 +143,7 @@ type Cache struct {
 	trackers   []Tracker
 	evictHook  func(mem.Addr, uint64)
 	stats      Stats
+	failure    error
 
 	setMask   uint64
 	setShift  uint
@@ -292,9 +293,8 @@ func (c *Cache) lookup(req *mem.Request, cycle uint64) bool {
 	set, way := c.probe(req.Addr)
 	hit := way >= 0
 
-	c.countAccess(req, hit)
-
 	if hit {
+		c.countAccess(req, true)
 		blk := &c.sets[set][way]
 		info := c.infoFor(req, cycle)
 		info.HitPrefetched = blk.Prefetched
@@ -314,8 +314,11 @@ func (c *Cache) lookup(req *mem.Request, cycle uint64) bool {
 	}
 
 	// Miss: merge with an outstanding request for the same block, or
-	// allocate a new MSHR entry and fetch from below.
+	// allocate a new MSHR entry and fetch from below. A request that
+	// cannot be handled this cycle (full MSHR) is counted only when it
+	// finally succeeds, so retries do not inflate the access stats.
 	if e := c.mshr.Lookup(req.Addr.BlockID()); e != nil {
+		c.countAccess(req, false)
 		c.mshr.Merge(e, req)
 		c.stats.MSHRMerges++
 		c.maybePrefetch(req, false, cycle)
@@ -325,6 +328,7 @@ func (c *Cache) lookup(req *mem.Request, cycle uint64) bool {
 		// Prefetches must not crowd out demand misses: once the MSHR
 		// file runs low on headroom they are dropped, as real
 		// prefetch queues do.
+		c.countAccess(req, false)
 		c.stats.PrefetchesDropped++
 		req.Respond(cycle)
 		return true
@@ -332,7 +336,17 @@ func (c *Cache) lookup(req *mem.Request, cycle uint64) bool {
 	if c.mshr.Full() {
 		return false
 	}
-	e := c.mshr.Allocate(req, cycle)
+	c.countAccess(req, false)
+	e, err := c.mshr.Allocate(req, cycle)
+	if err != nil {
+		// Full and Lookup were checked above, so this is an internal
+		// invariant violation (or injected fault): latch it for the
+		// simulator, answer the requester so nothing wedges, and keep
+		// the cache consistent by not installing anything.
+		c.fail(fmt.Errorf("cache %s: %w", c.Name, err))
+		req.Respond(cycle)
+		return true
+	}
 	c.maybePrefetch(req, false, cycle)
 	if c.lower == nil {
 		// No backing level configured (unit tests): serve instantly.
@@ -433,6 +447,9 @@ func (c *Cache) installBlock(addr, pc mem.Addr, core int, kind mem.Kind, pmc, ml
 		MissLatency: missLatency,
 	}
 	way = c.findVictim(set, info)
+	if way < 0 {
+		return // victim selection failed; failure already latched
+	}
 	blk := &c.sets[set][way]
 	if blk.Valid {
 		c.stats.Evictions++
@@ -461,7 +478,9 @@ func (c *Cache) installBlock(addr, pc mem.Addr, core int, kind mem.Kind, pmc, ml
 }
 
 // findVictim prefers an invalid way and otherwise defers to the
-// policy, validating its answer.
+// policy, validating its answer. A policy returning an out-of-range
+// way latches ErrBadVictim and yields -1 (the fill is skipped; a
+// wrong-way eviction would silently corrupt the timing model).
 func (c *Cache) findVictim(set int, info AccessInfo) int {
 	for w := range c.sets[set] {
 		if !c.sets[set][w].Valid {
@@ -470,7 +489,8 @@ func (c *Cache) findVictim(set int, info AccessInfo) int {
 	}
 	way := c.policy.Victim(set, c.sets[set], info)
 	if way < 0 || way >= c.Ways {
-		panic(fmt.Sprintf("cache %s: policy %s returned invalid victim way %d", c.Name, c.policy.Name(), way))
+		c.fail(fmt.Errorf("cache %s: %w: policy %s returned way %d", c.Name, ErrBadVictim, c.policy.Name(), way))
+		return -1
 	}
 	return way
 }

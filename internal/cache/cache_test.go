@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -420,12 +421,12 @@ func TestMSHRAccounting(t *testing.T) {
 		t.Fatal("fresh MSHR state wrong")
 	}
 	r1 := &mem.Request{Addr: 0x1000, Core: 0, Kind: mem.Load, Done: func(uint64) {}}
-	e1 := m.Allocate(r1, 5)
+	e1 := mustAllocate(t, m, r1, 5)
 	if m.Len() != 1 || m.OutstandingForCore(0) != 1 {
 		t.Fatal("allocation accounting wrong")
 	}
 	r2 := &mem.Request{Addr: 0x2000, Core: 1, Kind: mem.Prefetch}
-	e2 := m.Allocate(r2, 6)
+	e2 := mustAllocate(t, m, r2, 6)
 	if !m.Full() {
 		t.Fatal("MSHR should be full")
 	}
@@ -449,26 +450,84 @@ func TestMSHRAccounting(t *testing.T) {
 	}
 }
 
-func TestMSHRAllocatePanicsWhenFull(t *testing.T) {
-	m := NewMSHR(1, 1)
-	m.Allocate(&mem.Request{Addr: 0x1000}, 0)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Allocate on full MSHR should panic")
-		}
-	}()
-	m.Allocate(&mem.Request{Addr: 0x2000}, 0)
+// mustAllocate fails the test on an allocation error.
+func mustAllocate(t *testing.T, m *MSHR, req *mem.Request, cycle uint64) *MSHREntry {
+	t.Helper()
+	e, err := m.Allocate(req, cycle)
+	if err != nil {
+		t.Fatalf("Allocate(%v): %v", req, err)
+	}
+	return e
 }
 
-func TestMSHRDuplicateAllocatePanics(t *testing.T) {
+func TestMSHRAllocateWhenFull(t *testing.T) {
+	m := NewMSHR(1, 1)
+	mustAllocate(t, m, &mem.Request{Addr: 0x1000}, 0)
+	if e, err := m.Allocate(&mem.Request{Addr: 0x2000}, 0); !errors.Is(err, ErrMSHRFull) {
+		t.Fatalf("Allocate on full MSHR = (%v, %v), want ErrMSHRFull", e, err)
+	}
+	// The failed allocation must not disturb the accounting.
+	if m.Len() != 1 || !m.Full() {
+		t.Fatal("failed allocation changed MSHR state")
+	}
+	// Releasing frees the entry for a new allocation.
+	m.Release(m.Lookup(mem.Addr(0x1000).BlockID()))
+	if _, err := m.Allocate(&mem.Request{Addr: 0x2000}, 1); err != nil {
+		t.Fatalf("Allocate after Release: %v", err)
+	}
+}
+
+func TestMSHRDuplicateAllocate(t *testing.T) {
 	m := NewMSHR(4, 1)
-	m.Allocate(&mem.Request{Addr: 0x1000}, 0)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("duplicate Allocate should panic")
-		}
-	}()
-	m.Allocate(&mem.Request{Addr: 0x1008}, 0) // same block
+	mustAllocate(t, m, &mem.Request{Addr: 0x1000}, 0)
+	e, err := m.Allocate(&mem.Request{Addr: 0x1008}, 0) // same block
+	if !errors.Is(err, ErrMSHRDuplicate) {
+		t.Fatalf("duplicate Allocate = (%v, %v), want ErrMSHRDuplicate", e, err)
+	}
+	if m.Len() != 1 || m.OutstandingForCore(0) != 1 {
+		t.Fatal("failed duplicate allocation changed MSHR state")
+	}
+}
+
+// TestMSHRExhaustionBlocksInputQueue drives a cache into MSHR
+// exhaustion through the public Access path: with every entry
+// outstanding, further misses must stall in the input queue (counted
+// as MSHRStallCycles) rather than over-commit, and must drain once
+// the lower level responds.
+func TestMSHRExhaustionBlocksInputQueue(t *testing.T) {
+	c, lower := newTestCache(t, 16, 4, 2, 5) // 2 MSHR entries
+	for i := 0; i < 4; i++ {
+		c.Access(&mem.Request{ID: uint64(i), Addr: mem.Addr(0x10000 + i*64), Kind: mem.Load}, 0)
+	}
+	// Tick only the cache: the lower level holds every response, so
+	// the MSHR file saturates and the queue backs up.
+	for cy := uint64(0); cy < 20; cy++ {
+		c.Tick(cy)
+	}
+	if got := c.MSHRFile().Len(); got != 2 {
+		t.Fatalf("MSHR occupancy = %d, want capacity 2", got)
+	}
+	if c.QueueLen() != 2 {
+		t.Fatalf("input queue = %d, want 2 blocked misses", c.QueueLen())
+	}
+	if c.Stats().MSHRStallCycles == 0 {
+		t.Fatal("expected MSHRStallCycles to count the head-of-line blocking")
+	}
+	if err := c.CheckIntegrity(); err != nil {
+		t.Fatalf("integrity under exhaustion: %v", err)
+	}
+	// Let the lower level respond; the blocked misses must proceed
+	// and the whole backlog must drain.
+	for cy := uint64(20); cy < 80; cy++ {
+		lower.Tick(cy)
+		c.Tick(cy)
+	}
+	if c.QueueLen() != 0 || c.MSHRFile().Len() != 0 {
+		t.Fatalf("queue=%d mshr=%d after drain, want 0/0", c.QueueLen(), c.MSHRFile().Len())
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("cache latched failure on a legal exhaustion path: %v", err)
+	}
 }
 
 func TestInvalidate(t *testing.T) {

@@ -1,0 +1,150 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"care/internal/mem"
+)
+
+// ErrBadVictim is latched when a replacement policy returns an
+// out-of-range victim way.
+var ErrBadVictim = errors.New("cache: policy returned invalid victim way")
+
+// ErrIntegrity is returned by CheckIntegrity when the cache's
+// structural invariants do not hold (corrupted tag/set mapping,
+// over-committed MSHR file, inconsistent counters).
+var ErrIntegrity = errors.New("cache: integrity violation")
+
+// fail latches the first internal invariant violation. The cache
+// keeps ticking (so the rest of the system stays analysable) and the
+// simulator's run loop surfaces the error.
+func (c *Cache) fail(err error) {
+	if c.failure == nil {
+		c.failure = err
+	}
+}
+
+// Err returns the first latched internal failure, or nil. The
+// simulator polls it every cycle and aborts the run with a structured
+// error instead of letting a corrupted cache keep producing numbers.
+func (c *Cache) Err() error { return c.failure }
+
+// QueueLen returns the input-queue depth (requests waiting for their
+// base access phase or blocked on a full MSHR file), for diagnostics.
+func (c *Cache) QueueLen() int { return len(c.inq) }
+
+// CheckIntegrity verifies the cache's structural invariants: every
+// valid block's tag maps back to the set holding it, the MSHR file is
+// within capacity with consistent per-core counts, and the hit/miss
+// counters partition the access counters. It is the opt-in runtime
+// invariant checker's per-cache hook and the chaos tests' oracle.
+func (c *Cache) CheckIntegrity() error {
+	if c.failure != nil {
+		return c.failure
+	}
+	for set := range c.sets {
+		seen := make(map[uint64]bool, c.Ways)
+		for w := range c.sets[set] {
+			blk := &c.sets[set][w]
+			if !blk.Valid {
+				continue
+			}
+			if got := int(blk.Tag & uint64(c.setMask)); got != set {
+				return fmt.Errorf("%w: %s set %d way %d holds tag %#x which maps to set %d",
+					ErrIntegrity, c.Name, set, w, blk.Tag, got)
+			}
+			if seen[blk.Tag] {
+				return fmt.Errorf("%w: %s set %d holds duplicate tag %#x",
+					ErrIntegrity, c.Name, set, blk.Tag)
+			}
+			seen[blk.Tag] = true
+		}
+	}
+	if c.mshr.Len() > c.mshr.Capacity() {
+		return fmt.Errorf("%w: %s MSHR occupancy %d exceeds capacity %d",
+			ErrIntegrity, c.Name, c.mshr.Len(), c.mshr.Capacity())
+	}
+	perCore := make(map[int]int)
+	c.mshr.ForEach(func(e *MSHREntry) { perCore[e.Core]++ })
+	for core, n := range perCore {
+		if got := c.mshr.OutstandingForCore(core); core >= 0 && core < c.Cores && got != n {
+			return fmt.Errorf("%w: %s MSHR per-core count for core %d is %d, entries say %d",
+				ErrIntegrity, c.Name, core, got, n)
+		}
+	}
+	st := &c.stats
+	if st.DemandHits+st.DemandMisses != st.DemandAccesses {
+		return fmt.Errorf("%w: %s demand hits %d + misses %d != accesses %d",
+			ErrIntegrity, c.Name, st.DemandHits, st.DemandMisses, st.DemandAccesses)
+	}
+	if st.PrefetchHits+st.PrefetchMisses != st.PrefetchAccesses {
+		return fmt.Errorf("%w: %s prefetch hits %d + misses %d != accesses %d",
+			ErrIntegrity, c.Name, st.PrefetchHits, st.PrefetchMisses, st.PrefetchAccesses)
+	}
+	if st.WritebackHits+st.WritebackMisses != st.WritebackAccesses {
+		return fmt.Errorf("%w: %s writeback hits %d + misses %d != accesses %d",
+			ErrIntegrity, c.Name, st.WritebackHits, st.WritebackMisses, st.WritebackAccesses)
+	}
+	return nil
+}
+
+// FlipTagBit XORs one set-index bit of a resident block's tag — a
+// fault-injection hook that models a bit flip in the tag array. It
+// returns false when (set, way) does not hold a valid block. The flip
+// is constrained to the set-index bits so the corruption is exactly
+// what CheckIntegrity's tag/set mapping invariant detects.
+func (c *Cache) FlipTagBit(set, way int, bit uint) bool {
+	if set < 0 || set >= len(c.sets) || way < 0 || way >= c.Ways {
+		return false
+	}
+	blk := &c.sets[set][way]
+	if !blk.Valid {
+		return false
+	}
+	if setBits := uint(bits.OnesCount64(c.setMask)); setBits > 0 {
+		bit %= setBits
+	} else {
+		bit %= 64
+	}
+	blk.Tag ^= 1 << bit
+	return true
+}
+
+// SomeValidBlock returns the first (set, way) holding a valid block,
+// scanning from set 0, or ok=false for an empty cache. Fault
+// injection uses it to pick a deterministic corruption target.
+func (c *Cache) SomeValidBlock() (set, way int, ok bool) {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].Valid {
+				return s, w, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// SaturateMSHR permanently claims every free MSHR entry with
+// synthetic, never-completing misses — a fault-injection hook that
+// models a stuck miss-handling pipeline. The entries target blocks in
+// a reserved high address range so they cannot merge with real
+// traffic. It returns the number of entries claimed.
+func (c *Cache) SaturateMSHR(cycle uint64) int {
+	n, claimed := 0, 0
+	for !c.mshr.Full() {
+		addr := mem.Addr((uint64(0xFA<<40) + uint64(n)) << mem.BlockBits)
+		n++
+		if c.mshr.Lookup(addr.BlockID()) != nil {
+			continue // already claimed by an earlier call
+		}
+		if _, err := c.mshr.Allocate(&mem.Request{
+			Addr: addr, Core: 0, Kind: mem.Prefetch, IssueCycle: cycle,
+		}, cycle); err != nil {
+			break
+		}
+		claimed++
+	}
+	return claimed
+}

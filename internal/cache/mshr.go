@@ -1,8 +1,21 @@
 package cache
 
 import (
+	"errors"
+
 	"care/internal/mem"
 )
+
+// ErrMSHRFull is returned by Allocate when the MSHR file has no free
+// entry. The cache checks Full before allocating, so seeing this
+// error escape means the caller's admission control is broken (or a
+// fault was injected); silently over-committing hardware structures
+// would invalidate the timing model.
+var ErrMSHRFull = errors.New("cache: MSHR allocation while full")
+
+// ErrMSHRDuplicate is returned by Allocate when an entry for the
+// block is already outstanding; the caller should have merged into it.
+var ErrMSHRDuplicate = errors.New("cache: duplicate MSHR allocation")
 
 // MSHREntry tracks one outstanding miss in a Miss Status Holding
 // Register file. The concurrency metrics (PMC, MLP-based cost) are
@@ -72,16 +85,16 @@ func (m *MSHR) Full() bool { return len(m.entries) >= m.capacity }
 func (m *MSHR) Lookup(block uint64) *MSHREntry { return m.entries[block] }
 
 // Allocate creates an entry for req's block. The caller must check
-// Full and Lookup first; Allocate panics on programming errors, since
-// silently over-committing hardware structures would invalidate the
-// timing model.
-func (m *MSHR) Allocate(req *mem.Request, cycle uint64) *MSHREntry {
+// Full and Lookup first; Allocate returns ErrMSHRFull or
+// ErrMSHRDuplicate on those programming errors instead of silently
+// over-committing the hardware structure.
+func (m *MSHR) Allocate(req *mem.Request, cycle uint64) (*MSHREntry, error) {
 	block := req.Addr.BlockID()
 	if m.Full() {
-		panic("cache: MSHR allocation while full")
+		return nil, ErrMSHRFull
 	}
 	if _, dup := m.entries[block]; dup {
-		panic("cache: duplicate MSHR allocation")
+		return nil, ErrMSHRDuplicate
 	}
 	e := &MSHREntry{
 		Block:      block,
@@ -98,7 +111,7 @@ func (m *MSHR) Allocate(req *mem.Request, cycle uint64) *MSHREntry {
 	if e.Core >= 0 && e.Core < len(m.perCore) {
 		m.perCore[e.Core]++
 	}
-	return e
+	return e, nil
 }
 
 // Merge adds req as an additional waiter on an outstanding entry. A

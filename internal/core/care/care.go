@@ -20,6 +20,7 @@
 package care
 
 import (
+	"fmt"
 	"sort"
 
 	"care/internal/cache"
@@ -489,4 +490,38 @@ func (p *Policy) OnEvict(set, way int, evicted cache.Block, info cache.AccessInf
 			e.pd++
 		}
 	}
+}
+
+// CheckInvariants verifies the policy's hardware-budget invariants:
+// every block's EPV fits the 2-bit field (∈ [0, epvMax]) and every
+// SHT counter fits its 3-bit field. The simulator's opt-in runtime
+// invariant checker calls it each interval; a violation means the
+// metadata was corrupted (by a bug or an injected fault).
+func (p *Policy) CheckInvariants() error {
+	for set := range p.meta {
+		for way := range p.meta[set] {
+			if epv := p.meta[set][way].epv; epv > epvMax {
+				return fmt.Errorf("care: set %d way %d EPV %d exceeds 2-bit ceiling %d", set, way, epv, epvMax)
+			}
+		}
+	}
+	for sig := range p.sht {
+		if e := p.sht[sig]; e.rc > rcMax || e.pd > pdMax {
+			return fmt.Errorf("care: SHT entry %#x out of range (rc=%d pd=%d)", sig, e.rc, e.pd)
+		}
+	}
+	return nil
+}
+
+// CorruptMetadata flips the high bit of the block's EPV — a
+// fault-injection hook modelling a bit flip in the replacement
+// metadata array. The resulting EPV (4..7) violates the 2-bit
+// invariant CheckInvariants enforces. It reports whether (set, way)
+// was in range.
+func (p *Policy) CorruptMetadata(set, way int) bool {
+	if set < 0 || set >= len(p.meta) || way < 0 || way >= len(p.meta[set]) {
+		return false
+	}
+	p.meta[set][way].epv ^= 1 << 2
+	return true
 }

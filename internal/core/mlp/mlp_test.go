@@ -9,11 +9,15 @@ import (
 )
 
 func alloc(m *cache.MSHR, core int, block uint64) *cache.MSHREntry {
-	return m.Allocate(&mem.Request{
+	e, err := m.Allocate(&mem.Request{
 		Addr: mem.Addr(block << mem.BlockBits),
 		Core: core,
 		Kind: mem.Load,
 	}, 0)
+	if err != nil {
+		panic(err)
+	}
+	return e
 }
 
 func TestIsolatedMissCostsFullCycles(t *testing.T) {

@@ -10,12 +10,16 @@ import (
 )
 
 func alloc(m *cache.MSHR, core int, block uint64, pc mem.Addr, cycle uint64) *cache.MSHREntry {
-	return m.Allocate(&mem.Request{
+	e, err := m.Allocate(&mem.Request{
 		Addr: mem.Addr(block << mem.BlockBits),
 		PC:   pc,
 		Core: core,
 		Kind: mem.Load,
 	}, cycle)
+	if err != nil {
+		panic(err)
+	}
+	return e
 }
 
 func TestPureCycleDetection(t *testing.T) {

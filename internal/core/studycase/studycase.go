@@ -129,7 +129,13 @@ func Run(cfg Config, accesses []Access) ([]Result, uint64) {
 					Core: 0,
 					Kind: mem.Load,
 				}
-				m.entry = mshr.Allocate(req, cycle)
+				e, err := mshr.Allocate(req, cycle)
+				if err != nil {
+					// The hand-worked study case never exceeds the
+					// MSHR file; an error here is a broken scenario.
+					panic(err)
+				}
+				m.entry = e
 			}
 		}
 		logic.Tick(cycle, mshr)

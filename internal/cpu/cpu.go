@@ -107,6 +107,7 @@ type Core struct {
 	nonMemLeft int
 	lastMem    *robEntry
 	exhausted  bool
+	err        error
 	nextReqID  uint64
 	freeList   []*robEntry
 	tlb        Translator
@@ -138,8 +139,51 @@ func (c *Core) ResetStats() { c.stats = Stats{} }
 // Exhausted reports that the trace ended and the pipeline drained.
 func (c *Core) Exhausted() bool { return c.exhausted && c.robLen == 0 }
 
+// Err returns the trace error that terminated this core's stream, or
+// nil. A core with a non-nil Err stops fetching (its in-flight window
+// still drains) so one corrupt trace cannot wedge the whole system;
+// the simulator surfaces the error from its run loop.
+func (c *Core) Err() error { return c.err }
+
 // Retired returns the retired instruction count.
 func (c *Core) Retired() uint64 { return c.stats.Retired }
+
+// ROBHead describes the oldest in-flight memory instruction, for
+// forward-progress diagnostics.
+type ROBHead struct {
+	// Valid is false when the ROB holds no memory instruction.
+	Valid bool
+	// IsLoad distinguishes loads from stores.
+	IsLoad bool
+	// Issued reports the access entered the hierarchy; a load that is
+	// !Issued is waiting on a pointer-chase producer.
+	Issued bool
+	// Done reports the data arrived (retirement-ready).
+	Done bool
+	// PC and Addr identify the instruction.
+	PC, Addr mem.Addr
+	// NonMemAhead counts completed non-memory instructions retiring
+	// before it.
+	NonMemAhead int
+}
+
+// ROBLen returns the number of instructions resident in the ROB.
+func (c *Core) ROBLen() int { return c.robLen }
+
+// Head returns a snapshot of the oldest memory instruction in the
+// ROB, used by the watchdog's diagnostic dump to show what each core
+// is blocked on.
+func (c *Core) Head() ROBHead {
+	for i := range c.rob {
+		if e := c.rob[i].mem; e != nil {
+			return ROBHead{
+				Valid: true, IsLoad: e.isLoad, Issued: e.issued, Done: e.done,
+				PC: e.pc, Addr: e.addr, NonMemAhead: c.rob[0].nonMem,
+			}
+		}
+	}
+	return ROBHead{}
+}
 
 // Tick advances the core one cycle: retire, then dispatch.
 func (c *Core) Tick(cycle uint64) {
@@ -216,9 +260,10 @@ func (c *Core) nextRecord() bool {
 	rec, err := c.src.Next()
 	if err != nil {
 		if !errors.Is(err, io.EOF) {
-			// Trace corruption is a programming error in this
-			// simulator: fail loudly rather than silently truncate.
-			panic(fmt.Sprintf("cpu: core %d trace error: %v", c.id, err))
+			// Trace corruption terminates this core's stream; the
+			// error is held for the simulator to surface rather than
+			// killing the whole process.
+			c.err = fmt.Errorf("cpu: core %d trace error: %w", c.id, err)
 		}
 		c.exhausted = true
 		return false

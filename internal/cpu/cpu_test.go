@@ -1,6 +1,8 @@
 package cpu
 
 import (
+	"errors"
+	"fmt"
 	"testing"
 
 	"care/internal/mem"
@@ -208,6 +210,57 @@ func TestIPCZeroCycles(t *testing.T) {
 	var s Stats
 	if s.IPC() != 0 {
 		t.Fatal("IPC with zero cycles must be 0")
+	}
+}
+
+// brokenReader serves a few records, then fails mid-stream the way a
+// truncated or corrupted trace file does.
+type brokenReader struct {
+	recs []trace.Record
+	n    int
+}
+
+func (r *brokenReader) Next() (trace.Record, error) {
+	if r.n < len(r.recs) {
+		r.n++
+		return r.recs[r.n-1], nil
+	}
+	return trace.Record{}, fmt.Errorf("%w: record %d truncated", trace.ErrCorrupt, r.n)
+}
+
+func TestTraceErrorTerminatesStream(t *testing.T) {
+	recs := []trace.Record{
+		{PC: 1, Addr: 0x1000},
+		{PC: 2, Addr: 0x2000},
+	}
+	m := &instantMem{lat: 2}
+	c := New(0, DefaultParams(), &brokenReader{recs: recs}, m)
+	runCore(c, m, 1000) // must not panic
+	if !c.Exhausted() {
+		t.Fatal("core should stop issuing after a trace error")
+	}
+	if c.Retired() != 2 {
+		t.Fatalf("retired %d, want the 2 records before the error", c.Retired())
+	}
+	err := c.Err()
+	if err == nil {
+		t.Fatal("core must remember the trace error")
+	}
+	if !errors.Is(err, trace.ErrCorrupt) {
+		t.Fatalf("error should wrap trace.ErrCorrupt, got %v", err)
+	}
+}
+
+func TestEOFIsNotAnError(t *testing.T) {
+	recs := []trace.Record{{PC: 1, Addr: 0x1000}}
+	m := &instantMem{lat: 1}
+	c := New(0, DefaultParams(), trace.NewSlice(recs), m)
+	runCore(c, m, 100)
+	if !c.Exhausted() {
+		t.Fatal("core should drain")
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("clean EOF must not be an error, got %v", err)
 	}
 }
 

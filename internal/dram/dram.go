@@ -232,3 +232,10 @@ func (d *DRAM) Tick(cycle uint64) {
 
 // Drained reports whether no reads are in flight.
 func (d *DRAM) Drained() bool { return len(d.inflight) == 0 }
+
+// PendingReads returns the number of reads in flight, for the
+// watchdog's diagnostic dump.
+func (d *DRAM) PendingReads() int { return len(d.inflight) }
+
+// QueuedWrites returns the posted-write queue depth.
+func (d *DRAM) QueuedWrites() int { return len(d.writeQ) }

@@ -1,0 +1,296 @@
+// Package faultinject deterministically injects faults into a
+// running simulation so the integrity layer (forward-progress
+// watchdog, runtime invariant checker, typed error propagation) can
+// be exercised under adversarial conditions rather than trusted on
+// faith.
+//
+// Every fault is driven by counters and a seeded xorshift generator,
+// so a given Config produces the identical fault sequence on every
+// run — chaos tests are as reproducible as ordinary ones. The
+// injector is wired into sim.Config behind an off-by-default pointer;
+// a nil config costs nothing on the hot path.
+//
+// Fault classes:
+//
+//   - trace corruption: flip address bits in records, or hard-fail
+//     the stream with trace.ErrCorrupt after N records;
+//   - DRAM misbehaviour: drop every Nth read response (the request's
+//     Done callback never fires — an injected deadlock) or delay it
+//     by a fixed number of cycles;
+//   - MSHR saturation: permanently claim every free LLC MSHR entry
+//     at a chosen cycle (a stuck miss-handling pipeline);
+//   - metadata corruption: flip a replacement-metadata or tag bit at
+//     a chosen cycle, violating the invariants the runtime checker
+//     enforces.
+package faultinject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"care/internal/cache"
+	"care/internal/mem"
+	"care/internal/trace"
+)
+
+// Config selects which faults to inject. The zero value injects
+// nothing. All counters are in "events of that kind" (records served,
+// read responses) except the *At fields, which are absolute cycles.
+type Config struct {
+	// Seed drives the deterministic bit-position choices.
+	Seed uint64
+	// TraceCorruptAfter makes each wrapped trace reader fail with
+	// trace.ErrCorrupt after this many records (0 = off).
+	TraceCorruptAfter uint64
+	// TraceFlipEvery flips one address bit in every Nth record served
+	// by each wrapped reader (0 = off).
+	TraceFlipEvery uint64
+	// DRAMDropEvery drops every Nth DRAM read response: the waiting
+	// MSHR entry is never released, wedging the hierarchy (0 = off).
+	DRAMDropEvery uint64
+	// DRAMDelayEvery delays every Nth DRAM read response by
+	// DRAMDelayCycles cycles (0 = off).
+	DRAMDelayEvery uint64
+	// DRAMDelayCycles is the added latency for delayed responses
+	// (default 10_000 when DRAMDelayEvery is set).
+	DRAMDelayCycles uint64
+	// MSHRSaturateAt permanently fills the LLC MSHR file at this
+	// cycle (0 = off).
+	MSHRSaturateAt uint64
+	// MetaFlipAt corrupts LLC replacement metadata (or, when the
+	// policy has no metadata hook, a tag bit) at this cycle (0 = off).
+	MetaFlipAt uint64
+}
+
+// Enabled reports whether any fault is configured.
+func (c *Config) Enabled() bool {
+	if c == nil {
+		return false
+	}
+	return c.TraceCorruptAfter > 0 || c.TraceFlipEvery > 0 ||
+		c.DRAMDropEvery > 0 || c.DRAMDelayEvery > 0 ||
+		c.MSHRSaturateAt > 0 || c.MetaFlipAt > 0
+}
+
+// ParseSpec builds a Config from a compact comma-separated key=value
+// spec, e.g. "dram-drop=200,seed=7" or
+// "trace-flip=64,meta-flip=5000". Keys: seed, trace-corrupt,
+// trace-flip, dram-drop, dram-delay, dram-delay-cycles,
+// mshr-saturate, meta-flip.
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return Config{}, fmt.Errorf("faultinject: bad spec field %q (want key=value)", field)
+		}
+		n, err := strconv.ParseUint(strings.TrimSpace(val), 10, 64)
+		if err != nil {
+			return Config{}, fmt.Errorf("faultinject: bad value in %q: %v", field, err)
+		}
+		switch strings.TrimSpace(key) {
+		case "seed":
+			cfg.Seed = n
+		case "trace-corrupt":
+			cfg.TraceCorruptAfter = n
+		case "trace-flip":
+			cfg.TraceFlipEvery = n
+		case "dram-drop":
+			cfg.DRAMDropEvery = n
+		case "dram-delay":
+			cfg.DRAMDelayEvery = n
+		case "dram-delay-cycles":
+			cfg.DRAMDelayCycles = n
+		case "mshr-saturate":
+			cfg.MSHRSaturateAt = n
+		case "meta-flip":
+			cfg.MetaFlipAt = n
+		default:
+			return Config{}, fmt.Errorf("faultinject: unknown fault %q", key)
+		}
+	}
+	return cfg, nil
+}
+
+// Stats counts the faults actually delivered, so tests can assert
+// that each configured fault fired (and diagnose ones that did not).
+type Stats struct {
+	RecordsFlipped     uint64
+	TraceCorruptions   uint64
+	ResponsesDropped   uint64
+	ResponsesDelayed   uint64
+	MSHREntriesClaimed int
+	MetadataFlips      uint64
+}
+
+// Injector owns the fault state for one simulation. It is not safe
+// for concurrent use; each System gets its own.
+type Injector struct {
+	cfg   Config
+	rng   uint64
+	stats Stats
+}
+
+// New builds an injector for cfg.
+func New(cfg Config) *Injector {
+	if cfg.DRAMDelayEvery > 0 && cfg.DRAMDelayCycles == 0 {
+		cfg.DRAMDelayCycles = 10_000
+	}
+	return &Injector{cfg: cfg, rng: cfg.Seed}
+}
+
+// Config returns the injector's configuration.
+func (in *Injector) Config() Config { return in.cfg }
+
+// Stats returns the live fault counters.
+func (in *Injector) Stats() *Stats { return &in.stats }
+
+// next is a seeded xorshift step (deterministic, never zero).
+func (in *Injector) next() uint64 {
+	v := in.rng
+	if v == 0 {
+		v = 0x9e3779b97f4a7c15
+	}
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	in.rng = v
+	return v
+}
+
+// ---- trace faults ----
+
+// WrapTrace interposes the configured trace faults on r. Each wrapped
+// reader counts its own records, so multi-core systems corrupt every
+// stream at the same per-stream position.
+func (in *Injector) WrapTrace(r trace.Reader) trace.Reader {
+	if in.cfg.TraceCorruptAfter == 0 && in.cfg.TraceFlipEvery == 0 {
+		return r
+	}
+	return &faultReader{in: in, src: r}
+}
+
+type faultReader struct {
+	in  *Injector
+	src trace.Reader
+	n   uint64
+}
+
+// Next implements trace.Reader.
+func (f *faultReader) Next() (trace.Record, error) {
+	cfg := &f.in.cfg
+	if cfg.TraceCorruptAfter > 0 && f.n >= cfg.TraceCorruptAfter {
+		f.in.stats.TraceCorruptions++
+		return trace.Record{}, fmt.Errorf("faultinject: injected stream corruption after %d records: %w",
+			f.n, trace.ErrCorrupt)
+	}
+	rec, err := f.src.Next()
+	if err != nil {
+		return trace.Record{}, err
+	}
+	f.n++
+	if cfg.TraceFlipEvery > 0 && f.n%cfg.TraceFlipEvery == 0 {
+		// Flip a bit within a 40-bit address space: garbage addresses
+		// that stay physically plausible.
+		rec.Addr ^= 1 << (f.in.next() % 40)
+		f.in.stats.RecordsFlipped++
+	}
+	return rec, nil
+}
+
+// ---- DRAM faults ----
+
+// WrapMemory interposes drop/delay faults between the LLC and the
+// memory model. The returned level must be Ticked once per cycle so
+// delayed responses mature.
+func (in *Injector) WrapMemory(lower cache.Level) *Memory {
+	return &Memory{in: in, lower: lower}
+}
+
+// Memory is a fault-injecting cache.Level sitting in front of DRAM.
+type Memory struct {
+	in    *Injector
+	lower cache.Level
+	reads uint64
+	held  []heldResponse
+}
+
+type heldResponse struct {
+	done func(uint64)
+	at   uint64
+}
+
+// Access implements cache.Level: read responses are counted and the
+// configured ones are dropped (Done discarded) or delayed (Done
+// deferred to Tick).
+func (m *Memory) Access(req *mem.Request, cycle uint64) {
+	cfg := &m.in.cfg
+	if req.Done != nil && req.Kind != mem.Writeback {
+		m.reads++
+		switch {
+		case cfg.DRAMDropEvery > 0 && m.reads%cfg.DRAMDropEvery == 0:
+			m.in.stats.ResponsesDropped++
+			req.Done = func(uint64) {} // swallow the response
+		case cfg.DRAMDelayEvery > 0 && m.reads%cfg.DRAMDelayEvery == 0:
+			orig := req.Done
+			delay := cfg.DRAMDelayCycles
+			req.Done = func(done uint64) {
+				m.in.stats.ResponsesDelayed++
+				m.held = append(m.held, heldResponse{done: orig, at: done + delay})
+			}
+		}
+	}
+	m.lower.Access(req, cycle)
+}
+
+// Tick releases delayed responses whose hold time has matured.
+func (m *Memory) Tick(cycle uint64) {
+	if len(m.held) == 0 {
+		return
+	}
+	rest := m.held[:0]
+	for _, h := range m.held {
+		if h.at <= cycle {
+			h.done(cycle)
+		} else {
+			rest = append(rest, h)
+		}
+	}
+	for i := len(rest); i < len(m.held); i++ {
+		m.held[i] = heldResponse{}
+	}
+	m.held = rest
+}
+
+// Held returns the number of responses currently being delayed.
+func (m *Memory) Held() int { return len(m.held) }
+
+// ---- structural faults ----
+
+// OnCycle fires the cycle-triggered faults (MSHR saturation, metadata
+// corruption) against the LLC. The simulator calls it once per cycle.
+// From MSHRSaturateAt onward every free LLC entry is re-claimed each
+// cycle, so misses completing after the onset cannot reopen capacity
+// — the file stays permanently full.
+func (in *Injector) OnCycle(cycle uint64, llc *cache.Cache) {
+	cfg := &in.cfg
+	if cfg.MSHRSaturateAt > 0 && cycle >= cfg.MSHRSaturateAt {
+		in.stats.MSHREntriesClaimed += llc.SaturateMSHR(cycle)
+	}
+	if cfg.MetaFlipAt > 0 && cycle == cfg.MetaFlipAt {
+		if corrupter, ok := llc.Policy().(interface{ CorruptMetadata(set, way int) bool }); ok {
+			if set, way, ok := llc.SomeValidBlock(); ok && corrupter.CorruptMetadata(set, way) {
+				in.stats.MetadataFlips++
+				return
+			}
+		}
+		if set, way, ok := llc.SomeValidBlock(); ok && llc.FlipTagBit(set, way, uint(in.next()%20)) {
+			in.stats.MetadataFlips++
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+
+	"care/internal/mem"
+	"care/internal/trace"
+)
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("seed=7, dram-drop=200,trace-flip=64,meta-flip=5000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{Seed: 7, DRAMDropEvery: 200, TraceFlipEvery: 64, MetaFlipAt: 5000}
+	if cfg != want {
+		t.Fatalf("parsed %+v, want %+v", cfg, want)
+	}
+	if !cfg.Enabled() {
+		t.Fatal("parsed config should be enabled")
+	}
+}
+
+func TestParseSpecRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"dram-drop", "dram-drop=x", "warp-core=1"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) should fail", bad)
+		}
+	}
+}
+
+func TestEnabledNilSafe(t *testing.T) {
+	var cfg *Config
+	if cfg.Enabled() {
+		t.Fatal("nil config must be disabled")
+	}
+	if (&Config{Seed: 42}).Enabled() {
+		t.Fatal("a bare seed configures no fault")
+	}
+}
+
+func TestWrapTraceIsIdentityWhenDisabled(t *testing.T) {
+	in := New(Config{DRAMDropEvery: 10}) // no trace faults
+	src := trace.NewSlice([]trace.Record{{PC: 1}})
+	if got := in.WrapTrace(src); got != trace.Reader(src) {
+		t.Fatal("no trace faults configured: reader must pass through unwrapped")
+	}
+}
+
+func TestTraceHardCorruption(t *testing.T) {
+	in := New(Config{TraceCorruptAfter: 2})
+	recs := []trace.Record{{PC: 1}, {PC: 2}, {PC: 3}}
+	r := in.WrapTrace(trace.NewSlice(recs))
+	for i := 0; i < 2; i++ {
+		if _, err := r.Next(); err != nil {
+			t.Fatalf("record %d: unexpected error %v", i, err)
+		}
+	}
+	_, err := r.Next()
+	if !errors.Is(err, trace.ErrCorrupt) {
+		t.Fatalf("want trace.ErrCorrupt after 2 records, got %v", err)
+	}
+	if in.Stats().TraceCorruptions != 1 {
+		t.Fatal("corruption not counted")
+	}
+}
+
+func TestTraceBitFlipsAreDeterministic(t *testing.T) {
+	read := func() []mem.Addr {
+		in := New(Config{Seed: 3, TraceFlipEvery: 2})
+		recs := make([]trace.Record, 8)
+		for i := range recs {
+			recs[i] = trace.Record{PC: 1, Addr: mem.Addr(i << 12)}
+		}
+		r := in.WrapTrace(trace.NewSlice(recs))
+		var out []mem.Addr
+		for {
+			rec, err := r.Next()
+			if err != nil {
+				break
+			}
+			out = append(out, rec.Addr)
+		}
+		if in.Stats().RecordsFlipped != 4 {
+			t.Fatalf("flips = %d, want 4", in.Stats().RecordsFlipped)
+		}
+		return out
+	}
+	a, b := read(), read()
+	flipped := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed must flip the same bits: %v vs %v", a, b)
+		}
+		if a[i] != mem.Addr(i<<12) {
+			flipped++
+		}
+	}
+	if flipped != 4 {
+		t.Fatalf("%d records differ from the original, want 4", flipped)
+	}
+}
+
+// sink is a trivial cache.Level recording what reaches it.
+type sink struct{ reqs []*mem.Request }
+
+func (s *sink) Access(req *mem.Request, cycle uint64) { s.reqs = append(s.reqs, req) }
+func (s *sink) Tick(cycle uint64)                     {}
+
+func TestDropSwallowsResponse(t *testing.T) {
+	in := New(Config{DRAMDropEvery: 2})
+	lower := &sink{}
+	m := in.WrapMemory(lower)
+	responded := make([]bool, 4)
+	for i := range responded {
+		i := i
+		m.Access(&mem.Request{Addr: mem.Addr(i << 6), Kind: mem.Load,
+			Done: func(uint64) { responded[i] = true }}, 0)
+	}
+	for _, req := range lower.reqs {
+		req.Respond(10)
+	}
+	want := []bool{true, false, true, false} // every 2nd dropped
+	for i, w := range want {
+		if responded[i] != w {
+			t.Fatalf("responded = %v, want %v", responded, want)
+		}
+	}
+	if in.Stats().ResponsesDropped != 2 {
+		t.Fatalf("drops = %d, want 2", in.Stats().ResponsesDropped)
+	}
+}
+
+func TestDelayDefersResponseUntilTick(t *testing.T) {
+	in := New(Config{DRAMDelayEvery: 1, DRAMDelayCycles: 100})
+	lower := &sink{}
+	m := in.WrapMemory(lower)
+	var doneAt uint64
+	m.Access(&mem.Request{Addr: 0x40, Kind: mem.Load,
+		Done: func(cy uint64) { doneAt = cy }}, 0)
+	lower.reqs[0].Respond(10)
+	if doneAt != 0 {
+		t.Fatal("delayed response fired early")
+	}
+	if m.Held() != 1 {
+		t.Fatalf("held = %d, want 1", m.Held())
+	}
+	m.Tick(50) // not mature yet
+	if doneAt != 0 {
+		t.Fatal("response released before the delay elapsed")
+	}
+	m.Tick(110)
+	if doneAt != 110 || m.Held() != 0 {
+		t.Fatalf("doneAt=%d held=%d, want release at 110", doneAt, m.Held())
+	}
+}
+
+func TestWritebacksNeverFaulted(t *testing.T) {
+	in := New(Config{DRAMDropEvery: 1})
+	lower := &sink{}
+	m := in.WrapMemory(lower)
+	ok := false
+	m.Access(&mem.Request{Addr: 0x40, Kind: mem.Writeback,
+		Done: func(uint64) { ok = true }}, 0)
+	lower.reqs[0].Respond(1)
+	if !ok {
+		t.Fatal("writeback responses must never be dropped")
+	}
+}

@@ -31,6 +31,7 @@ func runCAREVariant(o *Options, workload string, cfgMod func(*sim.Config)) (sim.
 	cfg := sim.ScaledConfig(4, o.Scale)
 	cfg.LLCPolicy = "care"
 	cfg.Prefetch = true
+	o.applyGuards(&cfg)
 	if cfgMod != nil {
 		cfgMod(&cfg)
 	}
@@ -176,6 +177,7 @@ func runAblMSHR(o *Options) error {
 				cfg.LLCPolicy = policy
 				cfg.Prefetch = true
 				cfg.LLC.MSHREntries = n
+				o.applyGuards(&cfg)
 				return sim.Run(cfg, specTraces(p, 4, o.Scale), o.Warmup, o.Measure)
 			}
 			base, err := run("lru")
@@ -228,6 +230,7 @@ func runAblPrefetch(o *Options) error {
 				cfg.LLCPolicy = policy
 				cfg.Prefetch = true
 				cfg.L2Prefetcher = pf
+				o.applyGuards(&cfg)
 				return sim.Run(cfg, specTraces(p, 4, o.Scale), o.Warmup, o.Measure)
 			}
 			base, err := run("lru")

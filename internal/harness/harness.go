@@ -8,9 +8,11 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"care/internal/graph"
 	"care/internal/mem"
@@ -47,6 +49,15 @@ type Options struct {
 	// CSV switches table output from aligned text to CSV, for plot
 	// pipelines.
 	CSV bool
+	// MaxCycles aborts any single simulation that exceeds this cycle
+	// count (0 = unlimited).
+	MaxCycles uint64
+	// Timeout aborts any single simulation whose wall-clock time
+	// exceeds it (0 = unlimited).
+	Timeout time.Duration
+	// CheckInvariants enables the opt-in runtime invariant checker in
+	// every simulation the experiment launches.
+	CheckInvariants bool
 }
 
 // Defaults fills unset fields with evaluation-friendly values.
@@ -164,13 +175,37 @@ func All() []Experiment {
 	return out
 }
 
-// Run executes one experiment by ID with defaulted options.
-func Run(id string, o Options) error {
+// PanicError is a panic recovered from an experiment or one of its
+// simulation workers, tagged with the experiment (or job) that raised
+// it. A misbehaving policy or workload therefore fails its own
+// experiment instead of killing the whole benchmark process.
+type PanicError struct {
+	// ID names the experiment or parallel job that panicked.
+	ID string
+	// Value is the recovered panic value.
+	Value interface{}
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("harness: %s panicked: %v\n%s", e.ID, e.Value, e.Stack)
+}
+
+// Run executes one experiment by ID with defaulted options. Panics
+// raised by the experiment body are recovered and returned as a
+// *PanicError tagged with the experiment ID.
+func Run(id string, o Options) (err error) {
 	e, err := Get(id)
 	if err != nil {
 		return err
 	}
 	o.Defaults()
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{ID: "experiment " + id, Value: r, Stack: debug.Stack()}
+		}
+	}()
 	return e.Run(&o)
 }
 
@@ -294,6 +329,7 @@ func runSim(key runKey, o *Options) (sim.Result, error) {
 	cfg := sim.ScaledConfig(key.cores, key.scale)
 	cfg.LLCPolicy = key.scheme
 	cfg.Prefetch = key.prefetch
+	o.applyGuards(&cfg)
 	r, err := sim.Run(cfg, traces, key.warmup, key.measure)
 	if err != nil {
 		return sim.Result{}, err
@@ -304,8 +340,17 @@ func runSim(key runKey, o *Options) (sim.Result, error) {
 	return r, nil
 }
 
+// applyGuards threads the runaway-simulation guard rails from the
+// options into one simulator config.
+func (o *Options) applyGuards(cfg *sim.Config) {
+	cfg.MaxCycles = o.MaxCycles
+	cfg.WallClockTimeout = o.Timeout
+	cfg.CheckInvariants = o.CheckInvariants
+}
+
 // parallel runs n jobs over a bounded worker pool and returns the
-// first error.
+// first error. A panicking job is recovered into a *PanicError so one
+// bad worker fails its experiment without killing the process.
 func parallel(n, workers int, job func(i int) error) error {
 	if workers < 1 {
 		workers = 1
@@ -319,6 +364,15 @@ func parallel(n, workers int, job func(i int) error) error {
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = &PanicError{
+						ID:    fmt.Sprintf("worker %d", i),
+						Value: r,
+						Stack: debug.Stack(),
+					}
+				}
+			}()
 			errs[i] = job(i)
 		}(i)
 	}

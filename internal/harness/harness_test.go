@@ -2,8 +2,12 @@ package harness
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
+
+	"care/internal/sim"
 )
 
 // tiny returns options small enough for unit tests.
@@ -189,5 +193,60 @@ func TestCSVOutput(t *testing.T) {
 	}
 	if strings.Contains(out, "---") {
 		t.Fatal("CSV output must not contain text-table rules")
+	}
+}
+
+func TestRunRecoversExperimentPanic(t *testing.T) {
+	register(Experiment{
+		ID:    "zz-test-panic",
+		Title: "test-only: panics on purpose",
+		Run:   func(o *Options) error { panic("policy exploded") },
+	})
+	err := Run("zz-test-panic", tiny())
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %v", err)
+	}
+	if !strings.Contains(pe.ID, "zz-test-panic") {
+		t.Fatalf("panic not tagged with experiment ID: %q", pe.ID)
+	}
+	if !strings.Contains(fmt.Sprint(pe.Value), "policy exploded") {
+		t.Fatalf("panic value lost: %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("stack trace missing")
+	}
+}
+
+func TestParallelRecoversWorkerPanic(t *testing.T) {
+	// One worker panics; the others must finish and the process must
+	// survive with a tagged error.
+	ran := make([]bool, 8)
+	err := parallel(8, 4, func(i int) error {
+		if i == 3 {
+			panic("worker blew up")
+		}
+		ran[i] = true
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PanicError, got %v", err)
+	}
+	for i, ok := range ran {
+		if i != 3 && !ok {
+			t.Fatalf("worker %d did not run", i)
+		}
+	}
+}
+
+func TestGuardRailsAbortRunawaySimulation(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	o := tiny()
+	o.MaxCycles = 500 // far below what warmup needs
+	err := Run("tab8", o)
+	if !errors.Is(err, sim.ErrCycleLimit) {
+		t.Fatalf("want sim.ErrCycleLimit through the harness, got %v", err)
 	}
 }

@@ -74,15 +74,20 @@ func runFig3(o *Options) error {
 func pmcSamples(p synth.Profile, o *Options) ([]pmc.Sample, error) {
 	cfg := sim.ScaledConfig(1, o.Scale)
 	cfg.LLCPolicy = "lru"
+	o.applyGuards(&cfg)
 	s, err := sim.New(cfg, []trace.Reader{synth.NewScaledGenerator(p, 1, o.Scale)})
 	if err != nil {
 		return nil, err
 	}
 	var samples []pmc.Sample
-	s.RunInstructions(o.Warmup)
+	if _, err := s.RunInstructions(o.Warmup); err != nil {
+		return nil, err
+	}
 	s.ResetStats()
 	s.PML().OnSample = func(sm pmc.Sample) { samples = append(samples, sm) }
-	s.RunInstructions(o.Measure)
+	if _, err := s.RunInstructions(o.Measure); err != nil {
+		return nil, err
+	}
 	return samples, nil
 }
 
@@ -371,6 +376,7 @@ func runFig10(o *Options) error {
 			cfg := sim.ScaledConfig(4, o.Scale)
 			cfg.LLCPolicy = scheme
 			cfg.Prefetch = true
+			o.applyGuards(&cfg)
 			return sim.Run(cfg, traces, o.Warmup, o.Measure)
 		}
 		base, err := run("lru")
@@ -433,7 +439,11 @@ func runFig10(o *Options) error {
 // plus Mockingjay): geomean speedup over LRU at each core count.
 func runScalabilitySpec(prefetch bool, id string) func(o *Options) error {
 	return func(o *Options) error {
-		profiles, err := o.specProfiles(subsetProfiles(ScalabilitySubset()))
+		subset, err := subsetProfiles(ScalabilitySubset())
+		if err != nil {
+			return err
+		}
+		profiles, err := o.specProfiles(subset)
 		if err != nil {
 			return err
 		}
@@ -511,7 +521,11 @@ func runScalability(o *Options, workloads []scaleWorkload, schemes []string, pre
 // runTab11 reproduces Table XI: AOCPA per core count (LRU with
 // prefetching), averaged over the scalability subset.
 func runTab11(o *Options) error {
-	profiles, err := o.specProfiles(subsetProfiles(ScalabilitySubset()))
+	subset, err := subsetProfiles(ScalabilitySubset())
+	if err != nil {
+		return err
+	}
+	profiles, err := o.specProfiles(subset)
 	if err != nil {
 		return err
 	}
@@ -551,16 +565,16 @@ func profiles2names(ps []synth.Profile, kind string) []scaleWorkload {
 	return out
 }
 
-func subsetProfiles(names []string) []synth.Profile {
+func subsetProfiles(names []string) ([]synth.Profile, error) {
 	var out []synth.Profile
 	for _, n := range names {
 		p, err := synth.Lookup(n)
 		if err != nil {
-			panic(err)
+			return nil, fmt.Errorf("harness: workload subset: %w", err)
 		}
 		out = append(out, p)
 	}
-	return out
+	return out, nil
 }
 
 // syncMap guards the shared result maps built by parallel jobs.

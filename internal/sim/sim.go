@@ -7,12 +7,14 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"care/internal/cache"
 	careplc "care/internal/core/care"
 	"care/internal/core/pmc"
 	"care/internal/cpu"
 	"care/internal/dram"
+	"care/internal/faultinject"
 	"care/internal/mem"
 	"care/internal/prefetch"
 	"care/internal/replacement"
@@ -59,6 +61,31 @@ type Config struct {
 	// the private L1/L2 copies. The paper's ChampSim hierarchy is
 	// non-inclusive (the default here).
 	InclusiveLLC bool
+
+	// ---- simulation integrity (all off-by-default or passive) ----
+
+	// WatchdogWindow is the forward-progress window in cycles: a run
+	// with no retirement and no cache/DRAM event for this long aborts
+	// with ErrNoProgress and a diagnostic dump. 0 uses
+	// DefaultWatchdogWindow; DisableWatchdog turns detection off.
+	WatchdogWindow  uint64
+	DisableWatchdog bool
+	// MaxCycles aborts the run with ErrCycleLimit once the global
+	// cycle counter reaches it (0 = no explicit cap). The CLIs expose
+	// it as -max-cycles.
+	MaxCycles uint64
+	// WallClockTimeout aborts the run with ErrTimeout once the wall
+	// clock (measured from the first executed cycle) exceeds it (0 =
+	// none). It never alters results of runs that finish in time.
+	WallClockTimeout time.Duration
+	// CheckInvariants enables the runtime invariant sweep every
+	// InvariantEvery cycles (0 = DefaultInvariantEvery); violations
+	// abort with ErrInvariant.
+	CheckInvariants bool
+	InvariantEvery  uint64
+	// Faults enables deterministic fault injection (nil = none). See
+	// internal/faultinject.
+	Faults *faultinject.Config
 }
 
 // DefaultConfig returns the paper's full-size configuration for the
@@ -109,6 +136,19 @@ type System struct {
 	pml   *pmc.Logic
 	tlbs  []*vmem.TLB
 	cycle uint64
+
+	// Fault injection (nil unless cfg.Faults is enabled).
+	injector *faultinject.Injector
+	faultMem *faultinject.Memory
+
+	// Forward-progress watchdog state.
+	watchSig  uint64
+	watchLast uint64
+	// pmcSlack is the PMC accrued by in-flight misses at the last
+	// ResetStats, the offset the ΣPMC invariant must allow for.
+	pmcSlack float64
+	// wallStart anchors WallClockTimeout; set on the first cycle.
+	wallStart time.Time
 }
 
 // New builds a system running one trace per core. len(traces) must
@@ -136,6 +176,14 @@ func New(cfg Config, traces []trace.Reader) (*System, error) {
 	}
 
 	s := &System{cfg: cfg}
+	if cfg.Faults.Enabled() {
+		s.injector = faultinject.New(*cfg.Faults)
+		wrapped := make([]trace.Reader, len(traces))
+		for i, t := range traces {
+			wrapped[i] = s.injector.WrapTrace(t)
+		}
+		traces = wrapped
+	}
 
 	channels := cfg.DRAMChannels
 	if channels == 0 {
@@ -151,7 +199,13 @@ func New(cfg Config, traces []trace.Reader) (*System, error) {
 		Latency: cfg.LLC.Latency, MSHREntries: cfg.LLC.MSHREntries,
 		Cores: cfg.Cores,
 	}, llcPolicy)
-	s.llc.SetLower(s.mem)
+	if s.injector != nil {
+		// Interpose drop/delay faults between the LLC and DRAM.
+		s.faultMem = s.injector.WrapMemory(s.mem)
+		s.llc.SetLower(s.faultMem)
+	} else {
+		s.llc.SetLower(s.mem)
+	}
 
 	// The PML measures PMC at the LLC (the paper's target level) and,
 	// in the same pass, the MLP-based cost SBAR/M-CARE consume.
@@ -244,6 +298,9 @@ func (s *System) CAREStats() *careplc.Stats {
 
 // step advances the whole system one cycle.
 func (s *System) step() {
+	if s.injector != nil {
+		s.injector.OnCycle(s.cycle, s.llc)
+	}
 	for _, c := range s.cores {
 		c.Tick(s.cycle)
 	}
@@ -255,14 +312,65 @@ func (s *System) step() {
 	}
 	s.llc.Tick(s.cycle)
 	s.mem.Tick(s.cycle)
+	if s.faultMem != nil {
+		s.faultMem.Tick(s.cycle)
+	}
 	s.cycle++
+}
+
+// guard runs the integrity checks on the watchdog stride: component
+// errors, forward progress, the opt-in invariant sweep, and the
+// optional cycle/wall-clock caps. It is the single choke point every
+// run loop polls.
+func (s *System) guard() error {
+	if s.cfg.MaxCycles > 0 && s.cycle >= s.cfg.MaxCycles {
+		return s.failf(ErrCycleLimit, "cycle %d reached the configured cap %d", s.cycle, s.cfg.MaxCycles)
+	}
+	if s.cycle%watchdogStride != 0 {
+		return nil
+	}
+	if err := s.componentErr(); err != nil {
+		return err
+	}
+	if !s.cfg.DisableWatchdog {
+		if err := s.checkProgress(); err != nil {
+			return err
+		}
+	}
+	if s.cfg.CheckInvariants {
+		every := s.cfg.InvariantEvery
+		if every == 0 {
+			every = DefaultInvariantEvery
+		}
+		if s.cycle%every < watchdogStride {
+			if err := s.checkInvariantsErr(); err != nil {
+				return err
+			}
+		}
+	}
+	if s.cfg.WallClockTimeout > 0 && s.cycle%8192 == 0 {
+		if s.wallStart.IsZero() {
+			s.wallStart = time.Now()
+		} else if elapsed := time.Since(s.wallStart); elapsed > s.cfg.WallClockTimeout {
+			return s.failf(ErrTimeout, "wall clock %s exceeded the configured timeout %s",
+				elapsed.Round(time.Millisecond), s.cfg.WallClockTimeout)
+		}
+	}
+	return nil
 }
 
 // RunInstructions advances until every core has retired at least n
 // more instructions (or exhausted its trace), with a generous cycle
-// cap to guarantee termination. It returns the cycles executed.
-func (s *System) RunInstructions(n uint64) uint64 {
+// cap to guarantee termination even with the watchdog disabled. It
+// returns the cycles executed and the first integrity failure: a
+// *FailureError wrapping ErrNoProgress / ErrCycleLimit / ErrTimeout /
+// ErrInvariant, or a propagated component error (e.g. a corrupt
+// trace terminating a core's stream).
+func (s *System) RunInstructions(n uint64) (uint64, error) {
 	start := s.cycle
+	if s.cfg.WallClockTimeout > 0 && s.wallStart.IsZero() {
+		s.wallStart = time.Now()
+	}
 	targets := make([]uint64, len(s.cores))
 	for i, c := range s.cores {
 		targets[i] = c.Retired() + n
@@ -281,12 +389,19 @@ func (s *System) RunInstructions(n uint64) uint64 {
 			break
 		}
 		s.step()
+		if err := s.guard(); err != nil {
+			return s.cycle - start, err
+		}
 	}
-	return s.cycle - start
+	// A core whose trace died is "exhausted" and would otherwise
+	// satisfy the retirement targets silently.
+	return s.cycle - start, s.componentErr()
 }
 
-// Drain runs until all queues empty (after traces end), bounded.
-func (s *System) Drain() {
+// Drain runs until all queues empty (after traces end), bounded. It
+// returns the first integrity failure, with the same semantics as
+// RunInstructions.
+func (s *System) Drain() error {
 	limit := s.cycle + 1_000_000
 	for s.cycle < limit {
 		idle := s.llc.Drained() && s.mem.Drained()
@@ -296,11 +411,18 @@ func (s *System) Drain() {
 		for _, c := range s.l2s {
 			idle = idle && c.Drained()
 		}
+		if s.faultMem != nil {
+			idle = idle && s.faultMem.Held() == 0
+		}
 		if idle {
-			return
+			return s.componentErr()
 		}
 		s.step()
+		if err := s.guard(); err != nil {
+			return err
+		}
 	}
+	return s.componentErr()
 }
 
 // ResetStats zeroes every component's counters; call at the end of
@@ -318,6 +440,9 @@ func (s *System) ResetStats() {
 	s.llc.ResetStats()
 	s.mem.ResetStats()
 	s.pml.ResetStats()
+	// In-flight misses keep PMC accrued before the reset; the ΣPMC
+	// invariant must discount it.
+	s.pmcSlack = s.inflightPMC()
 }
 
 // Result is the summary of one simulation run.
@@ -373,16 +498,23 @@ func (r Result) IPCSum() float64 {
 }
 
 // Run is the one-call entry point used by experiments: build a
-// system, warm it up, measure, and return the result.
+// system, warm it up, measure, and return the result. Integrity
+// failures (watchdog, invariant checker, corrupt traces, cycle and
+// wall-clock caps) surface as errors; the partial Result is still
+// returned alongside them for post-mortem inspection.
 func Run(cfg Config, traces []trace.Reader, warmup, measure uint64) (Result, error) {
 	s, err := New(cfg, traces)
 	if err != nil {
 		return Result{}, err
 	}
 	if warmup > 0 {
-		s.RunInstructions(warmup)
+		if _, err := s.RunInstructions(warmup); err != nil {
+			return s.Snapshot(), err
+		}
 	}
 	s.ResetStats()
-	s.RunInstructions(measure)
+	if _, err := s.RunInstructions(measure); err != nil {
+		return s.Snapshot(), err
+	}
 	return s.Snapshot(), nil
 }

@@ -20,6 +20,17 @@ func mcfTraces(n int) []trace.Reader {
 	return out
 }
 
+// mustRun advances the system and fails the test on any simulation
+// failure (watchdog, invariant, component error).
+func mustRun(t *testing.T, s *System, n uint64) uint64 {
+	t.Helper()
+	cycles, err := s.RunInstructions(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cycles
+}
+
 func TestNewValidation(t *testing.T) {
 	cfg := ScaledConfig(2, 16)
 	if _, err := New(cfg, mcfTraces(1)); err == nil {
@@ -41,7 +52,7 @@ func TestSingleCoreRunProgresses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cycles := s.RunInstructions(20000)
+	cycles := mustRun(t, s, 20000)
 	if cycles == 0 {
 		t.Fatal("no cycles executed")
 	}
@@ -84,7 +95,7 @@ func TestWarmupResetsStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.RunInstructions(10000)
+	mustRun(t, s, 10000)
 	s.ResetStats()
 	r := s.Snapshot()
 	if r.CoreInstructions[0] != 0 || r.Cycles != 0 {
@@ -125,7 +136,7 @@ func TestCAREWiring(t *testing.T) {
 	if s.CAREStats() == nil {
 		t.Fatal("CARE stats should be exposed")
 	}
-	s.RunInstructions(30000)
+	mustRun(t, s, 30000)
 	cs := s.CAREStats()
 	total := cs.InsertHighReuse + cs.InsertLowReuse + cs.InsertModerate + cs.InsertWriteback
 	if total == 0 {
@@ -150,7 +161,7 @@ func TestPrefetchingGeneratesPrefetchTraffic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.RunInstructions(30000)
+	mustRun(t, s, 30000)
 	// L2 sees prefetch requests from the IP-stride prefetcher; the
 	// LLC sees the L1/L2 prefetch misses descending.
 	if s.LLC().Stats().PrefetchAccesses == 0 {
@@ -223,8 +234,10 @@ func TestDrainFinishes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.RunInstructions(5000)
-	s.Drain()
+	mustRun(t, s, 5000)
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
 	if !s.LLC().Drained() {
 		t.Fatal("LLC should drain")
 	}
@@ -243,7 +256,7 @@ func TestTLBEnabledRunWorks(t *testing.T) {
 	if s.TLBFor(5) != nil {
 		t.Fatal("out-of-range TLB query must be nil")
 	}
-	s.RunInstructions(15000)
+	mustRun(t, s, 15000)
 	ts := s.TLBFor(0).Stats()
 	if ts.Lookups == 0 || ts.WalksIssued == 0 {
 		t.Fatalf("translation activity expected, got %+v", ts)

@@ -20,6 +20,12 @@ import (
 	"care/internal/mem"
 )
 
+// ErrCorrupt marks a structurally invalid trace: bad magic, a
+// truncated record, or an underlying read failure mid-stream. Callers
+// can match it with errors.Is to distinguish malformed input from a
+// cleanly exhausted trace (io.EOF).
+var ErrCorrupt = errors.New("trace: corrupt trace")
+
 // Record is one memory instruction in a trace.
 type Record struct {
 	// PC is the program counter of the memory instruction.
@@ -221,10 +227,10 @@ func Read(r io.Reader) ([]Record, error) {
 	br := bufio.NewReader(r)
 	var m [8]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, fmt.Errorf("trace: read magic: %w", err)
+		return nil, fmt.Errorf("%w: read magic: %v", ErrCorrupt, err)
 	}
 	if m != magic {
-		return nil, errors.New("trace: bad magic (not a CARE trace file)")
+		return nil, fmt.Errorf("%w: bad magic (not a CARE trace file)", ErrCorrupt)
 	}
 	var records []Record
 	var buf [recordSize]byte
@@ -234,7 +240,7 @@ func Read(r io.Reader) ([]Record, error) {
 			return records, nil
 		}
 		if err != nil {
-			return nil, fmt.Errorf("trace: read record: %w", err)
+			return nil, fmt.Errorf("%w: read record: %v", ErrCorrupt, err)
 		}
 		flags := binary.LittleEndian.Uint16(buf[16:])
 		records = append(records, Record{
@@ -288,10 +294,10 @@ func NewFileReader(r io.Reader) (*FileReader, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	var m [8]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, fmt.Errorf("trace: read magic: %w", err)
+		return nil, fmt.Errorf("%w: read magic: %v", ErrCorrupt, err)
 	}
 	if m != magic {
-		return nil, errors.New("trace: bad magic (not a CARE trace file)")
+		return nil, fmt.Errorf("%w: bad magic (not a CARE trace file)", ErrCorrupt)
 	}
 	return &FileReader{br: br}, nil
 }
@@ -302,7 +308,7 @@ func (f *FileReader) Next() (Record, error) {
 		if errors.Is(err, io.EOF) {
 			return Record{}, io.EOF
 		}
-		return Record{}, fmt.Errorf("trace: read record: %w", err)
+		return Record{}, fmt.Errorf("%w: read record: %v", ErrCorrupt, err)
 	}
 	flags := binary.LittleEndian.Uint16(f.buf[16:])
 	return Record{
