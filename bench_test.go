@@ -72,6 +72,15 @@ func BenchmarkSimulationLRU(b *testing.B) {
 
 func benchSimulation(b *testing.B, policy string) {
 	b.Helper()
+	benchSimulationTelemetry(b, policy, "")
+}
+
+// benchSimulationTelemetry runs the 4-core mcf/CARE workload with an
+// optional streaming telemetry sink, reporting simulated instructions
+// per second. Comparing the "" and "jsonl" variants quantifies the
+// collector's overhead (DESIGN.md §7 records the expectation: <2%).
+func benchSimulationTelemetry(b *testing.B, policy, format string) {
+	b.Helper()
 	const instr = 50_000
 	for i := 0; i < b.N; i++ {
 		traces := make([]care.TraceReader, 4)
@@ -81,11 +90,35 @@ func benchSimulation(b *testing.B, policy string) {
 		cfg := care.ScaledConfig(4, 16)
 		cfg.LLCPolicy = policy
 		cfg.Prefetch = true
+		if format != "" {
+			sink, err := care.NewTelemetrySink(format, io.Discard)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg.Telemetry = care.NewTelemetryCollector(care.TelemetryOptions{
+				Interval: 10_000,
+				Tag:      "bench",
+				Sink:     sink,
+			})
+		}
 		if _, err := care.RunSimulation(cfg, traces, 5_000, instr); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ReportMetric(float64(instr*4*b.N)/b.Elapsed().Seconds(), "instr/s")
+}
+
+// BenchmarkSimulationTelemetryOff is the baseline for the telemetry
+// overhead comparison (identical to BenchmarkSimulationCARE).
+func BenchmarkSimulationTelemetryOff(b *testing.B) {
+	benchSimulationTelemetry(b, "care", "")
+}
+
+// BenchmarkSimulationTelemetryJSONL runs the same workload with a
+// 10k-cycle JSONL telemetry stream (an aggressive interval; the
+// default is 100k cycles, making the overhead smaller still).
+func BenchmarkSimulationTelemetryJSONL(b *testing.B) {
+	benchSimulationTelemetry(b, "care", "jsonl")
 }
 
 // BenchmarkTraceGeneration measures the synthetic workload generator.

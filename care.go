@@ -42,6 +42,7 @@ import (
 	"care/internal/replacement"
 	"care/internal/sim"
 	"care/internal/synth"
+	"care/internal/telemetry"
 	"care/internal/trace"
 )
 
@@ -189,6 +190,46 @@ func HardwareCostKB() (total, concurrency float64) {
 	items := careplc.HardwareCost(careplc.PaperHWConfig())
 	return careplc.TotalKB(items, false), careplc.TotalKB(items, true)
 }
+
+// ---- telemetry ----
+
+// TelemetryCollector samples interval-resolved metrics (per-core
+// IPC/MPKI, LLC and DRAM behaviour, DTRM state) from a running
+// simulation without perturbing it; attach one via
+// SystemConfig.Telemetry. See internal/telemetry.
+type TelemetryCollector = telemetry.Collector
+
+// TelemetryOptions configures a collector (interval, tag, sink).
+type TelemetryOptions = telemetry.Options
+
+// TelemetrySink receives the sampled interval series ("csv", "jsonl",
+// "prom", or in-memory).
+type TelemetrySink = telemetry.Sink
+
+// TelemetryInterval is one sampled interval record.
+type TelemetryInterval = telemetry.Interval
+
+// TelemetryMemory is the retaining in-memory sink.
+type TelemetryMemory = telemetry.Memory
+
+// NewTelemetryCollector creates a collector; pass it to a single
+// simulation via SystemConfig.Telemetry.
+func NewTelemetryCollector(opts TelemetryOptions) *TelemetryCollector {
+	return telemetry.NewCollector(opts)
+}
+
+// NewTelemetrySink builds a streaming sink by format name ("csv",
+// "jsonl", "prom") writing to w.
+func NewTelemetrySink(format string, w io.Writer) (TelemetrySink, error) {
+	return telemetry.NewSink(format, w)
+}
+
+// NewTelemetryMemory creates an in-memory sink for programmatic
+// series access.
+func NewTelemetryMemory() *TelemetryMemory { return telemetry.NewMemory() }
+
+// TelemetryFormats lists the streaming sink formats.
+func TelemetryFormats() []string { return telemetry.Formats() }
 
 // ---- experiments ----
 

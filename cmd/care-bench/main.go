@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"care/internal/harness"
+	"care/internal/telemetry"
 )
 
 func main() {
@@ -39,6 +40,10 @@ func main() {
 		maxCycles = flag.Uint64("max-cycles", 0, "abort any single simulation after this many cycles (0 = unlimited)")
 		timeout   = flag.Duration("timeout", 0, "abort any single simulation after this much wall-clock time (0 = unlimited)")
 		checkInv  = flag.Bool("check-invariants", false, "verify runtime invariants in every simulation")
+
+		telFormat   = flag.String("telemetry", "", "record per-simulation interval telemetry in this format: "+strings.Join(telemetry.Formats(), ", ")+" (empty = off)")
+		telInterval = flag.Uint64("telemetry-interval", telemetry.DefaultInterval, "telemetry sampling interval in cycles")
+		telOut      = flag.String("telemetry-out", "", "telemetry output file (empty = care-bench-telemetry.<ext>, \"-\" = stdout); experiments append to one stream")
 	)
 	flag.Parse()
 
@@ -64,6 +69,32 @@ func main() {
 		MaxCycles:       *maxCycles,
 		Timeout:         *timeout,
 		CheckInvariants: *checkInv,
+	}
+	if *telFormat != "" {
+		if !telemetry.ValidFormat(*telFormat) {
+			fmt.Fprintf(os.Stderr, "care-bench: -telemetry %s: unknown format (have %s)\n",
+				*telFormat, strings.Join(telemetry.Formats(), ", "))
+			os.Exit(2)
+		}
+		opts.Telemetry = *telFormat
+		opts.TelemetryInterval = *telInterval
+		switch *telOut {
+		case "-":
+			opts.TelemetryOut = os.Stdout
+		default:
+			path := *telOut
+			if path == "" {
+				path = "care-bench-telemetry" + telemetry.Ext(*telFormat)
+			}
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "care-bench:", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			opts.TelemetryOut = f
+			fmt.Printf("telemetry: %s intervals every %d cycles -> %s\n\n", *telFormat, *telInterval, path)
+		}
 	}
 	if *workloads != "" {
 		opts.Workloads = strings.Split(*workloads, ",")

@@ -1,0 +1,255 @@
+// Command care-report renders interval telemetry recorded by care-sim
+// or care-bench (-telemetry jsonl) as per-phase summary tables: phase-
+// sliced IPC/MPKI, the DTRM threshold trajectory, and — when two runs
+// are compared — per-interval deltas between policies.
+//
+// Usage:
+//
+//	care-report telemetry.jsonl
+//	care-report -md a.jsonl b.jsonl > report.md
+//	care-sim -telemetry jsonl -telemetry-out - | care-report
+//	care-report -compare spec/429.mcf/lru/c4,spec/429.mcf/care/c4 bench.jsonl
+//
+// Exits nonzero on unreadable or malformed input, so CI smoke jobs
+// can gate on it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"care/internal/stats"
+	"care/internal/telemetry"
+)
+
+func main() {
+	var (
+		md      = flag.Bool("md", false, "emit markdown tables instead of aligned text")
+		tol     = flag.Float64("tol", telemetry.DefaultPhaseTolerance, "relative IPC deviation that opens a new phase")
+		warmup  = flag.Bool("warmup", false, "include warmup intervals in the analysis")
+		compare = flag.String("compare", "", "two comma-separated tags to diff interval-by-interval (default: automatic when exactly two series are present)")
+	)
+	flag.Parse()
+
+	series, err := load(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "care-report:", err)
+		os.Exit(1)
+	}
+	if len(series) == 0 {
+		fmt.Fprintln(os.Stderr, "care-report: no telemetry series in input")
+		os.Exit(1)
+	}
+
+	r := reporter{md: *md, out: os.Stdout}
+	for i := range series {
+		ivs := series[i].Intervals
+		if !*warmup {
+			ivs = telemetry.Measured(ivs)
+		}
+		r.series(series[i].Meta, ivs, *tol)
+	}
+	if err := r.compare(series, *compare, *warmup); err != nil {
+		fmt.Fprintln(os.Stderr, "care-report:", err)
+		os.Exit(1)
+	}
+}
+
+// load reads every named file (stdin when none) and concatenates the
+// parsed series.
+func load(paths []string) ([]telemetry.Series, error) {
+	if len(paths) == 0 {
+		return telemetry.ReadJSONL(os.Stdin)
+	}
+	var out []telemetry.Series
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		s, err := telemetry.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		out = append(out, s...)
+	}
+	return out, nil
+}
+
+// reporter renders tables in the selected format.
+type reporter struct {
+	md  bool
+	out io.Writer
+}
+
+func (r *reporter) heading(format string, args ...interface{}) {
+	if r.md {
+		fmt.Fprintf(r.out, "## "+format+"\n\n", args...)
+		return
+	}
+	title := fmt.Sprintf(format, args...)
+	fmt.Fprintf(r.out, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+}
+
+func (r *reporter) subheading(format string, args ...interface{}) {
+	if r.md {
+		fmt.Fprintf(r.out, "### "+format+"\n\n", args...)
+		return
+	}
+	fmt.Fprintf(r.out, "%s\n", fmt.Sprintf(format, args...))
+}
+
+func (r *reporter) table(t *stats.Table) {
+	if r.md {
+		fmt.Fprintln(r.out, t.Markdown())
+		return
+	}
+	fmt.Fprintln(r.out, t.String())
+}
+
+// series renders one run: summary line, phase table, DTRM trajectory.
+func (r *reporter) series(meta telemetry.Meta, ivs []telemetry.Interval, tol float64) {
+	r.heading("%s", meta.Tag)
+	if len(ivs) == 0 {
+		fmt.Fprintln(r.out, "no intervals (warmup only?)")
+		fmt.Fprintln(r.out)
+		return
+	}
+	first, last := ivs[0], ivs[len(ivs)-1]
+	var instr uint64
+	for _, iv := range ivs {
+		instr += iv.Instructions()
+	}
+	fmt.Fprintf(r.out, "policy=%s cores=%d interval=%d cycles: %d intervals, cycles %d-%d, %d instructions\n\n",
+		meta.Policy, meta.Cores, meta.Interval, len(ivs), first.Start, last.End, instr)
+
+	phases := telemetry.SegmentPhases(ivs, tol)
+	r.subheading("Phases (IPC tolerance %.0f%%)", tol*100)
+	hasCARE := false
+	for _, p := range phases {
+		if p.HasCARE {
+			hasCARE = true
+		}
+	}
+	head := []string{"phase", "intervals", "cycles", "IPC", "MPKI", "miss rate", "pMR", "mean PMC"}
+	if hasCARE {
+		head = append(head, "PMC_low", "PMC_high", "epochs")
+	}
+	t := stats.NewTable(head...)
+	for i, p := range phases {
+		row := []interface{}{
+			i,
+			fmt.Sprintf("%d-%d", p.First, p.Last),
+			fmt.Sprintf("%d-%d", p.StartCycle, p.EndCycle),
+			p.IPC, fmt.Sprintf("%.2f", p.MPKI),
+			p.MissRate, p.PureMissRate, fmt.Sprintf("%.1f", p.MeanPMC),
+		}
+		if hasCARE {
+			row = append(row, fmt.Sprintf("%.0f", p.PMCLow), fmt.Sprintf("%.0f", p.PMCHigh), p.Epochs)
+		}
+		t.AddRow(row...)
+	}
+	r.table(t)
+
+	if hasCARE {
+		r.dtrm(ivs)
+	}
+}
+
+// dtrm prints the threshold trajectory: the first interval and every
+// interval where DTRM moved a threshold or completed an epoch burst.
+func (r *reporter) dtrm(ivs []telemetry.Interval) {
+	t := stats.NewTable("interval", "end cycle", "PMC_low", "PMC_high", "epoch", "raises", "lowers", "costly")
+	rows := 0
+	var prevLow, prevHigh float64
+	for i, iv := range ivs {
+		c := iv.CARE
+		if c == nil {
+			continue
+		}
+		if i > 0 && c.PMCLow == prevLow && c.PMCHigh == prevHigh && c.Raises == 0 && c.Lowers == 0 {
+			continue
+		}
+		prevLow, prevHigh = c.PMCLow, c.PMCHigh
+		t.AddRow(iv.Index, iv.End, fmt.Sprintf("%.0f", c.PMCLow), fmt.Sprintf("%.0f", c.PMCHigh),
+			c.Epoch, c.Raises, c.Lowers, c.CostlyMisses)
+		rows++
+	}
+	if rows == 0 {
+		return
+	}
+	r.subheading("DTRM threshold trajectory (intervals with movement)")
+	r.table(t)
+}
+
+// compare renders the interval-by-interval IPC/MPKI delta between two
+// series: the explicit -compare pair, or the only two series present.
+func (r *reporter) compare(series []telemetry.Series, spec string, warmup bool) error {
+	var a, b *telemetry.Series
+	switch {
+	case spec != "":
+		tags := strings.Split(spec, ",")
+		if len(tags) != 2 {
+			return fmt.Errorf("-compare wants exactly two comma-separated tags, got %q", spec)
+		}
+		for i := range series {
+			switch series[i].Meta.Tag {
+			case strings.TrimSpace(tags[0]):
+				a = &series[i]
+			case strings.TrimSpace(tags[1]):
+				b = &series[i]
+			}
+		}
+		if a == nil || b == nil {
+			known := make([]string, 0, len(series))
+			for i := range series {
+				known = append(known, series[i].Meta.Tag)
+			}
+			return fmt.Errorf("-compare tags not found (have %s)", strings.Join(known, ", "))
+		}
+	case len(series) == 2:
+		a, b = &series[0], &series[1]
+	default:
+		return nil
+	}
+
+	ivA, ivB := a.Intervals, b.Intervals
+	if !warmup {
+		ivA, ivB = telemetry.Measured(ivA), telemetry.Measured(ivB)
+	}
+	n := len(ivA)
+	if len(ivB) < n {
+		n = len(ivB)
+	}
+	if n == 0 {
+		return nil
+	}
+	r.heading("%s vs %s", a.Meta.Tag, b.Meta.Tag)
+	fmt.Fprintf(r.out, "aligned by interval index over %d intervals (A = %s, B = %s)\n\n",
+		n, a.Meta.Tag, b.Meta.Tag)
+	t := stats.NewTable("interval", "IPC A", "IPC B", "ΔIPC", "Δ%", "MPKI A", "MPKI B", "ΔMPKI")
+	var sumA, sumB float64
+	for i := 0; i < n; i++ {
+		x, y := ivA[i], ivB[i]
+		dIPC := y.IPC() - x.IPC()
+		pct := 0.0
+		if x.IPC() > 0 {
+			pct = dIPC / x.IPC() * 100
+		}
+		sumA += x.IPC()
+		sumB += y.IPC()
+		t.AddRow(i, x.IPC(), y.IPC(), fmt.Sprintf("%+.4f", dIPC), fmt.Sprintf("%+.1f", pct),
+			fmt.Sprintf("%.2f", x.MPKI()), fmt.Sprintf("%.2f", y.MPKI()),
+			fmt.Sprintf("%+.2f", y.MPKI()-x.MPKI()))
+	}
+	r.table(t)
+	if sumA > 0 {
+		fmt.Fprintf(r.out, "mean aggregate IPC: A=%.4f B=%.4f (B/A = %.4f)\n",
+			sumA/float64(n), sumB/float64(n), sumB/sumA)
+	}
+	return nil
+}

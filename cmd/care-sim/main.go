@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -24,6 +25,7 @@ import (
 	"care/internal/sim"
 	"care/internal/stats"
 	"care/internal/synth"
+	"care/internal/telemetry"
 	"care/internal/trace"
 )
 
@@ -43,6 +45,9 @@ func main() {
 		timeout       = flag.Duration("timeout", 0, "abort after this much wall-clock time, e.g. 30s (0 = unlimited)")
 		checkInv      = flag.Bool("check-invariants", false, "verify runtime invariants (cache accounting, EPV range, PMC conservation) during the run")
 		faults        = flag.String("faults", "", "deterministic fault-injection spec, e.g. seed=1,dram-drop=200 (keys: seed, trace-corrupt, trace-flip, dram-drop, dram-delay, dram-delay-cycles, mshr-saturate, meta-flip)")
+		telFormat     = flag.String("telemetry", "", "record interval-resolved telemetry in this format: "+strings.Join(telemetry.Formats(), ", ")+" (empty = off)")
+		telInterval   = flag.Uint64("telemetry-interval", telemetry.DefaultInterval, "telemetry sampling interval in cycles")
+		telOut        = flag.String("telemetry-out", "", "telemetry output file (empty = care-sim-telemetry.<ext>, \"-\" = stdout)")
 	)
 	flag.Parse()
 
@@ -94,6 +99,52 @@ func main() {
 		cfg.Faults = &fc
 	}
 
+	// Optional interval telemetry: one collector for the whole run,
+	// tagged with the workload/policy identity, streaming straight to
+	// the selected sink.
+	var (
+		col     *telemetry.Collector
+		telPath string
+		telFile *os.File
+	)
+	if *telFormat != "" {
+		if !telemetry.ValidFormat(*telFormat) {
+			fmt.Fprintf(os.Stderr, "care-sim: -telemetry %s: unknown format (have %s)\n",
+				*telFormat, strings.Join(telemetry.Formats(), ", "))
+			os.Exit(2)
+		}
+		var w io.Writer
+		switch *telOut {
+		case "-":
+			w = os.Stdout
+		case "":
+			telPath = "care-sim-telemetry" + telemetry.Ext(*telFormat)
+			fallthrough
+		default:
+			if telPath == "" {
+				telPath = *telOut
+			}
+			f, err := os.Create(telPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "care-sim:", err)
+				os.Exit(2)
+			}
+			telFile = f
+			w = f
+		}
+		sink, err := telemetry.NewSink(*telFormat, w)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "care-sim:", err)
+			os.Exit(2)
+		}
+		col = telemetry.NewCollector(telemetry.Options{
+			Interval: *telInterval,
+			Tag:      fmt.Sprintf("%s/%s/c%d", *workload, *policy, *cores),
+			Sink:     sink,
+		})
+		cfg.Telemetry = col
+	}
+
 	s, err := sim.New(cfg, traces)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "care-sim:", err)
@@ -103,6 +154,9 @@ func main() {
 	// violation, corrupt trace) carries its own diagnostic dump; print
 	// it and exit nonzero so scripted runs notice.
 	if *warmup > 0 {
+		if col != nil {
+			col.MarkWarmup()
+		}
 		if _, err := s.RunInstructions(*warmup); err != nil {
 			failSim(err)
 		}
@@ -111,11 +165,31 @@ func main() {
 	if _, err := s.RunInstructions(*instr); err != nil {
 		failSim(err)
 	}
+	if col != nil {
+		if err := col.Close(s.Cycle()); err != nil {
+			fmt.Fprintln(os.Stderr, "care-sim: telemetry:", err)
+			os.Exit(1)
+		}
+		if telFile != nil {
+			if err := telFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "care-sim: telemetry:", err)
+				os.Exit(1)
+			}
+		}
+	}
 	r := s.Snapshot()
 
 	fmt.Printf("workload=%s cores=%d policy=%s prefetch=%v scale=%d\n",
 		*workload, *cores, *policy, *prefetch, *scale)
-	fmt.Printf("cycles: %d\n\n", r.Cycles)
+	fmt.Printf("cycles: %d\n", r.Cycles)
+	if col != nil {
+		dest := telPath
+		if dest == "" {
+			dest = "stdout"
+		}
+		fmt.Printf("telemetry: %d intervals (%d-cycle) -> %s\n", col.Count(), col.Interval(), dest)
+	}
+	fmt.Println()
 
 	t := stats.NewTable("core", "instructions", "IPC", "AOCPA")
 	for i := range r.CoreIPC {

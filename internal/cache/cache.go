@@ -99,6 +99,10 @@ type Stats struct {
 // the paper's treatment of writebacks as non-demand requests).
 func (s *Stats) Accesses() uint64 { return s.DemandAccesses + s.PrefetchAccesses }
 
+// Hits returns total demand+prefetch hits (the Accesses complement of
+// Misses; writeback hits are background traffic and excluded).
+func (s *Stats) Hits() uint64 { return s.DemandHits + s.PrefetchHits }
+
 // Misses returns total demand+prefetch misses.
 func (s *Stats) Misses() uint64 { return s.DemandMisses + s.PrefetchMisses }
 

@@ -121,6 +121,7 @@ type Policy struct {
 	tcm             uint64 // costly misses this period
 	missesInPeriod  uint64
 	period          uint64
+	epochs          uint64 // completed DTRM periods
 
 	stats Stats
 }
@@ -131,6 +132,10 @@ type Stats struct {
 	InsertHighReuse, InsertLowReuse, InsertModerate uint64
 	InsertHighCost, InsertLowCost                   uint64
 	InsertWriteback                                 uint64
+	// InsertEPV counts insertions by the EPV they were assigned —
+	// the live picture of how the SBP classification maps onto
+	// eviction priorities (telemetry records per-interval deltas).
+	InsertEPV [epvMax + 1]uint64
 	// DTRM activity.
 	DTRMRaises, DTRMLowers uint64
 	CostlyMisses           uint64
@@ -222,6 +227,12 @@ func (p *Policy) Stats() *Stats { return &p.stats }
 
 // Thresholds returns the current DTRM thresholds (PMC_low, PMC_high).
 func (p *Policy) Thresholds() (low, high float64) { return p.pmcLow, p.pmcHigh }
+
+// Epochs returns the number of completed DTRM periods (threshold
+// reconfiguration opportunities) since the policy was initialised.
+// Epochs advance even when DTRM is disabled or decides not to move
+// the thresholds, so telemetry can attribute intervals to epochs.
+func (p *Policy) Epochs() uint64 { return p.epochs }
 
 // SignatureInfo is one SHT row, for introspection.
 type SignatureInfo struct {
@@ -339,6 +350,7 @@ func (p *Policy) dtrmOnMiss(cost float64) {
 			p.pmcHigh = p.pmcLow + dtrmHighStep
 		}
 	}
+	p.epochs++
 	p.tcm = 0
 	p.missesInPeriod = 0
 }
@@ -433,6 +445,7 @@ func (p *Policy) OnFill(set, way int, blocks []cache.Block, info cache.AccessInf
 		m.writeback = true
 		m.epv = epvMax
 		p.stats.InsertWriteback++
+		p.stats.InsertEPV[m.epv]++
 		return
 	}
 
@@ -466,6 +479,7 @@ func (p *Policy) OnFill(set, way int, blocks []cache.Block, info cache.AccessInf
 			m.epv = 2
 		}
 	}
+	p.stats.InsertEPV[m.epv]++
 }
 
 // OnEvict implements cache.Policy: train RC on dead blocks and PD

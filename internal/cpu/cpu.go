@@ -63,6 +63,11 @@ type Stats struct {
 	ROBStallCycles uint64
 }
 
+// MemRefs returns retired memory operations (loads + stores), the
+// per-interval memory-intensity signal the telemetry collector
+// records.
+func (s *Stats) MemRefs() uint64 { return s.Loads + s.Stores }
+
 // IPC returns retired instructions per cycle.
 func (s *Stats) IPC() float64 {
 	if s.Cycles == 0 {

@@ -239,3 +239,8 @@ func (d *DRAM) PendingReads() int { return len(d.inflight) }
 
 // QueuedWrites returns the posted-write queue depth.
 func (d *DRAM) QueuedWrites() int { return len(d.writeQ) }
+
+// QueueDepth returns the total controller backlog — reads in flight
+// plus buffered writes — the congestion signal the telemetry collector
+// samples at interval boundaries.
+func (d *DRAM) QueueDepth() int { return len(d.inflight) + len(d.writeQ) }

@@ -19,6 +19,7 @@ import (
 	"care/internal/sim"
 	"care/internal/stats"
 	"care/internal/synth"
+	"care/internal/telemetry"
 	"care/internal/trace"
 )
 
@@ -58,6 +59,23 @@ type Options struct {
 	// CheckInvariants enables the opt-in runtime invariant checker in
 	// every simulation the experiment launches.
 	CheckInvariants bool
+	// Telemetry selects an interval-telemetry output format ("csv",
+	// "jsonl", "prom"; empty = off). Every simulation the experiment
+	// actually executes gets its own collector; the per-run series are
+	// merged (sorted by tag) and written to TelemetryOut after the
+	// experiment finishes. Memoised runs recalled from a previous
+	// experiment in the same process do not re-emit series.
+	Telemetry string
+	// TelemetryInterval is the sampling interval in cycles
+	// (0 = telemetry.DefaultInterval).
+	TelemetryInterval uint64
+	// TelemetryOut receives the merged telemetry stream
+	// (nil = io.Discard).
+	TelemetryOut io.Writer
+
+	// registry accumulates per-simulation series while the experiment
+	// runs; Run creates it when Telemetry is set.
+	registry *telemetry.Registry
 }
 
 // Defaults fills unset fields with evaluation-friendly values.
@@ -201,12 +219,43 @@ func Run(id string, o Options) (err error) {
 		return err
 	}
 	o.Defaults()
+	if o.Telemetry != "" {
+		if !telemetry.ValidFormat(o.Telemetry) {
+			return fmt.Errorf("harness: telemetry format %q (have %s)",
+				o.Telemetry, strings.Join(telemetry.Formats(), ", "))
+		}
+		o.registry = telemetry.NewRegistry()
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{ID: "experiment " + id, Value: r, Stack: debug.Stack()}
 		}
 	}()
-	return e.Run(&o)
+	if err := e.Run(&o); err != nil {
+		return err
+	}
+	return o.flushTelemetry()
+}
+
+// flushTelemetry writes the merged per-simulation series collected
+// during the experiment. Single-goroutine: the parallel workers only
+// Add to the registry; merging happens after they have all joined.
+func (o *Options) flushTelemetry() error {
+	if o.registry == nil || o.registry.Len() == 0 {
+		return nil
+	}
+	w := o.TelemetryOut
+	if w == nil {
+		w = io.Discard
+	}
+	sink, err := telemetry.NewSink(o.Telemetry, w)
+	if err != nil {
+		return err
+	}
+	if err := o.registry.WriteTo(sink); err != nil {
+		return fmt.Errorf("harness: telemetry: %w", err)
+	}
+	return nil
 }
 
 // ---- shared simulation plumbing ----
@@ -330,14 +379,42 @@ func runSim(key runKey, o *Options) (sim.Result, error) {
 	cfg.LLCPolicy = key.scheme
 	cfg.Prefetch = key.prefetch
 	o.applyGuards(&cfg)
+
+	// Each concurrently running simulation gets a private collector
+	// and in-memory sink; only the finished, copied series touches the
+	// shared (mutex-guarded) registry, so workers never race.
+	var telSink *telemetry.Memory
+	var col *telemetry.Collector
+	if o.registry != nil {
+		telSink = telemetry.NewMemory()
+		col = telemetry.NewCollector(telemetry.Options{
+			Interval: o.TelemetryInterval,
+			Tag:      key.tag(),
+			Sink:     telSink,
+		})
+		cfg.Telemetry = col
+	}
+
 	r, err := sim.Run(cfg, traces, key.warmup, key.measure)
 	if err != nil {
 		return sim.Result{}, err
+	}
+	if col != nil {
+		o.registry.Add(col.Meta(), telSink.Intervals())
 	}
 	memoMu.Lock()
 	memo[key] = r
 	memoMu.Unlock()
 	return r, nil
+}
+
+// tag renders the run identity used to label its telemetry series.
+func (k runKey) tag() string {
+	t := fmt.Sprintf("%s/%s/%s/c%d", k.kind, k.workload, k.scheme, k.cores)
+	if k.prefetch {
+		t += "/pf"
+	}
+	return t
 }
 
 // applyGuards threads the runaway-simulation guard rails from the

@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"care/internal/telemetry"
+)
+
+// TestTelemetryMergedOutput runs a parallel experiment with telemetry
+// on and checks the merged JSONL stream has one well-formed series per
+// (workload, scheme) simulation. Under -race this also exercises the
+// per-simulation collector / shared registry split.
+func TestTelemetryMergedOutput(t *testing.T) {
+	ResetCache() // memoised runs skip collection; start cold
+	var tel bytes.Buffer
+	o := tiny()
+	o.Parallelism = 4
+	o.Telemetry = "jsonl"
+	o.TelemetryInterval = 2000
+	o.TelemetryOut = &tel
+	runExp(t, "fig7", o)
+
+	series, err := telemetry.ReadJSONL(&tel)
+	if err != nil {
+		t.Fatalf("merged telemetry does not parse: %v", err)
+	}
+	// 2 workloads x 2 schemes.
+	if len(series) != 4 {
+		tags := make([]string, 0, len(series))
+		for _, s := range series {
+			tags = append(tags, s.Meta.Tag)
+		}
+		t.Fatalf("got %d series %v, want 4", len(series), tags)
+	}
+	for i := 1; i < len(series); i++ {
+		if series[i-1].Meta.Tag >= series[i].Meta.Tag {
+			t.Errorf("series not sorted by tag: %q before %q", series[i-1].Meta.Tag, series[i].Meta.Tag)
+		}
+	}
+	for _, s := range series {
+		if s.Meta.Interval != 2000 || s.Meta.Cores != 4 || s.Meta.Policy == "" {
+			t.Errorf("series %q has bad meta %+v", s.Meta.Tag, s.Meta)
+		}
+		if len(telemetry.Measured(s.Intervals)) == 0 {
+			t.Errorf("series %q has no measured intervals", s.Meta.Tag)
+		}
+	}
+}
+
+// TestTelemetryBadFormat: an invalid format is rejected before any
+// simulation runs.
+func TestTelemetryBadFormat(t *testing.T) {
+	o := tiny()
+	o.Telemetry = "xml"
+	if err := Run("fig7", o); err == nil {
+		t.Fatal("invalid telemetry format should error")
+	}
+}
+
+// TestTelemetryMemoisedRunsSkipCollection: a second telemetry run over
+// already-memoised simulations produces no series (documented
+// behaviour) rather than stale or duplicated ones.
+func TestTelemetryMemoisedRunsSkipCollection(t *testing.T) {
+	ResetCache()
+	o := tiny()
+	runExp(t, "fig7", o) // populate the memo without telemetry
+
+	var tel bytes.Buffer
+	o2 := tiny()
+	o2.Telemetry = "jsonl"
+	o2.TelemetryOut = &tel
+	runExp(t, "fig7", o2)
+	if tel.Len() != 0 {
+		t.Errorf("memoised rerun emitted %d bytes of telemetry, want none", tel.Len())
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"care/internal/mem"
 	"care/internal/prefetch"
 	"care/internal/replacement"
+	"care/internal/telemetry"
 	"care/internal/trace"
 	"care/internal/vmem"
 )
@@ -86,6 +87,13 @@ type Config struct {
 	// Faults enables deterministic fault injection (nil = none). See
 	// internal/faultinject.
 	Faults *faultinject.Config
+
+	// Telemetry, when non-nil, attaches an interval-resolved metric
+	// collector to the run (see internal/telemetry). The collector is
+	// bound to this system's components by New and never mutates any
+	// simulation state, so results are identical with and without it;
+	// with a nil collector the only cost is one nil check per cycle.
+	Telemetry *telemetry.Collector
 }
 
 // DefaultConfig returns the paper's full-size configuration for the
@@ -140,6 +148,9 @@ type System struct {
 	// Fault injection (nil unless cfg.Faults is enabled).
 	injector *faultinject.Injector
 	faultMem *faultinject.Memory
+
+	// Interval telemetry (nil unless cfg.Telemetry is set).
+	tele *telemetry.Collector
 
 	// Forward-progress watchdog state.
 	watchSig  uint64
@@ -261,6 +272,12 @@ func New(cfg Config, traces []trace.Reader) (*System, error) {
 			}
 		})
 	}
+	if cfg.Telemetry != nil {
+		if err := cfg.Telemetry.Bind(s.cores, s.llc, s.mem); err != nil {
+			return nil, err
+		}
+		s.tele = cfg.Telemetry
+	}
 	return s, nil
 }
 
@@ -286,6 +303,11 @@ func (s *System) DRAM() *dram.DRAM { return s.mem }
 
 // Core returns core i.
 func (s *System) Core(i int) *cpu.Core { return s.cores[i] }
+
+// Telemetry returns the attached interval collector, or nil. Callers
+// driving RunInstructions directly must Close it themselves to flush
+// the final partial interval (sim.Run does this automatically).
+func (s *System) Telemetry() *telemetry.Collector { return s.tele }
 
 // CAREStats returns the CARE policy counters when the LLC runs
 // CARE/M-CARE, else nil.
@@ -316,6 +338,9 @@ func (s *System) step() {
 		s.faultMem.Tick(s.cycle)
 	}
 	s.cycle++
+	if s.tele != nil {
+		s.tele.Tick(s.cycle)
+	}
 }
 
 // guard runs the integrity checks on the watchdog stride: component
@@ -440,6 +465,11 @@ func (s *System) ResetStats() {
 	s.llc.ResetStats()
 	s.mem.ResetStats()
 	s.pml.ResetStats()
+	if s.tele != nil {
+		// Interval numbering and counter baselines restart with the
+		// measured region.
+		s.tele.Rebase(s.cycle)
+	}
 	// In-flight misses keep PMC accrued before the reset; the ΣPMC
 	// invariant must discount it.
 	s.pmcSlack = s.inflightPMC()
@@ -508,13 +538,35 @@ func Run(cfg Config, traces []trace.Reader, warmup, measure uint64) (Result, err
 		return Result{}, err
 	}
 	if warmup > 0 {
+		if s.tele != nil {
+			s.tele.MarkWarmup()
+		}
 		if _, err := s.RunInstructions(warmup); err != nil {
+			s.closeTelemetry()
 			return s.Snapshot(), err
 		}
 	}
 	s.ResetStats()
 	if _, err := s.RunInstructions(measure); err != nil {
+		s.closeTelemetry()
+		return s.Snapshot(), err
+	}
+	if err := s.closeTelemetry(); err != nil {
 		return s.Snapshot(), err
 	}
 	return s.Snapshot(), nil
+}
+
+// closeTelemetry flushes the final partial interval and closes the
+// sink; a sink failure surfaces as the run's error only when the run
+// itself succeeded (on failed runs it is best-effort flushing for
+// post-mortems).
+func (s *System) closeTelemetry() error {
+	if s.tele == nil {
+		return nil
+	}
+	if err := s.tele.Close(s.cycle); err != nil {
+		return fmt.Errorf("sim: telemetry: %w", err)
+	}
+	return nil
 }

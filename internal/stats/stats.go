@@ -182,6 +182,41 @@ func (t *Table) CSV() string {
 	return b.String()
 }
 
+// Markdown renders the table as a GitHub-flavoured markdown table
+// (pipes in cells are escaped), for reports that land in issues or
+// docs. cmd/care-report -md uses it.
+func (t *Table) Markdown() string {
+	esc := func(c string) string {
+		c = strings.ReplaceAll(c, "|", `\|`)
+		return strings.ReplaceAll(c, "\n", " ")
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		b.WriteByte('|')
+		for _, c := range cells {
+			b.WriteByte(' ')
+			b.WriteString(esc(c))
+			b.WriteString(" |")
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	b.WriteByte('|')
+	for range t.header {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		// Pad short rows so the markdown stays rectangular.
+		row := r
+		for len(row) < len(t.header) {
+			row = append(row, "")
+		}
+		writeRow(row[:len(t.header)])
+	}
+	return b.String()
+}
+
 // String renders the table.
 func (t *Table) String() string {
 	widths := make([]int, len(t.header))

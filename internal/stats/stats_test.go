@@ -164,3 +164,66 @@ func TestTableCSV(t *testing.T) {
 		t.Fatalf("CSV quoting wrong: %q", lines[2])
 	}
 }
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("name", "value", "note")
+	tb.AddRow("alpha", 1.5, "pipe|inside")
+	tb.AddRow("short") // rows shorter than the header are padded
+	out := tb.Markdown()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, separator, 2 rows
+		t.Fatalf("markdown lines = %d, want 4:\n%s", len(lines), out)
+	}
+	if lines[0] != "| name | value | note |" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "|---|---|---|" {
+		t.Fatalf("separator = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], `pipe\|inside`) {
+		t.Fatalf("pipe not escaped: %q", lines[2])
+	}
+	if strings.Count(lines[3], "|") != 4 {
+		t.Fatalf("short row not padded to header width: %q", lines[3])
+	}
+}
+
+func TestTableMarkdownFloats(t *testing.T) {
+	tb := NewTable("v32", "v64")
+	tb.AddRow(float32(0.25), 0.125)
+	out := tb.Markdown()
+	if !strings.Contains(out, "0.2500") || !strings.Contains(out, "0.1250") {
+		t.Fatalf("float formatting lost in markdown:\n%s", out)
+	}
+}
+
+func TestNormalizedWeightedSpeedup(t *testing.T) {
+	got := NormalizedWeightedSpeedup([]float64{2, 2}, []float64{1, 1})
+	if got != 2 {
+		t.Fatalf("NWS = %v, want 2", got)
+	}
+	if NormalizedWeightedSpeedup(nil, nil) != 0 {
+		t.Fatal("empty NWS should be 0")
+	}
+}
+
+func TestHistogramNegativeAndFractions(t *testing.T) {
+	h := NewHistogram(4, 10)
+	h.Add(-5) // clamps into the first bin
+	h.Add(5)
+	h.Add(1000) // clamps into the open-ended last bin
+	if h.Counts[0] != 2 || h.Counts[3] != 1 {
+		t.Fatalf("clamping wrong: %+v", h.Counts)
+	}
+	fr := h.Fractions()
+	if fr[0] != 2.0/3 || fr[3] != 1.0/3 {
+		t.Fatalf("fractions wrong: %v", fr)
+	}
+	var empty Histogram
+	empty.Counts = make([]uint64, 2)
+	for _, f := range empty.Fractions() {
+		if f != 0 {
+			t.Fatal("empty histogram fractions should be 0")
+		}
+	}
+}

@@ -1,0 +1,357 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Sink receives a collector's series: one BeginSeries per run tag,
+// then each completed interval in order. The *Interval passed to Emit
+// is only valid during the call (the collector reuses ring slots);
+// sinks that retain intervals must copy them.
+//
+// Sinks are driven from a single goroutine per collector; the merged
+// writing the Registry does after parallel experiments is also
+// single-goroutine.
+type Sink interface {
+	// BeginSeries announces a new run's metadata. Merged outputs call
+	// it once per tag.
+	BeginSeries(m Meta) error
+	// Emit streams one completed interval.
+	Emit(iv *Interval) error
+	// Close flushes buffered output. It does not close the underlying
+	// writer.
+	Close() error
+}
+
+// Formats lists the selectable sink formats for -telemetry flags.
+func Formats() []string { return []string{"csv", "jsonl", "prom"} }
+
+// ValidFormat reports whether name names a writable sink format.
+func ValidFormat(name string) bool {
+	for _, f := range Formats() {
+		if f == name {
+			return true
+		}
+	}
+	return false
+}
+
+// NewSink builds a sink by format name ("csv", "jsonl", "prom")
+// writing to w.
+func NewSink(format string, w io.Writer) (Sink, error) {
+	switch format {
+	case "csv":
+		return NewCSV(w), nil
+	case "jsonl":
+		return NewJSONL(w), nil
+	case "prom":
+		return NewProm(w), nil
+	default:
+		return nil, fmt.Errorf("telemetry: unknown sink format %q (have %s)",
+			format, strings.Join(Formats(), ", "))
+	}
+}
+
+// Ext returns the conventional file extension for a sink format.
+func Ext(format string) string {
+	switch format {
+	case "jsonl":
+		return ".jsonl"
+	case "csv":
+		return ".csv"
+	case "prom":
+		return ".prom"
+	default:
+		return ".out"
+	}
+}
+
+// ---- JSONL ----
+
+// JSONL writes one JSON object per line: a {"meta": ...} line per
+// series followed by one object per interval. This is the format
+// cmd/care-report consumes (see ReadJSONL).
+type JSONL struct {
+	w   io.Writer
+	enc *json.Encoder
+}
+
+// NewJSONL creates a JSONL sink writing to w.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: w, enc: json.NewEncoder(w)}
+}
+
+// metaLine wraps a Meta so series-metadata lines are distinguishable
+// from interval lines.
+type metaLine struct {
+	Meta *Meta `json:"meta"`
+}
+
+// BeginSeries implements Sink.
+func (s *JSONL) BeginSeries(m Meta) error { return s.enc.Encode(metaLine{Meta: &m}) }
+
+// Emit implements Sink.
+func (s *JSONL) Emit(iv *Interval) error { return s.enc.Encode(iv) }
+
+// Close implements Sink.
+func (s *JSONL) Close() error { return nil }
+
+// ---- CSV ----
+
+// CSV writes a flat table: one row per (interval, core) plus one
+// aggregate row per interval (core == -1), for spreadsheet and plot
+// pipelines. The header is written once even when several series are
+// merged into one file.
+type CSV struct {
+	w         io.Writer
+	wroteHead bool
+}
+
+// NewCSV creates a CSV sink writing to w.
+func NewCSV(w io.Writer) *CSV { return &CSV{w: w} }
+
+var csvHeader = strings.Join([]string{
+	"tag", "interval", "start", "end", "warmup", "core",
+	"instr", "ipc", "mpki", "llc_misses", "rob_stall",
+	"llc_accesses", "llc_hits", "llc_pure", "llc_miss_rate", "llc_pmr", "mean_pmc",
+	"mshr_occ", "mshr_cap", "dram_reads", "dram_writes", "dram_row_hit_rate", "dram_queue",
+	"pmc_low", "pmc_high", "dtrm_epoch", "dtrm_raises", "dtrm_lowers",
+}, ",") + "\n"
+
+// BeginSeries implements Sink.
+func (s *CSV) BeginSeries(Meta) error {
+	if s.wroteHead {
+		return nil
+	}
+	s.wroteHead = true
+	_, err := io.WriteString(s.w, csvHeader)
+	return err
+}
+
+// Emit implements Sink.
+func (s *CSV) Emit(iv *Interval) error {
+	var b strings.Builder
+	shared := func(core int, instr uint64, ipc, mpki float64, llcMiss, robStall uint64) {
+		low, high, epoch, raises, lowers := 0.0, 0.0, uint64(0), uint64(0), uint64(0)
+		if iv.CARE != nil {
+			low, high = iv.CARE.PMCLow, iv.CARE.PMCHigh
+			epoch, raises, lowers = iv.CARE.Epoch, iv.CARE.Raises, iv.CARE.Lowers
+		}
+		fmt.Fprintf(&b, "%s,%d,%d,%d,%t,%d,%d,%.6f,%.4f,%d,%d,%d,%d,%d,%.6f,%.6f,%.4f,%d,%d,%d,%d,%.4f,%d,%.1f,%.1f,%d,%d,%d\n",
+			csvEscape(iv.Tag), iv.Index, iv.Start, iv.End, iv.Warmup, core,
+			instr, ipc, mpki, llcMiss, robStall,
+			iv.LLC.Accesses, iv.LLC.Hits, iv.LLC.PureMisses, iv.LLC.MissRate, iv.LLC.PureMissRate, iv.LLC.MeanPMC,
+			iv.MSHR.Occupancy, iv.MSHR.Capacity, iv.DRAM.Reads, iv.DRAM.Writes, iv.DRAM.RowHitRate, iv.DRAM.QueueDepth,
+			low, high, epoch, raises, lowers)
+	}
+	var aggMiss, aggStall uint64
+	for i := range iv.Cores {
+		cs := &iv.Cores[i]
+		shared(i, cs.Instructions, cs.IPC, cs.MPKI, cs.LLCMisses, cs.ROBStallCycles)
+		aggMiss += cs.LLCMisses
+		aggStall += cs.ROBStallCycles
+	}
+	shared(-1, iv.Instructions(), iv.IPC(), iv.MPKI(), aggMiss, aggStall)
+	_, err := io.WriteString(s.w, b.String())
+	return err
+}
+
+// csvEscape quotes a cell containing separators or quotes.
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+	}
+	return s
+}
+
+// Close implements Sink.
+func (s *CSV) Close() error { return nil }
+
+// ---- Prometheus text format ----
+
+// Prom writes the Prometheus text exposition format, one sample per
+// metric per interval with the interval's end cycle as the timestamp
+// (Prometheus timestamps are nominally milliseconds; here they carry
+// simulated cycles, which scrape-less offline tooling treats as an
+// opaque x-axis).
+type Prom struct {
+	w         io.Writer
+	wroteHead bool
+}
+
+// NewProm creates a Prometheus-text sink writing to w.
+func NewProm(w io.Writer) *Prom { return &Prom{w: w} }
+
+var promFamilies = []struct{ name, help string }{
+	{"care_interval_ipc", "per-core IPC over the interval"},
+	{"care_interval_mpki", "per-core LLC demand MPKI over the interval"},
+	{"care_interval_llc_miss_rate", "LLC miss rate over the interval"},
+	{"care_interval_llc_pure_miss_rate", "LLC pure miss rate (pMR) over the interval"},
+	{"care_interval_llc_mean_pmc", "mean PMC per miss completed in the interval"},
+	{"care_interval_mshr_occupancy", "LLC MSHR occupancy at the interval boundary"},
+	{"care_interval_dram_row_hit_rate", "DRAM row hit rate over the interval"},
+	{"care_interval_dram_queue_depth", "DRAM queue depth at the interval boundary"},
+	{"care_dtrm_pmc_low", "DTRM low threshold at the interval boundary"},
+	{"care_dtrm_pmc_high", "DTRM high threshold at the interval boundary"},
+	{"care_dtrm_epoch", "completed DTRM periods"},
+}
+
+// BeginSeries implements Sink.
+func (s *Prom) BeginSeries(Meta) error {
+	if s.wroteHead {
+		return nil
+	}
+	s.wroteHead = true
+	var b strings.Builder
+	for _, f := range promFamilies {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", f.name, f.help, f.name)
+	}
+	_, err := io.WriteString(s.w, b.String())
+	return err
+}
+
+// promEscape escapes a label value.
+func promEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Emit implements Sink.
+func (s *Prom) Emit(iv *Interval) error {
+	var b strings.Builder
+	tag := promEscape(iv.Tag)
+	ts := iv.End
+	for i := range iv.Cores {
+		fmt.Fprintf(&b, "care_interval_ipc{tag=\"%s\",core=\"%d\"} %g %d\n", tag, i, iv.Cores[i].IPC, ts)
+		fmt.Fprintf(&b, "care_interval_mpki{tag=\"%s\",core=\"%d\"} %g %d\n", tag, i, iv.Cores[i].MPKI, ts)
+	}
+	fmt.Fprintf(&b, "care_interval_llc_miss_rate{tag=\"%s\"} %g %d\n", tag, iv.LLC.MissRate, ts)
+	fmt.Fprintf(&b, "care_interval_llc_pure_miss_rate{tag=\"%s\"} %g %d\n", tag, iv.LLC.PureMissRate, ts)
+	fmt.Fprintf(&b, "care_interval_llc_mean_pmc{tag=\"%s\"} %g %d\n", tag, iv.LLC.MeanPMC, ts)
+	fmt.Fprintf(&b, "care_interval_mshr_occupancy{tag=\"%s\"} %d %d\n", tag, iv.MSHR.Occupancy, ts)
+	fmt.Fprintf(&b, "care_interval_dram_row_hit_rate{tag=\"%s\"} %g %d\n", tag, iv.DRAM.RowHitRate, ts)
+	fmt.Fprintf(&b, "care_interval_dram_queue_depth{tag=\"%s\"} %d %d\n", tag, iv.DRAM.QueueDepth, ts)
+	if iv.CARE != nil {
+		fmt.Fprintf(&b, "care_dtrm_pmc_low{tag=\"%s\"} %g %d\n", tag, iv.CARE.PMCLow, ts)
+		fmt.Fprintf(&b, "care_dtrm_pmc_high{tag=\"%s\"} %g %d\n", tag, iv.CARE.PMCHigh, ts)
+		fmt.Fprintf(&b, "care_dtrm_epoch{tag=\"%s\"} %d %d\n", tag, iv.CARE.Epoch, ts)
+	}
+	_, err := io.WriteString(s.w, b.String())
+	return err
+}
+
+// Close implements Sink.
+func (s *Prom) Close() error { return nil }
+
+// ---- in-memory (tests, harness) ----
+
+// Memory retains every emitted interval (deep-copied), for tests and
+// for the harness, which collects per-simulation series in memory and
+// merges them afterwards. Safe for concurrent use.
+type Memory struct {
+	mu   sync.Mutex
+	meta Meta
+	ivs  []Interval
+}
+
+// NewMemory creates an in-memory sink.
+func NewMemory() *Memory { return &Memory{} }
+
+// BeginSeries implements Sink.
+func (s *Memory) BeginSeries(m Meta) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.meta = m
+	return nil
+}
+
+// Emit implements Sink.
+func (s *Memory) Emit(iv *Interval) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ivs = append(s.ivs, copyInterval(iv))
+	return nil
+}
+
+// Close implements Sink.
+func (s *Memory) Close() error { return nil }
+
+// Meta returns the series metadata BeginSeries recorded.
+func (s *Memory) Meta() Meta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.meta
+}
+
+// Intervals returns the recorded intervals.
+func (s *Memory) Intervals() []Interval {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Interval(nil), s.ivs...)
+}
+
+// ---- merged series (harness) ----
+
+// Series is one run's metadata plus its ordered intervals.
+type Series struct {
+	Meta      Meta
+	Intervals []Interval
+}
+
+// Registry accumulates tagged series from concurrently running
+// simulations; all methods are safe for concurrent use. The harness
+// gives every experiment simulation its own collector (with a Memory
+// sink) and registers the finished series here, so parallel workers
+// never share a collector or sink.
+type Registry struct {
+	mu     sync.Mutex
+	series []Series
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Add registers one finished series.
+func (r *Registry) Add(meta Meta, ivs []Interval) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.series = append(r.series, Series{Meta: meta, Intervals: ivs})
+}
+
+// Len returns the number of registered series.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.series)
+}
+
+// Series returns the registered series sorted by tag.
+func (r *Registry) Series() []Series {
+	r.mu.Lock()
+	out := append([]Series(nil), r.series...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Meta.Tag < out[j].Meta.Tag })
+	return out
+}
+
+// WriteTo replays every registered series into sink (sorted by tag)
+// and closes it.
+func (r *Registry) WriteTo(sink Sink) error {
+	for _, s := range r.Series() {
+		if err := sink.BeginSeries(s.Meta); err != nil {
+			return err
+		}
+		for i := range s.Intervals {
+			if err := sink.Emit(&s.Intervals[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return sink.Close()
+}
