@@ -13,13 +13,17 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
+	"care/internal/faultinject"
 	"care/internal/harness"
 	"care/internal/telemetry"
 )
@@ -44,8 +48,19 @@ func main() {
 		telFormat   = flag.String("telemetry", "", "record per-simulation interval telemetry in this format: "+strings.Join(telemetry.Formats(), ", ")+" (empty = off)")
 		telInterval = flag.Uint64("telemetry-interval", telemetry.DefaultInterval, "telemetry sampling interval in cycles")
 		telOut      = flag.String("telemetry-out", "", "telemetry output file (empty = care-bench-telemetry.<ext>, \"-\" = stdout); experiments append to one stream")
+
+		retries   = flag.Int("retries", 0, "retry crashed/faulted simulations up to this many extra attempts, resuming from their last good checkpoint")
+		ckptDir   = flag.String("checkpoint-dir", "", "directory for per-simulation checkpoints (enables supervised runs)")
+		ckptEvery = flag.Uint64("checkpoint-every", 0, "measured instructions between checkpoints (0 = a quarter of -measure; requires -checkpoint-dir)")
+		faults    = flag.String("faults", "", "deterministic fault-injection spec for every simulation (chaos testing), e.g. seed=1,kill-at=50000,ckpt-corrupt=1")
 	)
 	flag.Parse()
+
+	faultCfg, err := validateFlags(*retries, *ckptDir, *ckptEvery, *faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "care-bench:", err)
+		os.Exit(2)
+	}
 
 	if *list || *runIDs == "" {
 		fmt.Println("Available experiments:")
@@ -69,6 +84,10 @@ func main() {
 		MaxCycles:       *maxCycles,
 		Timeout:         *timeout,
 		CheckInvariants: *checkInv,
+		MaxAttempts:     *retries + 1,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		Faults:          faultCfg,
 	}
 	if *telFormat != "" {
 		if !telemetry.ValidFormat(*telFormat) {
@@ -115,19 +134,81 @@ func main() {
 	if *runIDs == "all" {
 		ids = harness.IDs()
 	}
+	// Resolve every requested experiment before running any, so a typo
+	// fails immediately instead of after hours of simulation.
+	var exps []harness.Experiment
 	for _, id := range ids {
-		id = strings.TrimSpace(id)
-		e, err := harness.Get(id)
+		e, err := harness.Get(strings.TrimSpace(id))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "care-bench:", err)
 			os.Exit(2)
 		}
+		exps = append(exps, e)
+	}
+
+	// First SIGINT/SIGTERM winds the campaign down: in-flight
+	// simulations finish (their results, telemetry, and the degradation
+	// report still print), pending ones are skipped, supervised runs
+	// stop retrying. A second signal aborts immediately.
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "care-bench: stop requested — finishing in-flight simulations (interrupt again to abort)")
+		harness.Interrupt()
+		<-sig
+		os.Exit(130)
+	}()
+
+	failed := false
+	for _, e := range exps {
+		if harness.Interrupted() {
+			break
+		}
 		fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
 		start := time.Now()
-		if err := harness.Run(id, opts); err != nil {
-			fmt.Fprintf(os.Stderr, "care-bench: %s: %v\n", id, err)
-			os.Exit(1)
+		if err := harness.Run(e.ID, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "care-bench: %s: %v\n", e.ID, err)
+			// Degrade instead of aborting: the error above names every
+			// failed run, and the remaining experiments still execute.
+			failed = true
+			continue
 		}
-		fmt.Printf("(%s in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+	if harness.Interrupted() {
+		fmt.Fprintln(os.Stderr, "care-bench: interrupted — results above are partial")
+		os.Exit(1)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// errFlagConflict tags invalid flag combinations so they fail at
+// startup with exit status 2, never hours into a campaign.
+var errFlagConflict = errors.New("invalid flag combination")
+
+// validateFlags checks the supervision flag set up front and parses
+// the fault spec.
+func validateFlags(retries int, ckptDir string, ckptEvery uint64, faultSpec string) (*faultinject.Config, error) {
+	if retries < 0 {
+		return nil, fmt.Errorf("%w: -retries %d is negative", errFlagConflict, retries)
+	}
+	if ckptEvery > 0 && ckptDir == "" {
+		return nil, fmt.Errorf("%w: -checkpoint-every requires -checkpoint-dir", errFlagConflict)
+	}
+	if ckptDir != "" {
+		if err := os.MkdirAll(ckptDir, 0o755); err != nil {
+			return nil, fmt.Errorf("%w: -checkpoint-dir: %v", errFlagConflict, err)
+		}
+	}
+	if faultSpec == "" {
+		return nil, nil
+	}
+	cfg, err := faultinject.ParseSpec(faultSpec)
+	if err != nil {
+		return nil, fmt.Errorf("%w: -faults: %v", errFlagConflict, err)
+	}
+	return &cfg, nil
 }

@@ -11,12 +11,17 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
+	"care/internal/checkpoint"
 	"care/internal/core/care"
 	"care/internal/faultinject"
 	"care/internal/graph"
@@ -44,12 +49,20 @@ func main() {
 		maxCycles     = flag.Uint64("max-cycles", 0, "abort after this many simulated cycles (0 = unlimited)")
 		timeout       = flag.Duration("timeout", 0, "abort after this much wall-clock time, e.g. 30s (0 = unlimited)")
 		checkInv      = flag.Bool("check-invariants", false, "verify runtime invariants (cache accounting, EPV range, PMC conservation) during the run")
-		faults        = flag.String("faults", "", "deterministic fault-injection spec, e.g. seed=1,dram-drop=200 (keys: seed, trace-corrupt, trace-flip, dram-drop, dram-delay, dram-delay-cycles, mshr-saturate, meta-flip)")
+		faults        = flag.String("faults", "", "deterministic fault-injection spec, e.g. seed=1,dram-drop=200 (keys: seed, trace-corrupt, trace-flip, dram-drop, dram-delay, dram-delay-cycles, mshr-saturate, meta-flip, kill-at, ckpt-corrupt)")
 		telFormat     = flag.String("telemetry", "", "record interval-resolved telemetry in this format: "+strings.Join(telemetry.Formats(), ", ")+" (empty = off)")
 		telInterval   = flag.Uint64("telemetry-interval", telemetry.DefaultInterval, "telemetry sampling interval in cycles")
 		telOut        = flag.String("telemetry-out", "", "telemetry output file (empty = care-sim-telemetry.<ext>, \"-\" = stdout)")
+		ckptPath      = flag.String("checkpoint", "", "checkpoint file; the previous checkpoint rotates to <path>.1 before each write")
+		ckptEvery     = flag.Uint64("checkpoint-every", 0, "write a checkpoint every N measured instructions (requires -checkpoint)")
+		resume        = flag.Bool("resume", false, "resume from the -checkpoint file (falling back to <path>.1) instead of starting fresh")
 	)
 	flag.Parse()
+
+	if err := validateFlags(*ckptPath, *ckptEvery, *resume); err != nil {
+		fmt.Fprintln(os.Stderr, "care-sim:", err)
+		os.Exit(2)
+	}
 
 	if *listWorkloads {
 		fmt.Println("SPEC-like synthetic workloads:")
@@ -71,17 +84,17 @@ func main() {
 		return
 	}
 
-	var traces []trace.Reader
-	var err error
-	if *traceFile != "" {
-		traces, err = loadTraceFile(*traceFile, *cores)
-		*workload = *traceFile
-	} else {
-		traces, err = buildTraces(*workload, *cores, *scale)
+	// makeTraces returns freshly positioned readers over the same
+	// deterministic streams every call: a resumed system repositions
+	// into a fresh copy, so resume attempts need their own readers.
+	makeTraces := func() ([]trace.Reader, error) {
+		if *traceFile != "" {
+			return loadTraceFile(*traceFile, *cores)
+		}
+		return buildTraces(*workload, *cores, *scale)
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "care-sim:", err)
-		os.Exit(2)
+	if *traceFile != "" {
+		*workload = *traceFile
 	}
 
 	cfg := sim.ScaledConfig(*cores, *scale)
@@ -103,6 +116,7 @@ func main() {
 	// tagged with the workload/policy identity, streaming straight to
 	// the selected sink.
 	var (
+		sink    telemetry.Sink
 		col     *telemetry.Collector
 		telPath string
 		telFile *os.File
@@ -132,52 +146,92 @@ func main() {
 			telFile = f
 			w = f
 		}
-		sink, err := telemetry.NewSink(*telFormat, w)
+		var err error
+		sink, err = telemetry.NewSink(*telFormat, w)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "care-sim:", err)
 			os.Exit(2)
 		}
-		col = telemetry.NewCollector(telemetry.Options{
-			Interval: *telInterval,
-			Tag:      fmt.Sprintf("%s/%s/c%d", *workload, *policy, *cores),
-			Sink:     sink,
-		})
-		cfg.Telemetry = col
 	}
 
-	s, err := sim.New(cfg, traces)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "care-sim:", err)
-		os.Exit(2)
+	// newSystem builds a complete system over fresh traces (and a
+	// fresh collector over the shared sink): resume needs an
+	// identically constructed system per restore attempt.
+	newSystem := func() (*sim.System, *telemetry.Collector, error) {
+		traces, err := makeTraces()
+		if err != nil {
+			return nil, nil, err
+		}
+		runCfg := cfg
+		var c *telemetry.Collector
+		if sink != nil {
+			c = telemetry.NewCollector(telemetry.Options{
+				Interval: *telInterval,
+				Tag:      fmt.Sprintf("%s/%s/c%d", *workload, *policy, *cores),
+				Sink:     sink,
+			})
+			runCfg.Telemetry = c
+		}
+		s, err := sim.New(runCfg, traces)
+		return s, c, err
 	}
+
+	opts := sim.CheckpointOptions{Path: *ckptPath, Every: *ckptEvery}
 	// A simulation failure (watchdog, cycle/time limit, invariant
 	// violation, corrupt trace) carries its own diagnostic dump; print
-	// it and exit nonzero so scripted runs notice.
-	if *warmup > 0 {
-		if col != nil {
-			col.MarkWarmup()
+	// it and exit nonzero so scripted runs notice. SIGINT/SIGTERM
+	// request a clean stop: the run quiesces, writes a final
+	// checkpoint (when -checkpoint is set), flushes telemetry, prints
+	// the partial summary, and exits nonzero.
+	var (
+		s   *sim.System
+		r   sim.Result
+		err error
+	)
+	if *resume {
+		// Fall back from the live checkpoint to its rotated
+		// predecessor; a failed restore leaves a system unusable, so
+		// each attempt gets a fresh one.
+		sources := resumeSources(*ckptPath)
+		for i, from := range sources {
+			s, col, err = newSystem()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "care-sim:", err)
+				os.Exit(2)
+			}
+			interruptOn(s)
+			r, err = s.ResumeSchedule(*warmup, *instr, opts, from)
+			if err == nil || !isCheckpointError(err) || i == len(sources)-1 {
+				break
+			}
+			fmt.Fprintf(os.Stderr, "care-sim: checkpoint %s unusable (%v), trying %s\n",
+				from, firstLine(err), sources[i+1])
 		}
-		if _, err := s.RunInstructions(*warmup); err != nil {
-			failSim(err)
+	} else {
+		s, col, err = newSystem()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "care-sim:", err)
+			os.Exit(2)
 		}
+		interruptOn(s)
+		r, err = s.RunSchedule(*warmup, *instr, opts)
 	}
-	s.ResetStats()
-	if _, err := s.RunInstructions(*instr); err != nil {
+	interrupted := errors.Is(err, sim.ErrInterrupted)
+	if err != nil && !interrupted {
 		failSim(err)
 	}
-	if col != nil {
-		if err := col.Close(s.Cycle()); err != nil {
+	if telFile != nil {
+		if err := telFile.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "care-sim: telemetry:", err)
 			os.Exit(1)
 		}
-		if telFile != nil {
-			if err := telFile.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "care-sim: telemetry:", err)
-				os.Exit(1)
-			}
+	}
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "care-sim: interrupted — partial results follow")
+		if *ckptPath != "" {
+			fmt.Fprintf(os.Stderr, "care-sim: final checkpoint written to %s (resume with -resume)\n", *ckptPath)
 		}
 	}
-	r := s.Snapshot()
 
 	fmt.Printf("workload=%s cores=%d policy=%s prefetch=%v scale=%d\n",
 		*workload, *cores, *policy, *prefetch, *scale)
@@ -237,6 +291,78 @@ func main() {
 			fmt.Printf("    %#04x  %7d  rc=%d pd=%d\n", s.Signature, s.Fills, s.RC, s.PD)
 		}
 	}
+	if interrupted {
+		os.Exit(1)
+	}
+}
+
+// errFlagConflict types the up-front flag-combination failures so
+// scripts (and tests) can match them instead of parsing messages.
+var errFlagConflict = errors.New("invalid flag combination")
+
+// validateFlags rejects inconsistent checkpoint flag combinations
+// before any simulation work starts.
+func validateFlags(ckptPath string, ckptEvery uint64, resume bool) error {
+	if ckptEvery > 0 && ckptPath == "" {
+		return fmt.Errorf("%w: -checkpoint-every requires -checkpoint", errFlagConflict)
+	}
+	if resume && ckptPath == "" {
+		return fmt.Errorf("%w: -resume requires -checkpoint", errFlagConflict)
+	}
+	if resume {
+		if _, err := os.Stat(ckptPath); err != nil {
+			if _, rerr := os.Stat(sim.RotatedPath(ckptPath)); rerr != nil {
+				return fmt.Errorf("%w: -resume: no checkpoint at %s (or %s): %w",
+					errFlagConflict, ckptPath, sim.RotatedPath(ckptPath), err)
+			}
+		}
+	}
+	return nil
+}
+
+// resumeSources lists the restore candidates, newest first.
+func resumeSources(ckptPath string) []string {
+	var out []string
+	for _, p := range []string{ckptPath, sim.RotatedPath(ckptPath)} {
+		if _, err := os.Stat(p); err == nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// isCheckpointError reports whether the failure is the checkpoint's
+// fault (corrupt, truncated, wrong version, wrong configuration)
+// rather than the resumed simulation's.
+func isCheckpointError(err error) bool {
+	return errors.Is(err, checkpoint.ErrCorrupt) ||
+		errors.Is(err, checkpoint.ErrVersion) ||
+		errors.Is(err, checkpoint.ErrMismatch) ||
+		errors.Is(err, checkpoint.ErrNotCheckpointable) ||
+		errors.Is(err, fs.ErrNotExist)
+}
+
+// firstLine trims multi-line errors (diagnostic dumps) for stderr.
+func firstLine(err error) string {
+	s := err.Error()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+// interruptOn routes SIGINT/SIGTERM to a clean stop of s; a second
+// signal aborts immediately.
+func interruptOn(s *sim.System) {
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "care-sim: stop requested — quiescing (interrupt again to abort)")
+		s.Interrupt()
+		<-sigc
+		os.Exit(130)
+	}()
 }
 
 // loadTraceFile materialises a binary trace and hands each core a

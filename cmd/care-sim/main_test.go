@@ -1,0 +1,56 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestValidateFlags(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	if err := os.WriteFile(ckpt, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		path    string
+		every   uint64
+		resume  bool
+		wantErr bool
+	}{
+		{name: "plain run", wantErr: false},
+		{name: "checkpointing", path: ckpt, every: 1000, wantErr: false},
+		{name: "resume existing", path: ckpt, resume: true, wantErr: false},
+		{name: "every without path", every: 1000, wantErr: true},
+		{name: "resume without path", resume: true, wantErr: true},
+		{name: "resume missing file", path: filepath.Join(t.TempDir(), "no.ckpt"), resume: true, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.path, tc.every, tc.resume)
+			if tc.wantErr {
+				if !errors.Is(err, errFlagConflict) {
+					t.Fatalf("got %v, want errFlagConflict", err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("valid combination rejected: %v", err)
+			}
+		})
+	}
+}
+
+func TestValidateFlagsAcceptsRotatedOnly(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	if err := os.WriteFile(ckpt+".1", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := validateFlags(ckpt, 0, true); err != nil {
+		t.Fatalf("resume with only the rotated checkpoint present rejected: %v", err)
+	}
+	if got := resumeSources(ckpt); len(got) != 1 || got[0] != ckpt+".1" {
+		t.Fatalf("resumeSources = %v, want just the rotated file", got)
+	}
+}

@@ -1,0 +1,318 @@
+// Package checkpoint defines the on-disk container format for
+// simulator checkpoints and the common interface stateful components
+// implement to participate in them.
+//
+// A checkpoint file is a fixed header followed by a sequence of named,
+// individually CRC32-checksummed frames and a terminating end marker:
+//
+//	header:  magic "CARECKP1" (8 bytes) · format version (uint32 LE)
+//	frame:   name length (uint16 LE) · name bytes
+//	         payload length (uint32 LE) · CRC32-IEEE of payload (uint32 LE)
+//	         payload (gob-encoded component state)
+//	trailer: end marker (uint16 LE 0xFFFF)
+//
+// Every failure mode maps to a typed sentinel: a flipped bit fails the
+// frame CRC (ErrCorrupt), a truncated file runs out of bytes before
+// the end marker (ErrCorrupt), a future format version is refused
+// (ErrVersion), and state that does not fit the restoring system's
+// configuration is refused by the component (ErrMismatch). A corrupt
+// checkpoint is therefore always *rejected*, never silently restored.
+//
+// Files are written atomically: the writer streams into a temporary
+// file in the destination directory, fsyncs, and renames into place,
+// so a crash mid-write leaves the previous checkpoint intact.
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Magic identifies a checkpoint file; it never changes across
+// versions so old tools can at least name what they are refusing.
+const Magic = "CARECKP1"
+
+// Version is the current checkpoint format version. Readers accept
+// exactly this version: state layout is tied to the simulator build,
+// so cross-version restore is refused rather than guessed at (see
+// DESIGN.md §8 for the compatibility rules).
+const Version uint32 = 1
+
+// Sentinel errors; match with errors.Is. They are wrapped with
+// context (path, frame, detail) by the reader and writer.
+var (
+	// ErrCorrupt means the file failed structural validation: bad
+	// magic, a frame CRC mismatch, a truncated frame, or an
+	// undecodable payload.
+	ErrCorrupt = errors.New("checkpoint: corrupt checkpoint")
+	// ErrVersion means the file's format version is not supported by
+	// this build.
+	ErrVersion = errors.New("checkpoint: unsupported version")
+	// ErrMismatch means a structurally valid checkpoint does not match
+	// the restoring simulation's configuration (different core count,
+	// geometry, policy, or workload identity).
+	ErrMismatch = errors.New("checkpoint: configuration mismatch")
+	// ErrNotCheckpointable means a live component cannot participate
+	// in checkpointing (e.g. a non-rewindable trace source).
+	ErrNotCheckpointable = errors.New("checkpoint: component not checkpointable")
+)
+
+// Snapshotter is the common interface stateful components implement.
+// Snapshot returns a gob-encodable value capturing the component's
+// complete dynamic state at a quiescent point; Restore replaces the
+// state of an identically-configured component from such a value.
+// Restore must validate dimensions and types and return an error
+// wrapping ErrMismatch rather than restore partially.
+//
+// Concrete snapshot types must be registered with gob (each package
+// does so in init) because frames carry them as interface values.
+type Snapshotter interface {
+	Snapshot() any
+	Restore(snap any) error
+}
+
+// frameValue boxes a snapshot so gob encodes its dynamic type.
+type frameValue struct{ V any }
+
+// endMarker terminates the frame sequence; no frame name can be this
+// long (names are component identifiers).
+const endMarker = 0xFFFF
+
+// maxFrameName bounds name length below the end marker.
+const maxFrameName = 1024
+
+// maxFramePayload bounds a single frame so a corrupt length field
+// cannot trigger a multi-gigabyte allocation (1 GiB).
+const maxFramePayload = 1 << 30
+
+// Writer streams frames into a checkpoint file.
+type Writer struct {
+	w io.Writer
+}
+
+// NewWriter writes the header and returns a frame writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	if _, err := io.WriteString(w, Magic); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(w, binary.LittleEndian, Version); err != nil {
+		return nil, err
+	}
+	return &Writer{w: w}, nil
+}
+
+// Frame writes one named frame holding state. State must be a
+// gob-registered type.
+func (w *Writer) Frame(name string, state any) error {
+	if len(name) >= maxFrameName {
+		return fmt.Errorf("checkpoint: frame name %q too long", name)
+	}
+	payload, err := encodeGob(frameValue{V: state})
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode frame %q: %w", name, err)
+	}
+	if len(payload) > maxFramePayload {
+		return fmt.Errorf("checkpoint: frame %q payload too large (%d bytes)", name, len(payload))
+	}
+	var hdr [2]byte
+	binary.LittleEndian.PutUint16(hdr[:], uint16(len(name)))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w.w, name); err != nil {
+		return err
+	}
+	var lens [8]byte
+	binary.LittleEndian.PutUint32(lens[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(lens[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.w.Write(lens[:]); err != nil {
+		return err
+	}
+	_, err = w.w.Write(payload)
+	return err
+}
+
+// Close writes the end marker. It does not close the underlying
+// writer.
+func (w *Writer) Close() error {
+	var hdr [2]byte
+	binary.LittleEndian.PutUint16(hdr[:], endMarker)
+	_, err := w.w.Write(hdr[:])
+	return err
+}
+
+// Reader validates the header and streams frames back out.
+type Reader struct {
+	r    *bufio.Reader
+	path string // for error context; may be empty
+}
+
+// NewReader validates the magic and version of r.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, corruptf("", "short header: %v", err)
+	}
+	if string(magic) != Magic {
+		return nil, corruptf("", "bad magic %q", magic)
+	}
+	var ver uint32
+	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
+		return nil, corruptf("", "short version field: %v", err)
+	}
+	if ver != Version {
+		return nil, fmt.Errorf("%w: file version %d, this build reads version %d", ErrVersion, ver, Version)
+	}
+	return &Reader{r: br}, nil
+}
+
+// Frame reads the next frame, which must be named name, and returns
+// its decoded state. Reaching the end marker, a name mismatch, a CRC
+// mismatch, or truncation all yield an error wrapping ErrCorrupt.
+func (r *Reader) Frame(name string) (any, error) {
+	gotName, payload, err := r.next()
+	if err != nil {
+		return nil, err
+	}
+	if gotName != name {
+		return nil, corruptf(r.path, "frame order: want %q, file has %q", name, gotName)
+	}
+	var fv frameValue
+	if err := decodeGob(payload, &fv); err != nil {
+		return nil, corruptf(r.path, "frame %q: undecodable payload: %v", name, err)
+	}
+	return fv.V, nil
+}
+
+// next reads one raw frame.
+func (r *Reader) next() (name string, payload []byte, err error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		return "", nil, corruptf(r.path, "truncated before frame header: %v", err)
+	}
+	nameLen := binary.LittleEndian.Uint16(hdr[:])
+	if nameLen == endMarker {
+		return "", nil, corruptf(r.path, "unexpected end marker")
+	}
+	if nameLen >= maxFrameName {
+		return "", nil, corruptf(r.path, "frame name length %d out of range", nameLen)
+	}
+	nameBytes := make([]byte, nameLen)
+	if _, err := io.ReadFull(r.r, nameBytes); err != nil {
+		return "", nil, corruptf(r.path, "truncated frame name: %v", err)
+	}
+	var lens [8]byte
+	if _, err := io.ReadFull(r.r, lens[:]); err != nil {
+		return "", nil, corruptf(r.path, "truncated frame %q header: %v", nameBytes, err)
+	}
+	payloadLen := binary.LittleEndian.Uint32(lens[0:4])
+	wantCRC := binary.LittleEndian.Uint32(lens[4:8])
+	if payloadLen > maxFramePayload {
+		return "", nil, corruptf(r.path, "frame %q payload length %d out of range", nameBytes, payloadLen)
+	}
+	payload = make([]byte, payloadLen)
+	if _, err := io.ReadFull(r.r, payload); err != nil {
+		return "", nil, corruptf(r.path, "truncated frame %q payload: %v", nameBytes, err)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return "", nil, corruptf(r.path, "frame %q CRC mismatch: file %#x, computed %#x", nameBytes, wantCRC, got)
+	}
+	return string(nameBytes), payload, nil
+}
+
+// End consumes the end marker, confirming the file was written to
+// completion.
+func (r *Reader) End() error {
+	var hdr [2]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		return corruptf(r.path, "truncated before end marker: %v", err)
+	}
+	if binary.LittleEndian.Uint16(hdr[:]) != endMarker {
+		return corruptf(r.path, "trailing frame where end marker expected")
+	}
+	return nil
+}
+
+// corruptf builds an ErrCorrupt-wrapping error with context.
+func corruptf(path, format string, args ...any) error {
+	detail := fmt.Sprintf(format, args...)
+	if path != "" {
+		return fmt.Errorf("%w: %s: %s", ErrCorrupt, path, detail)
+	}
+	return fmt.Errorf("%w: %s", ErrCorrupt, detail)
+}
+
+// Save writes a checkpoint file atomically: fn streams frames into a
+// temporary file in path's directory, which is fsynced and renamed
+// over path only on success. The previous file at path survives any
+// failure.
+func Save(path string, fn func(*Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: save %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	bw := bufio.NewWriter(tmp)
+	w, err := NewWriter(bw)
+	if err != nil {
+		return fmt.Errorf("checkpoint: save %s: %w", path, err)
+	}
+	if err = fn(w); err != nil {
+		return err
+	}
+	if err = w.Close(); err != nil {
+		return fmt.Errorf("checkpoint: save %s: %w", path, err)
+	}
+	if err = bw.Flush(); err != nil {
+		return fmt.Errorf("checkpoint: save %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: save %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: save %s: %w", path, err)
+	}
+	if err = os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("checkpoint: save %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load opens path and hands a validated Reader to fn. A missing file
+// surfaces as an fs.ErrNotExist-wrapping error so callers can
+// distinguish "never checkpointed" from "corrupt".
+func Load(path string, fn func(*Reader) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("checkpoint: load: %w", err)
+	}
+	defer f.Close()
+	r, err := NewReader(f)
+	if err != nil {
+		return annotate(path, err)
+	}
+	r.path = path
+	if err := fn(r); err != nil {
+		return err
+	}
+	return nil
+}
+
+// annotate adds the file path to header-validation errors.
+func annotate(path string, err error) error {
+	return fmt.Errorf("%s: %w", path, err)
+}

@@ -1,0 +1,201 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type testState struct {
+	N uint64
+	S []byte
+}
+
+func init() { gob.Register(testState{}) }
+
+// writeFile builds a two-frame checkpoint file and returns its path.
+func writeFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.ckpt")
+	err := Save(path, func(w *Writer) error {
+		if err := w.Frame("alpha", testState{N: 42, S: []byte("hello")}); err != nil {
+			return err
+		}
+		return w.Frame("beta", testState{N: 7})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := writeFile(t)
+	err := Load(path, func(r *Reader) error {
+		raw, err := r.Frame("alpha")
+		if err != nil {
+			return err
+		}
+		st, err := As[testState](raw, "alpha")
+		if err != nil {
+			return err
+		}
+		if st.N != 42 || string(st.S) != "hello" {
+			t.Fatalf("frame alpha decoded as %+v", st)
+		}
+		if _, err := r.Frame("beta"); err != nil {
+			return err
+		}
+		return r.End()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	err := Load(filepath.Join(t.TempDir(), "nope.ckpt"), func(r *Reader) error { return nil })
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing file: got %v, want fs.ErrNotExist", err)
+	}
+}
+
+func TestBitFlipRejected(t *testing.T) {
+	path := writeFile(t)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit in every byte position past the header in turn; the
+	// reader must reject each damaged file with ErrCorrupt (a flipped
+	// frame-name or length byte is also structural corruption).
+	for _, pos := range []int{13, len(raw) / 2, len(raw) - 3} {
+		mut := append([]byte(nil), raw...)
+		mut[pos] ^= 0x10
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		err := Load(path, func(r *Reader) error {
+			if _, err := r.Frame("alpha"); err != nil {
+				return err
+			}
+			if _, err := r.Frame("beta"); err != nil {
+				return err
+			}
+			return r.End()
+		})
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("bit flip at %d: got %v, want ErrCorrupt", pos, err)
+		}
+	}
+}
+
+func TestTruncationRejected(t *testing.T) {
+	path := writeFile(t)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, keep := range []int{len(raw) - 1, len(raw) - 4, len(Magic) + 5, 4} {
+		if err := os.WriteFile(path, raw[:keep], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		err := Load(path, func(r *Reader) error {
+			if _, err := r.Frame("alpha"); err != nil {
+				return err
+			}
+			if _, err := r.Frame("beta"); err != nil {
+				return err
+			}
+			return r.End()
+		})
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncated to %d bytes: got %v, want ErrCorrupt", keep, err)
+		}
+	}
+}
+
+func TestFutureVersionRejected(t *testing.T) {
+	path := writeFile(t)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(raw[len(Magic):], Version+1)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = Load(path, func(r *Reader) error { return nil })
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("future version: got %v, want ErrVersion", err)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	path := writeFile(t)
+	raw, _ := os.ReadFile(path)
+	raw[0] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := Load(path, func(r *Reader) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFrameOrderEnforced(t *testing.T) {
+	path := writeFile(t)
+	err := Load(path, func(r *Reader) error {
+		_, err := r.Frame("beta") // file has "alpha" first
+		return err
+	})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("out-of-order frame: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSaveIsAtomic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "atomic.ckpt")
+	if err := Save(path, func(w *Writer) error {
+		return w.Frame("alpha", testState{N: 1})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A failing writer must leave the previous file byte-identical and
+	// no temp files behind.
+	boom := errors.New("boom")
+	if err := Save(path, func(w *Writer) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("Save swallowed the writer error: %v", err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("failed Save modified the existing checkpoint")
+	}
+	ents, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("temp files left behind: %v", ents)
+	}
+}
+
+func TestAsTypeMismatch(t *testing.T) {
+	_, err := As[int]("not an int", "frame")
+	if !errors.Is(err, ErrMismatch) {
+		t.Fatalf("As on wrong type: got %v, want ErrMismatch", err)
+	}
+}

@@ -1,0 +1,20 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// encodeGob serialises v into a fresh byte slice.
+func encodeGob(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeGob deserialises data into v.
+func decodeGob(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}

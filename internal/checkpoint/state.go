@@ -1,0 +1,20 @@
+package checkpoint
+
+import "fmt"
+
+// Mismatchf builds an error wrapping ErrMismatch, for components
+// rejecting a snapshot that does not fit their configuration.
+func Mismatchf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrMismatch, fmt.Sprintf(format, args...))
+}
+
+// As asserts that snap carries a T, the standard first line of every
+// component's Restore.
+func As[T any](snap any, who string) (T, error) {
+	st, ok := snap.(T)
+	if !ok {
+		var zero T
+		return zero, Mismatchf("%s: snapshot holds %T, want %T", who, snap, zero)
+	}
+	return st, nil
+}

@@ -116,6 +116,13 @@ type Core struct {
 	nextReqID  uint64
 	freeList   []*robEntry
 	tlb        Translator
+	// recsRead counts records consumed from src, so a restored core
+	// can reposition a freshly constructed copy of the same trace by
+	// replaying (and discarding) exactly this many records.
+	recsRead uint64
+	// frozen stops dispatch (retirement continues) while the system
+	// drains to a checkpointable quiescent point.
+	frozen bool
 }
 
 // New creates core id with parameters p, reading src and issuing
@@ -275,6 +282,7 @@ func (c *Core) nextRecord() bool {
 	}
 	c.rec = rec
 	c.recValid = true
+	c.recsRead++
 	c.nonMemLeft = int(rec.NonMem)
 	return true
 }
@@ -302,6 +310,9 @@ func (c *Core) pushMem(e *robEntry) {
 
 // dispatch admits up to IssueWidth instructions into the ROB.
 func (c *Core) dispatch(cycle uint64) {
+	if c.frozen {
+		return
+	}
 	budget := c.IssueWidth
 	for budget > 0 {
 		if c.robLen >= c.ROBSize {

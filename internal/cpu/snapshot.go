@@ -1,0 +1,81 @@
+package cpu
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"care/internal/checkpoint"
+	"care/internal/trace"
+)
+
+func init() { gob.Register(State{}) }
+
+// State is a core's checkpointable state at a quiescent point (empty
+// ROB, no in-flight accesses). The trace position is recorded as the
+// number of records consumed; Restore replays that many records
+// through a freshly constructed copy of the same trace source.
+type State struct {
+	Stats      Stats
+	Rec        trace.Record
+	RecValid   bool
+	NonMemLeft int
+	Exhausted  bool
+	NextReqID  uint64
+	RecsRead   uint64
+}
+
+// SetFetchFrozen stops (or resumes) dispatch while retirement keeps
+// draining the ROB; the simulator uses it to reach a quiescent point.
+func (c *Core) SetFetchFrozen(frozen bool) { c.frozen = frozen }
+
+// Quiesced reports whether the core holds no in-flight instructions.
+func (c *Core) Quiesced() bool { return c.robLen == 0 && len(c.rob) == 0 }
+
+// Snapshot implements checkpoint.Snapshotter. The core must be
+// quiescent and error-free; the simulator guarantees both before
+// asking.
+func (c *Core) Snapshot() any {
+	return State{
+		Stats:      c.stats,
+		Rec:        c.rec,
+		RecValid:   c.recValid,
+		NonMemLeft: c.nonMemLeft,
+		Exhausted:  c.exhausted,
+		NextReqID:  c.nextReqID,
+		RecsRead:   c.recsRead,
+	}
+}
+
+// Restore implements checkpoint.Snapshotter. The core must be freshly
+// constructed over an unread copy of the same trace source; Restore
+// repositions the source by consuming the snapshot's record count.
+func (c *Core) Restore(snap any) error {
+	st, err := checkpoint.As[State](snap, fmt.Sprintf("core %d", c.id))
+	if err != nil {
+		return err
+	}
+	if c.recsRead != 0 || c.robLen != 0 {
+		return checkpoint.Mismatchf("core %d: restore target is not freshly constructed", c.id)
+	}
+	for i := uint64(0); i < st.RecsRead; i++ {
+		if _, err := c.src.Next(); err != nil {
+			if errors.Is(err, io.EOF) {
+				return checkpoint.Mismatchf(
+					"core %d: trace ended after %d records, checkpoint consumed %d — different trace?",
+					c.id, i, st.RecsRead)
+			}
+			return fmt.Errorf("%w: core %d: repositioning trace: %v",
+				checkpoint.ErrNotCheckpointable, c.id, err)
+		}
+	}
+	c.stats = st.Stats
+	c.rec = st.Rec
+	c.recValid = st.RecValid
+	c.nonMemLeft = st.NonMemLeft
+	c.exhausted = st.Exhausted
+	c.nextReqID = st.NextReqID
+	c.recsRead = st.RecsRead
+	return nil
+}

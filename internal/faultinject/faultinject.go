@@ -25,7 +25,9 @@
 package faultinject
 
 import (
+	"errors"
 	"fmt"
+	"os"
 	"strconv"
 	"strings"
 
@@ -61,6 +63,14 @@ type Config struct {
 	// MetaFlipAt corrupts LLC replacement metadata (or, when the
 	// policy has no metadata hook, a tag bit) at this cycle (0 = off).
 	MetaFlipAt uint64
+	// KillAtCycle terminates the simulation with ErrKilled at this
+	// cycle, modelling a mid-run crash (0 = off). It fires once; a
+	// supervisor retrying from a checkpoint clears it for the retry.
+	KillAtCycle uint64
+	// CkptCorruptNth flips one bit in the Nth checkpoint file written
+	// by the run, 1-based (0 = off). The write itself succeeds; the
+	// damage surfaces as a CRC failure when something tries to resume.
+	CkptCorruptNth uint64
 }
 
 // Enabled reports whether any fault is configured.
@@ -70,14 +80,15 @@ func (c *Config) Enabled() bool {
 	}
 	return c.TraceCorruptAfter > 0 || c.TraceFlipEvery > 0 ||
 		c.DRAMDropEvery > 0 || c.DRAMDelayEvery > 0 ||
-		c.MSHRSaturateAt > 0 || c.MetaFlipAt > 0
+		c.MSHRSaturateAt > 0 || c.MetaFlipAt > 0 ||
+		c.KillAtCycle > 0 || c.CkptCorruptNth > 0
 }
 
 // ParseSpec builds a Config from a compact comma-separated key=value
 // spec, e.g. "dram-drop=200,seed=7" or
 // "trace-flip=64,meta-flip=5000". Keys: seed, trace-corrupt,
 // trace-flip, dram-drop, dram-delay, dram-delay-cycles,
-// mshr-saturate, meta-flip.
+// mshr-saturate, meta-flip, kill-at, ckpt-corrupt.
 func ParseSpec(spec string) (Config, error) {
 	var cfg Config
 	for _, field := range strings.Split(spec, ",") {
@@ -110,6 +121,10 @@ func ParseSpec(spec string) (Config, error) {
 			cfg.MSHRSaturateAt = n
 		case "meta-flip":
 			cfg.MetaFlipAt = n
+		case "kill-at":
+			cfg.KillAtCycle = n
+		case "ckpt-corrupt":
+			cfg.CkptCorruptNth = n
 		default:
 			return Config{}, fmt.Errorf("faultinject: unknown fault %q", key)
 		}
@@ -120,20 +135,24 @@ func ParseSpec(spec string) (Config, error) {
 // Stats counts the faults actually delivered, so tests can assert
 // that each configured fault fired (and diagnose ones that did not).
 type Stats struct {
-	RecordsFlipped     uint64
-	TraceCorruptions   uint64
-	ResponsesDropped   uint64
-	ResponsesDelayed   uint64
-	MSHREntriesClaimed int
-	MetadataFlips      uint64
+	RecordsFlipped       uint64
+	TraceCorruptions     uint64
+	ResponsesDropped     uint64
+	ResponsesDelayed     uint64
+	MSHREntriesClaimed   int
+	MetadataFlips        uint64
+	KillsFired           uint64
+	CheckpointsCorrupted uint64
 }
 
 // Injector owns the fault state for one simulation. It is not safe
 // for concurrent use; each System gets its own.
 type Injector struct {
-	cfg   Config
-	rng   uint64
-	stats Stats
+	cfg          Config
+	rng          uint64
+	stats        Stats
+	killed       bool
+	ckptsWritten uint64
 }
 
 // New builds an injector for cfg.
@@ -293,4 +312,46 @@ func (in *Injector) OnCycle(cycle uint64, llc *cache.Cache) {
 			in.stats.MetadataFlips++
 		}
 	}
+}
+
+// ---- crash faults ----
+
+// ErrKilled is the injected mid-run crash: the simulator's guard
+// surfaces it as a typed failure, as if the process had died.
+var ErrKilled = errors.New("faultinject: injected mid-run kill")
+
+// ShouldKill reports whether the configured kill fires at this cycle.
+// It fires at most once per injector.
+func (in *Injector) ShouldKill(cycle uint64) bool {
+	if in.cfg.KillAtCycle == 0 || in.killed || cycle < in.cfg.KillAtCycle {
+		return false
+	}
+	in.killed = true
+	in.stats.KillsFired++
+	return true
+}
+
+// OnCheckpointWritten counts checkpoint files as the simulator writes
+// them and corrupts the configured Nth one by flipping a bit in its
+// payload region. Returns whether this checkpoint was corrupted.
+func (in *Injector) OnCheckpointWritten(path string) (bool, error) {
+	in.ckptsWritten++
+	if in.cfg.CkptCorruptNth == 0 || in.ckptsWritten != in.cfg.CkptCorruptNth {
+		return false, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, fmt.Errorf("faultinject: corrupting checkpoint: %v", err)
+	}
+	const header = 12 // magic + version; flip past it so the CRC catches it
+	if len(data) <= header+1 {
+		return false, nil
+	}
+	off := header + int(in.next()%uint64(len(data)-header))
+	data[off] ^= 1 << (in.next() % 8)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return false, fmt.Errorf("faultinject: corrupting checkpoint: %v", err)
+	}
+	in.stats.CheckpointsCorrupted++
+	return true, nil
 }

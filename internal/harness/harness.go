@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -12,8 +13,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"care/internal/faultinject"
 	"care/internal/graph"
 	"care/internal/mem"
 	"care/internal/sim"
@@ -73,9 +76,48 @@ type Options struct {
 	// (nil = io.Discard).
 	TelemetryOut io.Writer
 
+	// ---- crash-resilient supervision (all off by default) ----
+
+	// MaxAttempts is the per-simulation attempt budget: a crashed or
+	// faulted simulation is retried, resuming from its last good
+	// checkpoint when one exists (0 or 1 = no retries).
+	MaxAttempts int
+	// RetryBackoff is the delay before the first retry; it doubles per
+	// attempt up to MaxRetryBackoff (defaults 100ms / 2s).
+	RetryBackoff    time.Duration
+	MaxRetryBackoff time.Duration
+	// CheckpointDir, when set, gives every supervised simulation a
+	// checkpoint file under it, written every CheckpointEvery measured
+	// instructions, so retries resume instead of restarting.
+	CheckpointDir string
+	// CheckpointEvery is the measured-instruction period between
+	// checkpoints (0 with CheckpointDir set = a quarter of Measure).
+	CheckpointEvery uint64
+	// Faults injects deterministic faults into every simulation the
+	// experiment launches (chaos testing; nil = none). Crash-class
+	// faults (kill-at, ckpt-corrupt) apply to first attempts only.
+	Faults *faultinject.Config
+	// Report, when non-nil, accumulates per-simulation outcomes
+	// (completed/retried/dropped); Run creates one automatically for
+	// supervised campaigns and prints its summary.
+	Report *Report
+
 	// registry accumulates per-simulation series while the experiment
 	// runs; Run creates it when Telemetry is set.
 	registry *telemetry.Registry
+}
+
+// supervised reports whether runs go through the retry supervisor.
+func (o *Options) supervised() bool {
+	return o.MaxAttempts > 1 || o.CheckpointDir != "" || o.Faults != nil
+}
+
+// checkpointEvery resolves the checkpoint period.
+func (o *Options) checkpointEvery() uint64 {
+	if o.CheckpointEvery > 0 {
+		return o.CheckpointEvery
+	}
+	return o.Measure / 4
 }
 
 // Defaults fills unset fields with evaluation-friendly values.
@@ -210,6 +252,24 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("harness: %s panicked: %v\n%s", e.ID, e.Value, e.Stack)
 }
 
+// ErrInterrupted marks simulations skipped because the campaign
+// received a stop request (SIGINT/SIGTERM in care-bench).
+var ErrInterrupted = errors.New("harness: campaign interrupted")
+
+var interrupted atomic.Bool
+
+// Interrupt asks running campaigns to wind down: simulations already
+// executing finish normally (so their results and telemetry are
+// reported), pending jobs fail with ErrInterrupted, and supervised
+// runs stop retrying. Safe to call from a signal handler goroutine.
+func Interrupt() { interrupted.Store(true) }
+
+// Interrupted reports whether Interrupt has been called.
+func Interrupted() bool { return interrupted.Load() }
+
+// ResetInterrupt clears the interrupt flag (tests use it).
+func ResetInterrupt() { interrupted.Store(false) }
+
 // Run executes one experiment by ID with defaulted options. Panics
 // raised by the experiment body are recovered and returned as a
 // *PanicError tagged with the experiment ID.
@@ -226,15 +286,26 @@ func Run(id string, o Options) (err error) {
 		}
 		o.registry = telemetry.NewRegistry()
 	}
+	if o.supervised() && o.Report == nil {
+		o.Report = NewReport()
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{ID: "experiment " + id, Value: r, Stack: debug.Stack()}
 		}
 	}()
-	if err := e.Run(&o); err != nil {
-		return err
+	runErr := e.Run(&o)
+	if o.Report != nil && len(o.Report.Outcomes()) > 0 {
+		fmt.Fprint(o.Out, o.Report.Summary())
 	}
-	return o.flushTelemetry()
+	// Flush whatever telemetry the completed simulations produced even
+	// when the experiment failed or was interrupted — partial series
+	// beat none after hours of simulation.
+	flushErr := o.flushTelemetry()
+	if runErr != nil {
+		return runErr
+	}
+	return flushErr
 }
 
 // flushTelemetry writes the merged per-simulation series collected
@@ -343,42 +414,52 @@ func gapTraces(kernel, dataset string, cores, maxRecords int) ([]trace.Reader, e
 	return out, nil
 }
 
-// runSim executes (or recalls) one simulation.
-func runSim(key runKey, o *Options) (sim.Result, error) {
-	memoMu.Lock()
-	if r, ok := memo[key]; ok {
-		memoMu.Unlock()
-		return r, nil
-	}
-	memoMu.Unlock()
-
-	var traces []trace.Reader
+// buildTraces constructs the keyed simulation's trace readers. Every
+// call returns freshly positioned readers over the same deterministic
+// streams, which is what checkpoint restore needs to reposition into.
+func buildTraces(key runKey) ([]trace.Reader, error) {
 	switch key.kind {
 	case "spec":
 		p, err := synth.Lookup(key.workload)
 		if err != nil {
-			return sim.Result{}, err
+			return nil, err
 		}
-		traces = specTraces(p, key.cores, key.scale)
+		return specTraces(p, key.cores, key.scale), nil
 	case "gap":
 		// workload is encoded as "kernel-dataset" (e.g. "bfs-or").
 		kernel, dataset, ok := strings.Cut(key.workload, "-")
 		if !ok {
-			return sim.Result{}, fmt.Errorf("harness: bad GAP workload %q", key.workload)
+			return nil, fmt.Errorf("harness: bad GAP workload %q", key.workload)
 		}
-		tr, err := gapTraces(kernel, dataset, key.cores, key.gapRecs)
-		if err != nil {
-			return sim.Result{}, err
-		}
-		traces = tr
+		return gapTraces(kernel, dataset, key.cores, key.gapRecs)
 	default:
-		return sim.Result{}, fmt.Errorf("harness: bad run kind %q", key.kind)
+		return nil, fmt.Errorf("harness: bad run kind %q", key.kind)
+	}
+}
+
+// runAttempt executes one attempt of the keyed simulation, optionally
+// resuming from the checkpoint at resumeFrom. Retry attempts run with
+// crash-class faults disabled: an injected kill or checkpoint
+// corruption models the first execution crashing, and a real re-run
+// would not deterministically re-crash.
+func runAttempt(key runKey, o *Options, ckptPath, resumeFrom string, attempt int) (sim.Result, error) {
+	traces, err := buildTraces(key)
+	if err != nil {
+		return sim.Result{}, err
 	}
 
 	cfg := sim.ScaledConfig(key.cores, key.scale)
 	cfg.LLCPolicy = key.scheme
 	cfg.Prefetch = key.prefetch
 	o.applyGuards(&cfg)
+	if o.Faults != nil {
+		faults := *o.Faults
+		if attempt > 1 {
+			faults.KillAtCycle = 0
+			faults.CkptCorruptNth = 0
+		}
+		cfg.Faults = &faults
+	}
 
 	// Each concurrently running simulation gets a private collector
 	// and in-memory sink; only the finished, copied series touches the
@@ -395,12 +476,50 @@ func runSim(key runKey, o *Options) (sim.Result, error) {
 		cfg.Telemetry = col
 	}
 
-	r, err := sim.Run(cfg, traces, key.warmup, key.measure)
+	var r sim.Result
+	switch {
+	case resumeFrom != "":
+		opts := sim.CheckpointOptions{Path: ckptPath, Every: o.checkpointEvery()}
+		r, err = sim.Resume(cfg, traces, key.warmup, key.measure, opts, resumeFrom)
+	case ckptPath != "":
+		opts := sim.CheckpointOptions{Path: ckptPath, Every: o.checkpointEvery()}
+		r, err = sim.RunCheckpointed(cfg, traces, key.warmup, key.measure, opts)
+	default:
+		r, err = sim.Run(cfg, traces, key.warmup, key.measure)
+	}
 	if err != nil {
 		return sim.Result{}, err
 	}
 	if col != nil {
-		o.registry.Add(col.Meta(), telSink.Intervals())
+		if resumeFrom != "" {
+			// The fresh sink only saw post-resume intervals; the
+			// restored ring holds the full retained series.
+			o.registry.Add(col.Meta(), col.Series())
+		} else {
+			o.registry.Add(col.Meta(), telSink.Intervals())
+		}
+	}
+	return r, nil
+}
+
+// runSim executes (or recalls) one simulation. With supervision
+// enabled (retries, checkpointing, or fault injection configured) the
+// run goes through the supervisor; plain runs are memoised, since
+// several experiments share them.
+func runSim(key runKey, o *Options) (sim.Result, error) {
+	if o.supervised() {
+		return o.superviseSim(key)
+	}
+	memoMu.Lock()
+	if r, ok := memo[key]; ok {
+		memoMu.Unlock()
+		return r, nil
+	}
+	memoMu.Unlock()
+
+	r, err := runAttempt(key, o, "", "", 1)
+	if err != nil {
+		return sim.Result{}, err
 	}
 	memoMu.Lock()
 	memo[key] = r
@@ -425,9 +544,13 @@ func (o *Options) applyGuards(cfg *sim.Config) {
 	cfg.CheckInvariants = o.CheckInvariants
 }
 
-// parallel runs n jobs over a bounded worker pool and returns the
-// first error. A panicking job is recovered into a *PanicError so one
-// bad worker fails its experiment without killing the process.
+// parallel runs n jobs over a bounded worker pool. Every job runs to
+// completion regardless of other jobs' failures, and ALL errors are
+// returned, joined — a campaign summary names every failed simulation
+// instead of just the first. A panicking job is recovered into a
+// *PanicError so one bad worker fails its experiment without killing
+// the process. After Interrupt, jobs not yet started are skipped with
+// ErrInterrupted while in-flight jobs run to completion.
 func parallel(n, workers int, job func(i int) error) error {
 	if workers < 1 {
 		workers = 1
@@ -450,16 +573,15 @@ func parallel(n, workers int, job func(i int) error) error {
 					}
 				}
 			}()
+			if Interrupted() {
+				errs[i] = fmt.Errorf("job %d skipped: %w", i, ErrInterrupted)
+				return
+			}
 			errs[i] = job(i)
 		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // gapWorkloads enumerates the 15 kernel-dataset pairs of Figure 9.

@@ -1,0 +1,249 @@
+// Campaign supervision: retrying crashed or faulted simulations from
+// their last good checkpoint with capped exponential backoff, and
+// degrading permanent failures into a structured campaign report
+// instead of aborting the experiment.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"care/internal/checkpoint"
+	"care/internal/sim"
+)
+
+// SimError attaches the simulation's identity to a failure so a
+// campaign summary names every failed run with enough context to
+// reproduce it: policy, trace, base seed, and how many attempts the
+// supervisor spent.
+type SimError struct {
+	// Workload and Scheme identify the run (trace and LLC policy).
+	Workload, Scheme string
+	// Cores is the simulated core count.
+	Cores int
+	// Seed is the base trace seed (core i streams from Seed+i for
+	// synthetic workloads; GAP traces are seedless and report 0).
+	Seed uint64
+	// Attempts is how many times the supervisor tried the run.
+	Attempts int
+	// Err is the final attempt's failure.
+	Err error
+}
+
+func (e *SimError) Error() string {
+	return fmt.Sprintf("sim %s/%s/c%d (seed %d, %d attempt(s)): %v",
+		e.Workload, e.Scheme, e.Cores, e.Seed, e.Attempts, e.Err)
+}
+
+func (e *SimError) Unwrap() error { return e.Err }
+
+// Outcome records how one supervised simulation ended.
+type Outcome struct {
+	// Tag is the run identity (workload/scheme/cores).
+	Tag string
+	// Attempts is the number of executions (1 = clean first try).
+	Attempts int
+	// Resumed counts attempts that restored a checkpoint rather than
+	// restarting from scratch.
+	Resumed int
+	// Completed is false for dropped runs.
+	Completed bool
+	// Err is the final error of a dropped run.
+	Err error
+}
+
+// Report is the structured campaign outcome ledger. It is safe for
+// concurrent use by parallel simulation workers.
+type Report struct {
+	mu       sync.Mutex
+	outcomes []Outcome
+}
+
+// NewReport returns an empty report.
+func NewReport() *Report { return &Report{} }
+
+func (r *Report) add(oc Outcome) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.outcomes = append(r.outcomes, oc)
+	r.mu.Unlock()
+}
+
+// Outcomes returns a copy of the recorded outcomes, sorted by tag.
+func (r *Report) Outcomes() []Outcome {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := append([]Outcome(nil), r.outcomes...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Tag < out[j].Tag })
+	return out
+}
+
+// Counts returns (completed, retried, dropped). Retried counts runs
+// that completed but needed more than one attempt.
+func (r *Report) Counts() (completed, retried, dropped int) {
+	for _, oc := range r.Outcomes() {
+		switch {
+		case !oc.Completed:
+			dropped++
+		case oc.Attempts > 1:
+			completed++
+			retried++
+		default:
+			completed++
+		}
+	}
+	return
+}
+
+// Summary renders the degradation report: aggregate counts plus one
+// line per run that needed intervention.
+func (r *Report) Summary() string {
+	completed, retried, dropped := r.Counts()
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign report: %d completed (%d retried), %d dropped\n",
+		completed, retried, dropped)
+	for _, oc := range r.Outcomes() {
+		switch {
+		case !oc.Completed:
+			fmt.Fprintf(&b, "  dropped  %-32s attempts=%d resumed=%d: %v\n",
+				oc.Tag, oc.Attempts, oc.Resumed, firstLine(oc.Err))
+		case oc.Attempts > 1:
+			fmt.Fprintf(&b, "  retried  %-32s attempts=%d resumed=%d\n",
+				oc.Tag, oc.Attempts, oc.Resumed)
+		}
+	}
+	return b.String()
+}
+
+// firstLine trims a multi-line error (FailureError carries a full
+// diagnostic dump) to its headline for the summary table.
+func firstLine(err error) string {
+	if err == nil {
+		return ""
+	}
+	s := err.Error()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+// checkpointPath maps a run to its checkpoint file.
+func (o *Options) checkpointPath(key runKey) string {
+	if o.CheckpointDir == "" {
+		return ""
+	}
+	name := strings.ReplaceAll(key.tag(), "/", "_") + ".ckpt"
+	return filepath.Join(o.CheckpointDir, name)
+}
+
+// badCheckpoint reports whether err means the checkpoint itself is
+// unusable (corrupt, truncated, wrong version, wrong configuration,
+// or missing) as opposed to the resumed run failing on its own.
+func badCheckpoint(err error) bool {
+	return errors.Is(err, checkpoint.ErrCorrupt) ||
+		errors.Is(err, checkpoint.ErrVersion) ||
+		errors.Is(err, checkpoint.ErrMismatch) ||
+		errors.Is(err, checkpoint.ErrNotCheckpointable) ||
+		errors.Is(err, fs.ErrNotExist)
+}
+
+// superviseSim runs one simulation under the retry policy: failed
+// attempts are retried after capped exponential backoff, resuming
+// from the newest usable checkpoint (falling back from the live file
+// to its rotated predecessor to a from-scratch restart when restores
+// are refused). A run that exhausts its attempts is recorded as
+// dropped and its last error returned with full context; the rest of
+// the campaign keeps running.
+func (o *Options) superviseSim(key runKey) (sim.Result, error) {
+	maxAttempts := o.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	backoff := o.RetryBackoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	maxBackoff := o.MaxRetryBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 2 * time.Second
+	}
+	ckptPath := o.checkpointPath(key)
+
+	var seed uint64
+	if key.kind == "spec" {
+		seed = 1
+	}
+	oc := Outcome{Tag: key.tag()}
+	var lastErr error
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		if attempt > 1 {
+			// A stop request ends the retry loop: the run is reported
+			// dropped with its last real failure.
+			if Interrupted() {
+				break
+			}
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+		}
+		oc.Attempts = attempt
+		r, resumed, err := o.attemptWithFallback(key, ckptPath, attempt)
+		oc.Resumed += resumed
+		if err == nil {
+			oc.Completed = true
+			o.Report.add(oc)
+			return r, nil
+		}
+		lastErr = err
+	}
+	oc.Err = lastErr
+	o.Report.add(oc)
+	return sim.Result{}, &SimError{
+		Workload: key.workload,
+		Scheme:   key.scheme,
+		Cores:    key.cores,
+		Seed:     seed,
+		Attempts: oc.Attempts,
+		Err:      lastErr,
+	}
+}
+
+// attemptWithFallback makes one attempt, resuming from the newest
+// usable checkpoint. Unusable checkpoints (corrupt, truncated,
+// mismatched) cascade: live file, rotated predecessor, fresh start.
+// It returns how many resume attempts actually restored state.
+func (o *Options) attemptWithFallback(key runKey, ckptPath string, attempt int) (sim.Result, int, error) {
+	resumed := 0
+	if attempt > 1 && ckptPath != "" {
+		for _, from := range []string{ckptPath, sim.RotatedPath(ckptPath)} {
+			if _, err := os.Stat(from); err != nil {
+				continue
+			}
+			r, err := runAttempt(key, o, ckptPath, from, attempt)
+			if err == nil {
+				return r, 1, nil
+			}
+			if badCheckpoint(err) {
+				// This checkpoint is unusable; fall to the next source.
+				continue
+			}
+			return sim.Result{}, 1, err
+		}
+	}
+	r, err := runAttempt(key, o, ckptPath, "", attempt)
+	return r, resumed, err
+}

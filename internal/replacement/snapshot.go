@@ -1,0 +1,804 @@
+package replacement
+
+import (
+	"encoding/gob"
+
+	"care/internal/checkpoint"
+	"care/internal/mem"
+)
+
+// This file gives every policy in the zoo a Snapshot/Restore pair
+// (checkpoint.Snapshotter). Snapshots are exported mirror structs of
+// each policy's dynamic state; structural/configuration state that
+// Init rebuilds deterministically (leader-set maps, sampling strides,
+// geometry) is not serialized. Restore targets a freshly Init'd
+// policy of identical geometry and validates dimensions before
+// touching anything.
+
+func init() {
+	gob.Register(LRUState{})
+	gob.Register(RandomState{})
+	gob.Register(LIPBaseState{})
+	gob.Register(DIPState{})
+	gob.Register(RRIPState{})
+	gob.Register(BRRIPState{})
+	gob.Register(DRRIPState{})
+	gob.Register(SHiPState{})
+	gob.Register(SHiPPPState{})
+	gob.Register(HawkeyeState{})
+	gob.Register(GliderState{})
+	gob.Register(MockingjayState{})
+	gob.Register(LINState{})
+	gob.Register(SBARState{})
+	gob.Register(EAFState{})
+	gob.Register(RLRState{})
+	gob.Register(LACSState{})
+}
+
+// ---- shared helpers ----
+
+// gridCopy deep-copies a per-set/per-way grid.
+func gridCopy[T any](src [][]T) [][]T {
+	out := make([][]T, len(src))
+	for i, row := range src {
+		out[i] = append([]T(nil), row...)
+	}
+	return out
+}
+
+// gridRestore copies src into dst in place, preserving dst's backing
+// arrays, after validating dimensions.
+func gridRestore[T any](dst, src [][]T, who string) error {
+	if len(dst) != len(src) {
+		return checkpoint.Mismatchf("%s: snapshot has %d sets, policy has %d", who, len(src), len(dst))
+	}
+	for i := range src {
+		if len(dst[i]) != len(src[i]) {
+			return checkpoint.Mismatchf("%s: snapshot set %d has %d ways, policy has %d",
+				who, i, len(src[i]), len(dst[i]))
+		}
+	}
+	for i := range src {
+		copy(dst[i], src[i])
+	}
+	return nil
+}
+
+// sliceRestore copies src into dst after a length check.
+func sliceRestore[T any](dst, src []T, who string) error {
+	if len(dst) != len(src) {
+		return checkpoint.Mismatchf("%s: snapshot table has %d entries, policy has %d", who, len(src), len(dst))
+	}
+	copy(dst, src)
+	return nil
+}
+
+// ---- LRU / Random / LIP / BIP / DIP ----
+
+// LRUState is LRU's dynamic state.
+type LRUState struct {
+	Stamp [][]uint64
+	Clock uint64
+}
+
+// Snapshot implements checkpoint.Snapshotter.
+func (p *LRU) Snapshot() any { return LRUState{Stamp: gridCopy(p.stamp), Clock: p.clock} }
+
+// Restore implements checkpoint.Snapshotter.
+func (p *LRU) Restore(snap any) error {
+	st, err := checkpoint.As[LRUState](snap, "lru")
+	if err != nil {
+		return err
+	}
+	if err := gridRestore(p.stamp, st.Stamp, "lru"); err != nil {
+		return err
+	}
+	p.clock = st.Clock
+	return nil
+}
+
+// RandomState is Random's dynamic state.
+type RandomState struct{ RNG uint64 }
+
+// Snapshot implements checkpoint.Snapshotter.
+func (p *Random) Snapshot() any { return RandomState{RNG: uint64(p.rng)} }
+
+// Restore implements checkpoint.Snapshotter.
+func (p *Random) Restore(snap any) error {
+	st, err := checkpoint.As[RandomState](snap, "random")
+	if err != nil {
+		return err
+	}
+	p.rng = xorshift(st.RNG)
+	return nil
+}
+
+// LIPBaseState is the shared LIP/BIP dynamic state.
+type LIPBaseState struct {
+	LRU LRUState
+	RNG uint64
+}
+
+func (p *lipBase) snap() LIPBaseState {
+	return LIPBaseState{LRU: LRUState{Stamp: gridCopy(p.stamp), Clock: p.clock}, RNG: uint64(p.rng)}
+}
+
+func (p *lipBase) restore(st LIPBaseState, who string) error {
+	if err := gridRestore(p.stamp, st.LRU.Stamp, who); err != nil {
+		return err
+	}
+	p.clock = st.LRU.Clock
+	p.rng = xorshift(st.RNG)
+	return nil
+}
+
+// Snapshot implements checkpoint.Snapshotter.
+func (p *LIP) Snapshot() any { return p.snap() }
+
+// Restore implements checkpoint.Snapshotter.
+func (p *LIP) Restore(snap any) error {
+	st, err := checkpoint.As[LIPBaseState](snap, "lip")
+	if err != nil {
+		return err
+	}
+	return p.restore(st, "lip")
+}
+
+// Snapshot implements checkpoint.Snapshotter.
+func (p *BIP) Snapshot() any { return p.snap() }
+
+// Restore implements checkpoint.Snapshotter.
+func (p *BIP) Restore(snap any) error {
+	st, err := checkpoint.As[LIPBaseState](snap, "bip")
+	if err != nil {
+		return err
+	}
+	return p.restore(st, "bip")
+}
+
+// DIPState adds the dueling counter to the LIP base.
+type DIPState struct {
+	Base LIPBaseState
+	Psel int
+}
+
+// Snapshot implements checkpoint.Snapshotter.
+func (p *DIP) Snapshot() any { return DIPState{Base: p.snap(), Psel: p.duel.psel} }
+
+// Restore implements checkpoint.Snapshotter.
+func (p *DIP) Restore(snap any) error {
+	st, err := checkpoint.As[DIPState](snap, "dip")
+	if err != nil {
+		return err
+	}
+	if err := p.restore(st.Base, "dip"); err != nil {
+		return err
+	}
+	p.duel.psel = st.Psel
+	return nil
+}
+
+// ---- RRIP family ----
+
+// RRIPState is the plain RRPV grid (SRRIP, PACMan).
+type RRIPState struct{ RRPV [][]uint8 }
+
+func (p *rripBase) snapRRPV() RRIPState { return RRIPState{RRPV: gridCopy(p.rrpv)} }
+
+func (p *rripBase) restoreRRPV(st RRIPState, who string) error {
+	return gridRestore(p.rrpv, st.RRPV, who)
+}
+
+// Snapshot implements checkpoint.Snapshotter.
+func (p *SRRIP) Snapshot() any { return p.snapRRPV() }
+
+// Restore implements checkpoint.Snapshotter.
+func (p *SRRIP) Restore(snap any) error {
+	st, err := checkpoint.As[RRIPState](snap, "srrip")
+	if err != nil {
+		return err
+	}
+	return p.restoreRRPV(st, "srrip")
+}
+
+// Snapshot implements checkpoint.Snapshotter.
+func (p *PACMan) Snapshot() any { return p.snapRRPV() }
+
+// Restore implements checkpoint.Snapshotter.
+func (p *PACMan) Restore(snap any) error {
+	st, err := checkpoint.As[RRIPState](snap, "pacman")
+	if err != nil {
+		return err
+	}
+	return p.restoreRRPV(st, "pacman")
+}
+
+// BRRIPState adds the bimodal RNG.
+type BRRIPState struct {
+	RRPV [][]uint8
+	RNG  uint64
+}
+
+// Snapshot implements checkpoint.Snapshotter.
+func (p *BRRIP) Snapshot() any { return BRRIPState{RRPV: gridCopy(p.rrpv), RNG: uint64(p.rng)} }
+
+// Restore implements checkpoint.Snapshotter.
+func (p *BRRIP) Restore(snap any) error {
+	st, err := checkpoint.As[BRRIPState](snap, "brrip")
+	if err != nil {
+		return err
+	}
+	if err := gridRestore(p.rrpv, st.RRPV, "brrip"); err != nil {
+		return err
+	}
+	p.rng = xorshift(st.RNG)
+	return nil
+}
+
+// DRRIPState adds the dueling counter.
+type DRRIPState struct {
+	RRPV [][]uint8
+	RNG  uint64
+	Psel int
+}
+
+// Snapshot implements checkpoint.Snapshotter.
+func (p *DRRIP) Snapshot() any {
+	return DRRIPState{RRPV: gridCopy(p.rrpv), RNG: uint64(p.rng), Psel: p.duel.psel}
+}
+
+// Restore implements checkpoint.Snapshotter.
+func (p *DRRIP) Restore(snap any) error {
+	st, err := checkpoint.As[DRRIPState](snap, "drrip")
+	if err != nil {
+		return err
+	}
+	if err := gridRestore(p.rrpv, st.RRPV, "drrip"); err != nil {
+		return err
+	}
+	p.rng = xorshift(st.RNG)
+	p.duel.psel = st.Psel
+	return nil
+}
+
+// ---- SHiP / SHiP++ ----
+
+// SHiPState is SHiP's dynamic state.
+type SHiPState struct {
+	RRPV    [][]uint8
+	SHCT    []uint8
+	Sig     [][]uint16
+	Outcome [][]bool
+}
+
+// Snapshot implements checkpoint.Snapshotter.
+func (p *SHiP) Snapshot() any {
+	return SHiPState{
+		RRPV:    gridCopy(p.rrpv),
+		SHCT:    append([]uint8(nil), p.shct...),
+		Sig:     gridCopy(p.sig),
+		Outcome: gridCopy(p.outcome),
+	}
+}
+
+// Restore implements checkpoint.Snapshotter.
+func (p *SHiP) Restore(snap any) error {
+	st, err := checkpoint.As[SHiPState](snap, "ship")
+	if err != nil {
+		return err
+	}
+	if err := gridRestore(p.rrpv, st.RRPV, "ship"); err != nil {
+		return err
+	}
+	if err := sliceRestore(p.shct, st.SHCT, "ship shct"); err != nil {
+		return err
+	}
+	if err := gridRestore(p.sig, st.Sig, "ship sig"); err != nil {
+		return err
+	}
+	return gridRestore(p.outcome, st.Outcome, "ship outcome")
+}
+
+// SHiPPPState is SHiP++'s dynamic state (SHiP plus the writeback
+// exclusion bits).
+type SHiPPPState struct {
+	RRPV    [][]uint8
+	SHCT    []uint8
+	Sig     [][]uint16
+	Outcome [][]bool
+	WB      [][]bool
+}
+
+// Snapshot implements checkpoint.Snapshotter.
+func (p *SHiPPP) Snapshot() any {
+	return SHiPPPState{
+		RRPV:    gridCopy(p.rrpv),
+		SHCT:    append([]uint8(nil), p.shct...),
+		Sig:     gridCopy(p.sig),
+		Outcome: gridCopy(p.outcome),
+		WB:      gridCopy(p.wb),
+	}
+}
+
+// Restore implements checkpoint.Snapshotter.
+func (p *SHiPPP) Restore(snap any) error {
+	st, err := checkpoint.As[SHiPPPState](snap, "ship++")
+	if err != nil {
+		return err
+	}
+	if err := gridRestore(p.rrpv, st.RRPV, "ship++"); err != nil {
+		return err
+	}
+	if err := sliceRestore(p.shct, st.SHCT, "ship++ shct"); err != nil {
+		return err
+	}
+	if err := gridRestore(p.sig, st.Sig, "ship++ sig"); err != nil {
+		return err
+	}
+	if err := gridRestore(p.outcome, st.Outcome, "ship++ outcome"); err != nil {
+		return err
+	}
+	return gridRestore(p.wb, st.WB, "ship++ wb")
+}
+
+// ---- Hawkeye ----
+
+// OptgenState mirrors one sampled set's OPTgen occupancy vector.
+type OptgenState struct {
+	Occupancy []uint8
+	Now       uint64
+}
+
+func snapOptgens(src map[int]*optgen) map[int]OptgenState {
+	out := make(map[int]OptgenState, len(src))
+	for set, og := range src {
+		out[set] = OptgenState{Occupancy: append([]uint8(nil), og.occupancy...), Now: og.now}
+	}
+	return out
+}
+
+func restoreOptgens(dst map[int]*optgen, src map[int]OptgenState, ways int) {
+	for set := range dst {
+		delete(dst, set)
+	}
+	for set, st := range src {
+		og := newOptgen(ways)
+		copy(og.occupancy, st.Occupancy)
+		og.now = st.Now
+		dst[set] = og
+	}
+}
+
+// SamplerInfoState mirrors one sampled block's last-access record.
+type SamplerInfoState struct {
+	Quanta uint64
+	Sig    uint16
+}
+
+// HawkeyeSamplerState mirrors one sampled set's sampler.
+type HawkeyeSamplerState struct {
+	Order []uint64
+	Info  map[uint64]SamplerInfoState
+}
+
+// HawkeyeState is Hawkeye's dynamic state.
+type HawkeyeState struct {
+	RRPV     [][]uint8
+	FillSig  [][]uint16
+	Counters []uint8
+	Optgens  map[int]OptgenState
+	Samplers map[int]HawkeyeSamplerState
+}
+
+// Snapshot implements checkpoint.Snapshotter.
+func (p *Hawkeye) Snapshot() any {
+	st := HawkeyeState{
+		RRPV:     gridCopy(p.rrpv),
+		FillSig:  gridCopy(p.fillSig),
+		Counters: append([]uint8(nil), p.pred.counters...),
+		Optgens:  snapOptgens(p.optgens),
+		Samplers: make(map[int]HawkeyeSamplerState, len(p.samplers)),
+	}
+	for set, s := range p.samplers {
+		ss := HawkeyeSamplerState{
+			Order: append([]uint64(nil), s.order...),
+			Info:  make(map[uint64]SamplerInfoState, len(s.info)),
+		}
+		for tag, i := range s.info {
+			ss.Info[tag] = SamplerInfoState{Quanta: i.quanta, Sig: i.sig}
+		}
+		st.Samplers[set] = ss
+	}
+	return st
+}
+
+// Restore implements checkpoint.Snapshotter.
+func (p *Hawkeye) Restore(snap any) error {
+	st, err := checkpoint.As[HawkeyeState](snap, "hawkeye")
+	if err != nil {
+		return err
+	}
+	if err := gridRestore(p.rrpv, st.RRPV, "hawkeye"); err != nil {
+		return err
+	}
+	if err := gridRestore(p.fillSig, st.FillSig, "hawkeye fillsig"); err != nil {
+		return err
+	}
+	if err := sliceRestore(p.pred.counters, st.Counters, "hawkeye predictor"); err != nil {
+		return err
+	}
+	restoreOptgens(p.optgens, st.Optgens, p.ways)
+	for set := range p.samplers {
+		delete(p.samplers, set)
+	}
+	for set, ss := range st.Samplers {
+		s := newHawkeyeSampler(8 * p.ways)
+		s.order = append([]uint64(nil), ss.Order...)
+		for tag, i := range ss.Info {
+			s.info[tag] = samplerInfo{quanta: i.Quanta, sig: i.Sig}
+		}
+		p.samplers[set] = s
+	}
+	return nil
+}
+
+// ---- Glider ----
+
+// GliderFeatureState mirrors a captured ISVM feature vector.
+type GliderFeatureState struct {
+	Row  uint16
+	Idxs [gliderHistoryLen]uint8
+}
+
+func snapFeature(f gliderFeature) GliderFeatureState {
+	return GliderFeatureState{Row: f.row, Idxs: f.idxs}
+}
+
+func restoreFeature(f GliderFeatureState) gliderFeature {
+	return gliderFeature{row: f.Row, idxs: f.Idxs}
+}
+
+// GliderSamplerInfoState mirrors one sampled block's record.
+type GliderSamplerInfoState struct {
+	Quanta uint64
+	Feat   GliderFeatureState
+}
+
+// GliderSamplerState mirrors one sampled set's sampler.
+type GliderSamplerState struct {
+	Order []uint64
+	Info  map[uint64]GliderSamplerInfoState
+}
+
+// GliderState is Glider's dynamic state.
+type GliderState struct {
+	RRPV     [][]uint8
+	FillFeat [][]GliderFeatureState
+	Table    [][gliderWeights]int8
+	History  [][]mem.Addr
+	Optgens  map[int]OptgenState
+	Samplers map[int]GliderSamplerState
+}
+
+// Snapshot implements checkpoint.Snapshotter.
+func (p *Glider) Snapshot() any {
+	st := GliderState{
+		RRPV:     gridCopy(p.rrpv),
+		FillFeat: make([][]GliderFeatureState, len(p.fillFeat)),
+		Table:    make([][gliderWeights]int8, len(p.table)),
+		History:  gridCopy(p.history),
+		Optgens:  snapOptgens(p.optgens),
+		Samplers: make(map[int]GliderSamplerState, len(p.samplers)),
+	}
+	for i, row := range p.fillFeat {
+		st.FillFeat[i] = make([]GliderFeatureState, len(row))
+		for w, f := range row {
+			st.FillFeat[i][w] = snapFeature(f)
+		}
+	}
+	for i, v := range p.table {
+		st.Table[i] = [gliderWeights]int8(v)
+	}
+	for set, s := range p.samplers {
+		ss := GliderSamplerState{
+			Order: append([]uint64(nil), s.order...),
+			Info:  make(map[uint64]GliderSamplerInfoState, len(s.info)),
+		}
+		for tag, i := range s.info {
+			ss.Info[tag] = GliderSamplerInfoState{Quanta: i.quanta, Feat: snapFeature(i.feat)}
+		}
+		st.Samplers[set] = ss
+	}
+	return st
+}
+
+// Restore implements checkpoint.Snapshotter.
+func (p *Glider) Restore(snap any) error {
+	st, err := checkpoint.As[GliderState](snap, "glider")
+	if err != nil {
+		return err
+	}
+	if err := gridRestore(p.rrpv, st.RRPV, "glider"); err != nil {
+		return err
+	}
+	if len(st.FillFeat) != len(p.fillFeat) {
+		return checkpoint.Mismatchf("glider: snapshot has %d fill-feature sets, policy has %d",
+			len(st.FillFeat), len(p.fillFeat))
+	}
+	if len(st.Table) != len(p.table) {
+		return checkpoint.Mismatchf("glider: snapshot ISVM table has %d rows, policy has %d",
+			len(st.Table), len(p.table))
+	}
+	if len(st.History) != len(p.history) {
+		return checkpoint.Mismatchf("glider: snapshot sized for %d cores, policy has %d",
+			len(st.History), len(p.history))
+	}
+	for i, row := range st.FillFeat {
+		if len(row) != len(p.fillFeat[i]) {
+			return checkpoint.Mismatchf("glider: fill-feature set %d has %d ways, policy has %d",
+				i, len(row), len(p.fillFeat[i]))
+		}
+		for w, f := range row {
+			p.fillFeat[i][w] = restoreFeature(f)
+		}
+	}
+	for i, v := range st.Table {
+		p.table[i] = isvm(v)
+	}
+	for i, h := range st.History {
+		p.history[i] = append([]mem.Addr(nil), h...)
+	}
+	restoreOptgens(p.optgens, st.Optgens, p.ways)
+	for set := range p.samplers {
+		delete(p.samplers, set)
+	}
+	for set, ss := range st.Samplers {
+		s := newGliderSampler(8 * p.ways)
+		s.order = append([]uint64(nil), ss.Order...)
+		for tag, i := range ss.Info {
+			s.info[tag] = gliderSamplerInfo{quanta: i.Quanta, feat: restoreFeature(i.Feat)}
+		}
+		p.samplers[set] = s
+	}
+	return nil
+}
+
+// ---- Mockingjay ----
+
+// MJSamplerEntryState mirrors one sampled block's record.
+type MJSamplerEntryState struct {
+	LastTime uint64
+	Sig      uint16
+}
+
+// MockingjayState is Mockingjay's dynamic state.
+type MockingjayState struct {
+	ETR      [][]int32
+	RDP      []int32
+	Clock    map[int]uint64
+	Samplers map[int]map[uint64]MJSamplerEntryState
+	Order    map[int][]uint64
+}
+
+// Snapshot implements checkpoint.Snapshotter.
+func (p *Mockingjay) Snapshot() any {
+	st := MockingjayState{
+		ETR:      gridCopy(p.etr),
+		RDP:      append([]int32(nil), p.rdp...),
+		Clock:    make(map[int]uint64, len(p.clock)),
+		Samplers: make(map[int]map[uint64]MJSamplerEntryState, len(p.samplers)),
+		Order:    make(map[int][]uint64, len(p.order)),
+	}
+	for set, c := range p.clock {
+		st.Clock[set] = c
+	}
+	for set, s := range p.samplers {
+		m := make(map[uint64]MJSamplerEntryState, len(s))
+		for tag, e := range s {
+			m[tag] = MJSamplerEntryState{LastTime: e.lastTime, Sig: e.sig}
+		}
+		st.Samplers[set] = m
+	}
+	for set, o := range p.order {
+		st.Order[set] = append([]uint64(nil), o...)
+	}
+	return st
+}
+
+// Restore implements checkpoint.Snapshotter.
+func (p *Mockingjay) Restore(snap any) error {
+	st, err := checkpoint.As[MockingjayState](snap, "mockingjay")
+	if err != nil {
+		return err
+	}
+	if err := gridRestore(p.etr, st.ETR, "mockingjay"); err != nil {
+		return err
+	}
+	if err := sliceRestore(p.rdp, st.RDP, "mockingjay rdp"); err != nil {
+		return err
+	}
+	p.clock = make(map[int]uint64, len(st.Clock))
+	for set, c := range st.Clock {
+		p.clock[set] = c
+	}
+	p.samplers = make(map[int]map[uint64]*mjSamplerEntry, len(st.Samplers))
+	for set, m := range st.Samplers {
+		s := make(map[uint64]*mjSamplerEntry, len(m))
+		for tag, e := range m {
+			s[tag] = &mjSamplerEntry{lastTime: e.LastTime, sig: e.Sig}
+		}
+		p.samplers[set] = s
+	}
+	p.order = make(map[int][]uint64, len(st.Order))
+	for set, o := range st.Order {
+		p.order[set] = append([]uint64(nil), o...)
+	}
+	return nil
+}
+
+// ---- LIN / SBAR ----
+
+// LINState is LIN's dynamic state.
+type LINState struct {
+	Stamp [][]uint64
+	CostQ [][]uint8
+	Clock uint64
+}
+
+// Snapshot implements checkpoint.Snapshotter.
+func (p *LIN) Snapshot() any {
+	return LINState{Stamp: gridCopy(p.stamp), CostQ: gridCopy(p.costq), Clock: p.clock}
+}
+
+// Restore implements checkpoint.Snapshotter.
+func (p *LIN) Restore(snap any) error {
+	st, err := checkpoint.As[LINState](snap, "lin")
+	if err != nil {
+		return err
+	}
+	if err := gridRestore(p.stamp, st.Stamp, "lin"); err != nil {
+		return err
+	}
+	if err := gridRestore(p.costq, st.CostQ, "lin costq"); err != nil {
+		return err
+	}
+	p.clock = st.Clock
+	return nil
+}
+
+// SBARState composes its two component policies plus the duel.
+type SBARState struct {
+	LIN  LINState
+	LRU  LRUState
+	Psel int
+}
+
+// Snapshot implements checkpoint.Snapshotter.
+func (p *SBAR) Snapshot() any {
+	return SBARState{
+		LIN:  p.lin.Snapshot().(LINState),
+		LRU:  p.lru.Snapshot().(LRUState),
+		Psel: p.duel.psel,
+	}
+}
+
+// Restore implements checkpoint.Snapshotter.
+func (p *SBAR) Restore(snap any) error {
+	st, err := checkpoint.As[SBARState](snap, "sbar")
+	if err != nil {
+		return err
+	}
+	if err := p.lin.Restore(st.LIN); err != nil {
+		return err
+	}
+	if err := p.lru.Restore(st.LRU); err != nil {
+		return err
+	}
+	p.duel.psel = st.Psel
+	return nil
+}
+
+// ---- EAF ----
+
+// EAFState is EAF's dynamic state.
+type EAFState struct {
+	RRPV       [][]uint8
+	RNG        uint64
+	Filter     []uint64
+	Insertions int
+}
+
+// Snapshot implements checkpoint.Snapshotter.
+func (p *EAF) Snapshot() any {
+	return EAFState{
+		RRPV:       gridCopy(p.rrpv),
+		RNG:        uint64(p.rng),
+		Filter:     append([]uint64(nil), p.filter...),
+		Insertions: p.insertions,
+	}
+}
+
+// Restore implements checkpoint.Snapshotter.
+func (p *EAF) Restore(snap any) error {
+	st, err := checkpoint.As[EAFState](snap, "eaf")
+	if err != nil {
+		return err
+	}
+	if err := gridRestore(p.rrpv, st.RRPV, "eaf"); err != nil {
+		return err
+	}
+	if err := sliceRestore(p.filter, st.Filter, "eaf filter"); err != nil {
+		return err
+	}
+	p.rng = xorshift(st.RNG)
+	p.insertions = st.Insertions
+	return nil
+}
+
+// ---- RLR ----
+
+// RLRState is RLR's dynamic state.
+type RLRState struct {
+	Age        [][]uint16
+	TypeDemand [][]bool
+	WasHit     [][]bool
+	ReuseEWMA  []uint32
+}
+
+// Snapshot implements checkpoint.Snapshotter.
+func (p *RLR) Snapshot() any {
+	return RLRState{
+		Age:        gridCopy(p.age),
+		TypeDemand: gridCopy(p.typeDemand),
+		WasHit:     gridCopy(p.wasHit),
+		ReuseEWMA:  append([]uint32(nil), p.reuseEWMA...),
+	}
+}
+
+// Restore implements checkpoint.Snapshotter.
+func (p *RLR) Restore(snap any) error {
+	st, err := checkpoint.As[RLRState](snap, "rlr")
+	if err != nil {
+		return err
+	}
+	if err := gridRestore(p.age, st.Age, "rlr age"); err != nil {
+		return err
+	}
+	if err := gridRestore(p.typeDemand, st.TypeDemand, "rlr type"); err != nil {
+		return err
+	}
+	if err := gridRestore(p.wasHit, st.WasHit, "rlr hit"); err != nil {
+		return err
+	}
+	return sliceRestore(p.reuseEWMA, st.ReuseEWMA, "rlr ewma")
+}
+
+// ---- LACS ----
+
+// LACSState is LACS's dynamic state.
+type LACSState struct {
+	Counter [][]int8
+	Stamp   [][]uint64
+	Clock   uint64
+}
+
+// Snapshot implements checkpoint.Snapshotter.
+func (p *LACS) Snapshot() any {
+	return LACSState{Counter: gridCopy(p.counter), Stamp: gridCopy(p.stamp), Clock: p.clock}
+}
+
+// Restore implements checkpoint.Snapshotter.
+func (p *LACS) Restore(snap any) error {
+	st, err := checkpoint.As[LACSState](snap, "lacs")
+	if err != nil {
+		return err
+	}
+	if err := gridRestore(p.counter, st.Counter, "lacs counter"); err != nil {
+		return err
+	}
+	if err := gridRestore(p.stamp, st.Stamp, "lacs stamp"); err != nil {
+		return err
+	}
+	p.clock = st.Clock
+	return nil
+}

@@ -1,0 +1,548 @@
+// Checkpoint/restore orchestration: quiescing the pipeline, writing
+// every component's snapshot into one framed checkpoint file, and the
+// segment-structured run drivers whose schedules make a resumed run
+// bit-identical to an uninterrupted one (see DESIGN.md §8).
+package sim
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"care/internal/checkpoint"
+	"care/internal/trace"
+)
+
+// Checkpoint-specific sentinels; like the integrity sentinels they
+// arrive wrapped in a *FailureError when raised by the run loop.
+var (
+	// ErrInterrupted means Interrupt was called (e.g. by a signal
+	// handler) and the run loop stopped at the next guard point.
+	ErrInterrupted = errors.New("sim: interrupted")
+	// ErrQuiesce means the system could not drain to a quiescent point
+	// within the quiesce cycle budget (something is wedged).
+	ErrQuiesce = errors.New("sim: quiesce did not drain")
+)
+
+// quiesceLimit bounds the drain to a quiescent point. A full ROB plus
+// full MSHR files behind a row-missing DRAM drains in thousands of
+// cycles; a million means "wedged", not "slow".
+const quiesceLimit = 1_000_000
+
+// Interrupt requests a clean stop from any goroutine: the run loop
+// returns ErrInterrupted at its next guard point. The flag is consumed
+// one-shot so the interrupted run can still quiesce for a final
+// checkpoint; a second Interrupt aborts that too.
+func (s *System) Interrupt() { s.interrupted.Store(true) }
+
+// Quiesce freezes instruction dispatch and steps the system until no
+// in-flight state remains anywhere: empty ROBs, drained caches and
+// MSHRs, no outstanding DRAM reads, no held fault responses, no page
+// walks. At that point every closure-carrying structure is empty and
+// the whole system is plain serializable data. Dispatch resumes before
+// returning, whether or not the drain succeeded.
+func (s *System) Quiesce() error {
+	for _, c := range s.cores {
+		c.SetFetchFrozen(true)
+	}
+	defer func() {
+		for _, c := range s.cores {
+			c.SetFetchFrozen(false)
+		}
+	}()
+	limit := s.cycle + quiesceLimit
+	for s.cycle < limit {
+		if s.quiescent() {
+			return s.componentErr()
+		}
+		s.step()
+		if err := s.guard(); err != nil {
+			return err
+		}
+	}
+	return s.failf(ErrQuiesce, "system still busy after %d drain cycles", quiesceLimit)
+}
+
+// quiescent reports whether no component holds in-flight work.
+func (s *System) quiescent() bool {
+	for _, c := range s.cores {
+		if !c.Quiesced() {
+			return false
+		}
+	}
+	for _, c := range s.l1s {
+		if !c.Drained() {
+			return false
+		}
+	}
+	for _, c := range s.l2s {
+		if !c.Drained() {
+			return false
+		}
+	}
+	if !s.llc.Drained() || !s.mem.Drained() {
+		return false
+	}
+	if s.faultMem != nil && s.faultMem.Held() != 0 {
+		return false
+	}
+	return true
+}
+
+// Checkpointable verifies every component can snapshot right now; it
+// returns the first objection, wrapping checkpoint.ErrNotCheckpointable.
+func (s *System) Checkpointable() error {
+	for i, c := range s.cores {
+		if !c.Quiesced() {
+			return fmt.Errorf("%w: core %d not quiesced", checkpoint.ErrNotCheckpointable, i)
+		}
+	}
+	for _, c := range s.l1s {
+		if err := c.Checkpointable(); err != nil {
+			return err
+		}
+	}
+	for _, c := range s.l2s {
+		if err := c.Checkpointable(); err != nil {
+			return err
+		}
+	}
+	if err := s.llc.Checkpointable(); err != nil {
+		return err
+	}
+	if err := s.mem.Checkpointable(); err != nil {
+		return err
+	}
+	for _, t := range s.tlbs {
+		if err := t.Checkpointable(); err != nil {
+			return err
+		}
+	}
+	if s.faultMem != nil {
+		if err := s.faultMem.Checkpointable(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunMeta is the checkpoint's leading frame: the system fingerprint a
+// restore must match and the run-schedule position the drivers resume
+// from.
+type RunMeta struct {
+	// System fingerprint, filled by WriteCheckpoint.
+	Cores        int
+	LLCPolicy    string
+	L1, L2, LLC  CacheGeom
+	TLB          bool
+	HasFaults    bool
+	HasTelemetry bool
+	Cycle        uint64
+	PMCSlack     float64
+
+	// Run-schedule position, maintained by the segment drivers.
+	// Phase is "warmup" or "measure"; Done counts measured
+	// instructions whose segments have completed; Base is per-core
+	// retired counts at the start of the measure phase, the anchor all
+	// segment targets are computed from.
+	Phase                  string
+	Warmup, Measure, Every uint64
+	Done                   uint64
+	Base                   []uint64
+}
+
+func init() { gob.Register(RunMeta{}) }
+
+const (
+	phaseWarmup  = "warmup"
+	phaseMeasure = "measure"
+)
+
+// WriteCheckpoint streams every component's snapshot into w as one
+// frame sequence: meta, cores, private caches, LLC, DRAM, PML,
+// optional TLBs, optional telemetry, and — last, because trace
+// repositioning on restore replays records through the fault-wrapped
+// readers — the fault injector. The system must be quiescent.
+func (s *System) WriteCheckpoint(w *checkpoint.Writer, m RunMeta) error {
+	if err := s.Checkpointable(); err != nil {
+		return err
+	}
+	m.Cores = s.cfg.Cores
+	m.LLCPolicy = s.cfg.LLCPolicy
+	m.L1, m.L2, m.LLC = s.cfg.L1, s.cfg.L2, s.cfg.LLC
+	m.TLB = s.cfg.TLB
+	m.HasFaults = s.injector != nil
+	m.HasTelemetry = s.tele != nil
+	m.Cycle = s.cycle
+	m.PMCSlack = s.pmcSlack
+	if err := w.Frame("meta", m); err != nil {
+		return err
+	}
+	for i, c := range s.cores {
+		if err := w.Frame(fmt.Sprintf("core-%d", i), c.Snapshot()); err != nil {
+			return err
+		}
+	}
+	for i := range s.l1s {
+		if err := w.Frame(fmt.Sprintf("l1-%d", i), s.l1s[i].Snapshot()); err != nil {
+			return err
+		}
+		if err := w.Frame(fmt.Sprintf("l2-%d", i), s.l2s[i].Snapshot()); err != nil {
+			return err
+		}
+	}
+	if err := w.Frame("llc", s.llc.Snapshot()); err != nil {
+		return err
+	}
+	if err := w.Frame("dram", s.mem.Snapshot()); err != nil {
+		return err
+	}
+	if err := w.Frame("pmc", s.pml.Snapshot()); err != nil {
+		return err
+	}
+	for i, t := range s.tlbs {
+		if err := w.Frame(fmt.Sprintf("tlb-%d", i), t.Snapshot()); err != nil {
+			return err
+		}
+	}
+	if s.tele != nil {
+		if err := w.Frame("telemetry", s.tele.Snapshot()); err != nil {
+			return err
+		}
+	}
+	if s.injector != nil {
+		if err := w.Frame("faultinject", s.injector.Snapshot()); err != nil {
+			return err
+		}
+		if err := w.Frame("faultmem", s.faultMem.Snapshot()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadCheckpoint restores a freshly constructed, identically
+// configured system from r's frames and returns the run-schedule
+// position. Any incompatibility is refused with an error wrapping
+// checkpoint.ErrMismatch; nothing is partially restored on failure
+// paths a caller should continue from (a failed restore leaves the
+// system unusable — build a new one).
+func (s *System) ReadCheckpoint(r *checkpoint.Reader) (RunMeta, error) {
+	raw, err := r.Frame("meta")
+	if err != nil {
+		return RunMeta{}, err
+	}
+	m, err := checkpoint.As[RunMeta](raw, "meta")
+	if err != nil {
+		return RunMeta{}, err
+	}
+	switch {
+	case m.Cores != s.cfg.Cores:
+		return RunMeta{}, checkpoint.Mismatchf("checkpoint has %d cores, system has %d", m.Cores, s.cfg.Cores)
+	case m.LLCPolicy != s.cfg.LLCPolicy:
+		return RunMeta{}, checkpoint.Mismatchf("checkpoint ran policy %q, system runs %q", m.LLCPolicy, s.cfg.LLCPolicy)
+	case m.L1 != s.cfg.L1 || m.L2 != s.cfg.L2 || m.LLC != s.cfg.LLC:
+		return RunMeta{}, checkpoint.Mismatchf("checkpoint cache geometry %+v/%+v/%+v differs from system %+v/%+v/%+v",
+			m.L1, m.L2, m.LLC, s.cfg.L1, s.cfg.L2, s.cfg.LLC)
+	case m.TLB != s.cfg.TLB:
+		return RunMeta{}, checkpoint.Mismatchf("checkpoint TLB=%v, system TLB=%v", m.TLB, s.cfg.TLB)
+	case !m.HasFaults && s.injector != nil:
+		return RunMeta{}, checkpoint.Mismatchf("checkpoint has no fault-injector state for this faulted system")
+	case m.HasTelemetry != (s.tele != nil):
+		return RunMeta{}, checkpoint.Mismatchf("checkpoint telemetry=%v, system telemetry=%v", m.HasTelemetry, s.tele != nil)
+	}
+	restore := func(name string, c checkpoint.Snapshotter) error {
+		raw, err := r.Frame(name)
+		if err != nil {
+			return err
+		}
+		if err := c.Restore(raw); err != nil {
+			return fmt.Errorf("checkpoint: frame %q: %w", name, err)
+		}
+		return nil
+	}
+	for i, c := range s.cores {
+		if err := restore(fmt.Sprintf("core-%d", i), c); err != nil {
+			return RunMeta{}, err
+		}
+	}
+	for i := range s.l1s {
+		if err := restore(fmt.Sprintf("l1-%d", i), s.l1s[i]); err != nil {
+			return RunMeta{}, err
+		}
+		if err := restore(fmt.Sprintf("l2-%d", i), s.l2s[i]); err != nil {
+			return RunMeta{}, err
+		}
+	}
+	if err := restore("llc", s.llc); err != nil {
+		return RunMeta{}, err
+	}
+	if err := restore("dram", s.mem); err != nil {
+		return RunMeta{}, err
+	}
+	if err := restore("pmc", s.pml); err != nil {
+		return RunMeta{}, err
+	}
+	for i, t := range s.tlbs {
+		if err := restore(fmt.Sprintf("tlb-%d", i), t); err != nil {
+			return RunMeta{}, err
+		}
+	}
+	if s.tele != nil {
+		if err := restore("telemetry", s.tele); err != nil {
+			return RunMeta{}, err
+		}
+	}
+	if m.HasFaults {
+		switch {
+		case s.injector != nil:
+			// Restored last: core trace replay above advanced the
+			// injector's RNG and counters; the frame overwrites them.
+			if err := restore("faultinject", s.injector); err != nil {
+				return RunMeta{}, err
+			}
+			if err := restore("faultmem", s.faultMem); err != nil {
+				return RunMeta{}, err
+			}
+		default:
+			// A fault-free system may resume a faulted run's checkpoint
+			// (the supervisor disarms crash-class faults on retries, which
+			// can disable injection entirely): the injector frames are
+			// validated but discarded.
+			if _, err := r.Frame("faultinject"); err != nil {
+				return RunMeta{}, err
+			}
+			if _, err := r.Frame("faultmem"); err != nil {
+				return RunMeta{}, err
+			}
+		}
+	}
+	if err := r.End(); err != nil {
+		return RunMeta{}, err
+	}
+	s.cycle = m.Cycle
+	s.pmcSlack = m.PMCSlack
+	// Re-arm the watchdog and wall clock for the resumed run.
+	s.watchSig = s.progressSig()
+	s.watchLast = s.cycle
+	s.wallStart = time.Time{}
+	return m, nil
+}
+
+// SaveCheckpoint atomically writes the system's checkpoint to path.
+// When fault injection is active the injector may corrupt the written
+// file afterwards (the ckpt-corrupt fault class).
+func (s *System) SaveCheckpoint(path string, m RunMeta) error {
+	if err := checkpoint.Save(path, func(w *checkpoint.Writer) error {
+		return s.WriteCheckpoint(w, m)
+	}); err != nil {
+		return err
+	}
+	if s.injector != nil {
+		if _, err := s.injector.OnCheckpointWritten(path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadCheckpoint restores the system from the checkpoint at path.
+func (s *System) LoadCheckpoint(path string) (RunMeta, error) {
+	var m RunMeta
+	err := checkpoint.Load(path, func(r *checkpoint.Reader) error {
+		var err error
+		m, err = s.ReadCheckpoint(r)
+		return err
+	})
+	return m, err
+}
+
+// CheckpointOptions configures the checkpointed run drivers.
+type CheckpointOptions struct {
+	// Path is the checkpoint file; the previous checkpoint rotates to
+	// Path+".1" before each new write, so one known-good predecessor
+	// survives a corrupted write. Empty disables checkpoint writing
+	// (the quiesce schedule set by Every still runs).
+	Path string
+	// Every is the number of measured instructions per schedule
+	// segment, with a pipeline quiesce (and, with Path set, a
+	// checkpoint) between segments. Every — not Path — determines the
+	// executed schedule, so runs that agree on Every are bit-identical
+	// regardless of where their checkpoints go (0 = one segment, no
+	// scheduled checkpoints; an interrupt still writes a final one).
+	Every uint64
+}
+
+// RotatedPath returns the fallback location of the previous
+// checkpoint.
+func RotatedPath(path string) string { return path + ".1" }
+
+// RunCheckpointed is sim.Run with a checkpoint schedule: the measured
+// region executes in segments of opts.Every instructions with a
+// quiesce+checkpoint between segments. The segment targets are
+// absolute (anchored at the measure-phase start), so a run resumed
+// from any of its checkpoints replays the identical remaining
+// schedule and produces bit-identical results. On ErrInterrupted a
+// final checkpoint is written before returning.
+func RunCheckpointed(cfg Config, traces []trace.Reader, warmup, measure uint64, opts CheckpointOptions) (Result, error) {
+	s, err := New(cfg, traces)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.RunSchedule(warmup, measure, opts)
+}
+
+// RunSchedule runs the full warmup+measure schedule on an
+// already-built system (the CLI uses this form so it can keep the
+// System for signal hookup and post-run inspection).
+func (s *System) RunSchedule(warmup, measure uint64, opts CheckpointOptions) (Result, error) {
+	m := RunMeta{Phase: phaseWarmup, Warmup: warmup, Measure: measure, Every: opts.Every}
+	return s.runSchedule(m, opts.Path)
+}
+
+// ResumeSchedule restores the checkpoint at from into an
+// already-built system and completes the remaining schedule. warmup,
+// measure, and opts.Every must match the checkpointed run.
+func (s *System) ResumeSchedule(warmup, measure uint64, opts CheckpointOptions, from string) (Result, error) {
+	m, err := s.LoadCheckpoint(from)
+	if err != nil {
+		return Result{}, err
+	}
+	if m.Warmup != warmup || m.Measure != measure || m.Every != opts.Every {
+		return Result{}, checkpoint.Mismatchf(
+			"resume schedule differs: checkpoint warmup=%d measure=%d every=%d, flags warmup=%d measure=%d every=%d",
+			m.Warmup, m.Measure, m.Every, warmup, measure, opts.Every)
+	}
+	return s.runSchedule(m, opts.Path)
+}
+
+// Resume rebuilds a system from cfg and freshly constructed traces
+// (identical to the original run's), restores the checkpoint at from,
+// and completes the remaining schedule. warmup, measure, and
+// opts.Every must match the checkpointed run.
+func Resume(cfg Config, traces []trace.Reader, warmup, measure uint64, opts CheckpointOptions, from string) (Result, error) {
+	s, err := New(cfg, traces)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.ResumeSchedule(warmup, measure, opts, from)
+}
+
+// runSchedule executes the (possibly mid-run) schedule in m.
+func (s *System) runSchedule(m RunMeta, path string) (Result, error) {
+	fail := func(err error) (Result, error) {
+		if errors.Is(err, ErrInterrupted) && path != "" {
+			if qerr := s.Quiesce(); qerr == nil {
+				rotate(path)
+				if serr := s.SaveCheckpoint(path, m); serr != nil {
+					err = errors.Join(err, serr)
+				}
+			} else {
+				err = errors.Join(err, qerr)
+			}
+		}
+		_ = s.closeTelemetry() // best-effort flush for post-mortems
+		return s.Snapshot(), err
+	}
+
+	if m.Phase == phaseWarmup {
+		if s.tele != nil {
+			s.tele.MarkWarmup()
+		}
+		if m.Warmup > 0 {
+			targets := make([]uint64, len(s.cores))
+			for i := range targets {
+				targets[i] = m.Warmup
+			}
+			if err := s.runUntilRetired(targets); err != nil {
+				return fail(err)
+			}
+		}
+		s.ResetStats()
+		m.Phase = phaseMeasure
+		m.Done = 0
+		m.Base = make([]uint64, len(s.cores))
+		for i, c := range s.cores {
+			m.Base[i] = c.Retired()
+		}
+	}
+
+	for m.Done < m.Measure {
+		k := m.Measure - m.Done
+		if m.Every > 0 && m.Every < k {
+			k = m.Every
+		}
+		targets := make([]uint64, len(s.cores))
+		for i := range targets {
+			targets[i] = m.Base[i] + m.Done + k
+		}
+		if err := s.runUntilRetired(targets); err != nil {
+			return fail(err)
+		}
+		m.Done += k
+		// The inter-segment quiesce is part of the schedule, not of
+		// checkpoint writing: it runs whenever Every is set, so a resumed
+		// run (which may write its checkpoints elsewhere or nowhere)
+		// drains at exactly the same points as the original and stays
+		// bit-identical to it.
+		if m.Every > 0 && m.Done < m.Measure {
+			if err := s.Quiesce(); err != nil {
+				return fail(err)
+			}
+			if path != "" {
+				rotate(path)
+				if err := s.SaveCheckpoint(path, m); err != nil {
+					return fail(err)
+				}
+			}
+		}
+	}
+	if err := s.closeTelemetry(); err != nil {
+		return s.Snapshot(), err
+	}
+	return s.Snapshot(), nil
+}
+
+// rotate preserves the previous checkpoint as the fallback.
+func rotate(path string) {
+	if _, err := os.Stat(path); err == nil {
+		_ = os.Rename(path, RotatedPath(path))
+	}
+}
+
+// runUntilRetired advances until every core reaches its absolute
+// retirement target (or exhausts its trace), with the same worst-case
+// cycle cap as RunInstructions. Absolute targets are what make
+// checkpoint schedules replayable: a core that overshot a segment
+// boundary does not shift later boundaries.
+func (s *System) runUntilRetired(targets []uint64) error {
+	if s.cfg.WallClockTimeout > 0 && s.wallStart.IsZero() {
+		s.wallStart = time.Now()
+	}
+	var remaining uint64
+	for i, c := range s.cores {
+		if r := c.Retired(); r < targets[i] && !c.Exhausted() {
+			remaining += targets[i] - r
+		}
+	}
+	maxCycles := s.cycle + remaining*400 + 1_000_000
+	for s.cycle < maxCycles {
+		done := true
+		for i, c := range s.cores {
+			if c.Retired() < targets[i] && !c.Exhausted() {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		s.step()
+		if err := s.guard(); err != nil {
+			return err
+		}
+	}
+	return s.componentErr()
+}

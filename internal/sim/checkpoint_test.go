@@ -1,0 +1,247 @@
+package sim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"care/internal/checkpoint"
+	"care/internal/faultinject"
+	"care/internal/replacement"
+	"care/internal/telemetry"
+)
+
+// ckptSchedule is the common small schedule the checkpoint tests run:
+// two scheduled checkpoints (at 1/3 and 2/3 of the measured region)
+// plus a final uncheckpointed segment.
+const (
+	ckptWarmup  = 3000
+	ckptMeasure = 12000
+	ckptEvery   = 4000
+)
+
+// runFull executes the complete checkpointed schedule for one policy
+// and core count, leaving the live checkpoint (2/3 point) and its
+// rotated predecessor (1/3 point) at path. It returns the result and
+// the full telemetry series when tele is set.
+func runFull(t *testing.T, policy string, cores int, path string, tele bool) (Result, []telemetry.Interval) {
+	t.Helper()
+	cfg := ScaledConfig(cores, 16)
+	cfg.LLCPolicy = policy
+	var col *telemetry.Collector
+	if tele {
+		col = telemetry.NewCollector(telemetry.Options{
+			Interval: 2000,
+			Tag:      fmt.Sprintf("%s/c%d", policy, cores),
+			Sink:     telemetry.NewMemory(),
+		})
+		cfg.Telemetry = col
+	}
+	r, err := RunCheckpointed(cfg, mcfTraces(cores), ckptWarmup, ckptMeasure,
+		CheckpointOptions{Path: path, Every: ckptEvery})
+	if err != nil {
+		t.Fatalf("%s/c%d full run: %v", policy, cores, err)
+	}
+	var series []telemetry.Interval
+	if col != nil {
+		series = col.Series()
+	}
+	return r, series
+}
+
+// resumeFrom restores the checkpoint at from into a freshly built
+// system over freshly constructed traces and completes the schedule.
+func resumeFrom(t *testing.T, policy string, cores int, from string, tele bool) (Result, []telemetry.Interval) {
+	t.Helper()
+	cfg := ScaledConfig(cores, 16)
+	cfg.LLCPolicy = policy
+	var col *telemetry.Collector
+	if tele {
+		col = telemetry.NewCollector(telemetry.Options{
+			Interval: 2000,
+			Tag:      fmt.Sprintf("%s/c%d", policy, cores),
+			Sink:     telemetry.NewMemory(),
+		})
+		cfg.Telemetry = col
+	}
+	r, err := Resume(cfg, mcfTraces(cores), ckptWarmup, ckptMeasure,
+		CheckpointOptions{Path: "", Every: ckptEvery}, from)
+	if err != nil {
+		t.Fatalf("%s/c%d resume from %s: %v", policy, cores, filepath.Base(from), err)
+	}
+	var series []telemetry.Interval
+	if col != nil {
+		series = col.Series()
+	}
+	return r, series
+}
+
+// TestResumeEquivalence is the tentpole's correctness bar: for LRU,
+// SHiP++, and CARE on 1-, 4-, and 8-core mixes, a run resumed from
+// either retained checkpoint must produce byte-identical final stats
+// and telemetry to the uninterrupted run.
+func TestResumeEquivalence(t *testing.T) {
+	for _, policy := range []string{"lru", "ship++", "care"} {
+		for _, cores := range []int{1, 4, 8} {
+			t.Run(fmt.Sprintf("%s/c%d", policy, cores), func(t *testing.T) {
+				path := filepath.Join(t.TempDir(), "run.ckpt")
+				want, wantTele := runFull(t, policy, cores, path, true)
+				for _, from := range []string{path, RotatedPath(path)} {
+					got, gotTele := resumeFrom(t, policy, cores, from, true)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("resume from %s diverged:\nresumed: %+v\nfull:    %+v",
+							filepath.Base(from), got, want)
+					}
+					if !reflect.DeepEqual(gotTele, wantTele) {
+						t.Fatalf("resume from %s: telemetry series diverged", filepath.Base(from))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRoundTripEveryPolicy round-trips every registered replacement
+// policy (the full zoo, including CARE and M-CARE) through a
+// checkpoint at 1/3, 4/3-scaled core configs: restore must reproduce
+// the uninterrupted result bit-exactly.
+func TestRoundTripEveryPolicy(t *testing.T) {
+	coreCounts := []int{1, 4, 8}
+	if testing.Short() {
+		coreCounts = []int{2}
+	}
+	for _, policy := range replacement.Names() {
+		for _, cores := range coreCounts {
+			t.Run(fmt.Sprintf("%s/c%d", policy, cores), func(t *testing.T) {
+				path := filepath.Join(t.TempDir(), "run.ckpt")
+				want, _ := runFull(t, policy, cores, path, false)
+				got, _ := resumeFrom(t, policy, cores, path, false)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("round-trip diverged:\nresumed: %+v\nfull:    %+v", got, want)
+				}
+			})
+		}
+	}
+}
+
+// resumeErr replays a (possibly damaged) checkpoint and returns the
+// error.
+func resumeErr(t *testing.T, policy string, cores int, from string) error {
+	t.Helper()
+	cfg := ScaledConfig(cores, 16)
+	cfg.LLCPolicy = policy
+	_, err := Resume(cfg, mcfTraces(cores), ckptWarmup, ckptMeasure,
+		CheckpointOptions{Path: "", Every: ckptEvery}, from)
+	return err
+}
+
+// TestCorruptCheckpointsRejected verifies a damaged checkpoint is
+// always refused with the right typed error, never silently restored.
+func TestCorruptCheckpointsRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	runFull(t, "lru", 1, path, false)
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	damage := func(mut []byte) {
+		t.Helper()
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Bit flip in a frame payload -> CRC failure.
+	mut := append([]byte(nil), good...)
+	mut[len(mut)/2] ^= 0x04
+	damage(mut)
+	if err := resumeErr(t, "lru", 1, path); !errors.Is(err, checkpoint.ErrCorrupt) {
+		t.Fatalf("bit flip: got %v, want ErrCorrupt", err)
+	}
+
+	// Truncation -> ErrCorrupt.
+	damage(good[:len(good)-len(good)/3])
+	if err := resumeErr(t, "lru", 1, path); !errors.Is(err, checkpoint.ErrCorrupt) {
+		t.Fatalf("truncation: got %v, want ErrCorrupt", err)
+	}
+
+	// Future format version -> ErrVersion.
+	mut = append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(mut[len(checkpoint.Magic):], checkpoint.Version+7)
+	damage(mut)
+	if err := resumeErr(t, "lru", 1, path); !errors.Is(err, checkpoint.ErrVersion) {
+		t.Fatalf("future version: got %v, want ErrVersion", err)
+	}
+
+	// Restore the good file: wrong policy, wrong core count, and wrong
+	// schedule are configuration mismatches.
+	damage(good)
+	if err := resumeErr(t, "ship++", 1, path); !errors.Is(err, checkpoint.ErrMismatch) {
+		t.Fatalf("policy mismatch: got %v, want ErrMismatch", err)
+	}
+	if err := resumeErr(t, "lru", 2, path); !errors.Is(err, checkpoint.ErrMismatch) {
+		t.Fatalf("core-count mismatch: got %v, want ErrMismatch", err)
+	}
+	cfg := ScaledConfig(1, 16)
+	cfg.LLCPolicy = "lru"
+	if _, err := Resume(cfg, mcfTraces(1), ckptWarmup, ckptMeasure+1,
+		CheckpointOptions{Every: ckptEvery}, path); !errors.Is(err, checkpoint.ErrMismatch) {
+		t.Fatalf("schedule mismatch: got %v, want ErrMismatch", err)
+	}
+}
+
+// TestInterruptWritesFinalCheckpoint verifies the SIGINT path: an
+// interrupted run fails with ErrInterrupted but leaves a resumable
+// final checkpoint behind.
+func TestInterruptWritesFinalCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	cfg := ScaledConfig(1, 16)
+	cfg.LLCPolicy = "care"
+	s, err := New(cfg, mcfTraces(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Interrupt()
+	_, err = s.RunSchedule(ckptWarmup, ckptMeasure, CheckpointOptions{Path: path, Every: ckptEvery})
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("interrupted run: got %v, want ErrInterrupted", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("no final checkpoint written: %v", err)
+	}
+	got, _ := resumeFrom(t, "care", 1, path, false)
+	if got.CoreInstructions[0] < ckptMeasure {
+		t.Fatalf("resumed run retired %d measured instructions, want >= %d",
+			got.CoreInstructions[0], ckptMeasure)
+	}
+}
+
+// TestKillFaultFailsRun verifies the injected mid-run kill surfaces as
+// a typed, diagnosable failure.
+func TestKillFaultFailsRun(t *testing.T) {
+	cfg := ScaledConfig(1, 16)
+	cfg.LLCPolicy = "lru"
+	cfg.Faults = &faultinject.Config{Seed: 3, KillAtCycle: 2000}
+	_, err := Run(cfg, mcfTraces(1), ckptWarmup, ckptMeasure)
+	if !errors.Is(err, faultinject.ErrKilled) {
+		t.Fatalf("kill fault: got %v, want ErrKilled", err)
+	}
+	var fe *FailureError
+	if !errors.As(err, &fe) {
+		t.Fatalf("kill fault should arrive as a *FailureError, got %T", err)
+	}
+}
+
+// TestQuiesceIsTransparent verifies the quiesce/checkpoint schedule
+// itself is deterministic: two identical checkpointed runs agree.
+func TestQuiesceIsTransparent(t *testing.T) {
+	a, _ := runFull(t, "care", 2, filepath.Join(t.TempDir(), "a.ckpt"), false)
+	b, _ := runFull(t, "care", 2, filepath.Join(t.TempDir(), "b.ckpt"), false)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("checkpointed runs disagree:\n%+v\n%+v", a, b)
+	}
+}

@@ -7,6 +7,7 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"care/internal/cache"
@@ -160,6 +161,9 @@ type System struct {
 	pmcSlack float64
 	// wallStart anchors WallClockTimeout; set on the first cycle.
 	wallStart time.Time
+	// interrupted is set by Interrupt (from any goroutine, e.g. a
+	// signal handler) and consumed one-shot by the guard.
+	interrupted atomic.Bool
 }
 
 // New builds a system running one trace per core. len(traces) must
@@ -353,6 +357,13 @@ func (s *System) guard() error {
 	}
 	if s.cycle%watchdogStride != 0 {
 		return nil
+	}
+	if s.interrupted.Load() {
+		s.interrupted.Store(false)
+		return s.failf(ErrInterrupted, "interrupt requested at cycle %d", s.cycle)
+	}
+	if s.injector != nil && s.injector.ShouldKill(s.cycle) {
+		return s.failf(faultinject.ErrKilled, "injected kill fired at cycle %d", s.cycle)
 	}
 	if err := s.componentErr(); err != nil {
 		return err

@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"encoding/gob"
+	"fmt"
+
+	"care/internal/checkpoint"
+)
+
+func init() { gob.Register(State{}) }
+
+// PrevState mirrors the delta baseline at the last interval boundary.
+type PrevState struct {
+	CoreInstr   []uint64
+	CoreCycles  []uint64
+	CoreMem     []uint64
+	CoreStall   []uint64
+	CoreLLCMiss []uint64
+
+	LLCAccesses, LLCHits, LLCMisses, LLCPure, LLCMSHRStall uint64
+	LLCPMCSum                                              float64
+
+	DRAMReads, DRAMWrites, DRAMRowHits, DRAMRowMisses uint64
+
+	CARERaises, CARELowers, CARECostly uint64
+	CAREEPV                            [4]uint64
+}
+
+// State is the collector's dynamic state: watermarks, the delta
+// baseline, the in-progress occupancy histogram, and the retained
+// interval ring (oldest first). The sink is deliberately NOT part of
+// the state — a resumed run attaches a fresh sink and the collector
+// re-emits BeginSeries on the first post-resume interval.
+type State struct {
+	Next, NextOcc, Start uint64
+	Index, Count         int
+	Warm                 bool
+	OccHist              [occBuckets]uint32
+	Prev                 PrevState
+	Intervals            []Interval
+}
+
+// Snapshot implements checkpoint.Snapshotter.
+func (c *Collector) Snapshot() any {
+	p := &c.prev
+	return State{
+		Next:    c.next,
+		NextOcc: c.nextOcc,
+		Start:   c.start,
+		Index:   c.index,
+		Count:   c.count,
+		Warm:    c.warm,
+		OccHist: c.occHist,
+		Prev: PrevState{
+			CoreInstr:    append([]uint64(nil), p.coreInstr...),
+			CoreCycles:   append([]uint64(nil), p.coreCycles...),
+			CoreMem:      append([]uint64(nil), p.coreMem...),
+			CoreStall:    append([]uint64(nil), p.coreStall...),
+			CoreLLCMiss:  append([]uint64(nil), p.coreLLCMiss...),
+			LLCAccesses:  p.llcAccesses,
+			LLCHits:      p.llcHits,
+			LLCMisses:    p.llcMisses,
+			LLCPure:      p.llcPure,
+			LLCMSHRStall: p.llcMSHRStall,
+			LLCPMCSum:    p.llcPMCSum,
+			DRAMReads:    p.dramReads,
+			DRAMWrites:   p.dramWrites,
+			DRAMRowHits:  p.dramRowHits,
+			DRAMRowMisses: p.dramRowMisses,
+			CARERaises:   p.careRaises,
+			CARELowers:   p.careLowers,
+			CARECostly:   p.careCostly,
+			CAREEPV:      p.careEPV,
+		},
+		Intervals: c.Series(),
+	}
+}
+
+// Restore implements checkpoint.Snapshotter on a freshly bound
+// collector with identical interval, capacity, and core count.
+func (c *Collector) Restore(snap any) error {
+	st, err := checkpoint.As[State](snap, "telemetry collector")
+	if err != nil {
+		return err
+	}
+	if !c.bound {
+		return fmt.Errorf("%w: telemetry: restore target is unbound", checkpoint.ErrNotCheckpointable)
+	}
+	if len(st.Prev.CoreInstr) != len(c.cores) {
+		return checkpoint.Mismatchf("telemetry: snapshot sized for %d cores, collector has %d",
+			len(st.Prev.CoreInstr), len(c.cores))
+	}
+	if len(st.Intervals) > len(c.ring) {
+		return checkpoint.Mismatchf("telemetry: snapshot retains %d intervals, ring capacity is %d",
+			len(st.Intervals), len(c.ring))
+	}
+
+	c.next = st.Next
+	c.nextOcc = st.NextOcc
+	c.start = st.Start
+	c.index = st.Index
+	c.count = st.Count
+	c.warm = st.Warm
+	c.occHist = st.OccHist
+	copy(c.prev.coreInstr, st.Prev.CoreInstr)
+	copy(c.prev.coreCycles, st.Prev.CoreCycles)
+	copy(c.prev.coreMem, st.Prev.CoreMem)
+	copy(c.prev.coreStall, st.Prev.CoreStall)
+	copy(c.prev.coreLLCMiss, st.Prev.CoreLLCMiss)
+	c.prev.llcAccesses = st.Prev.LLCAccesses
+	c.prev.llcHits = st.Prev.LLCHits
+	c.prev.llcMisses = st.Prev.LLCMisses
+	c.prev.llcPure = st.Prev.LLCPure
+	c.prev.llcMSHRStall = st.Prev.LLCMSHRStall
+	c.prev.llcPMCSum = st.Prev.LLCPMCSum
+	c.prev.dramReads = st.Prev.DRAMReads
+	c.prev.dramWrites = st.Prev.DRAMWrites
+	c.prev.dramRowHits = st.Prev.DRAMRowHits
+	c.prev.dramRowMisses = st.Prev.DRAMRowMisses
+	c.prev.careRaises = st.Prev.CARERaises
+	c.prev.careLowers = st.Prev.CARELowers
+	c.prev.careCostly = st.Prev.CARECostly
+	c.prev.careEPV = st.Prev.CAREEPV
+
+	// Refill the ring so Series() after a resume matches the
+	// uninterrupted run. Slot i%len(ring) holds interval i; the
+	// snapshot's Intervals are the last min(count, cap) of them.
+	first := st.Count - len(st.Intervals)
+	for j, iv := range st.Intervals {
+		slot := &c.ring[(first+j)%len(c.ring)]
+		cores := slot.Cores
+		carePtr := slot.CARE
+		*slot = iv
+		slot.Cores = cores
+		copy(slot.Cores, iv.Cores)
+		slot.CARE = carePtr
+		if carePtr != nil && iv.CARE != nil {
+			*carePtr = *iv.CARE
+		}
+	}
+	// A resumed run writes to a fresh sink: re-announce the series on
+	// the first emitted interval.
+	c.began = false
+	c.closed = false
+	c.err = nil
+	return nil
+}

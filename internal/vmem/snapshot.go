@@ -1,0 +1,84 @@
+package vmem
+
+import (
+	"encoding/gob"
+	"fmt"
+
+	"care/internal/checkpoint"
+)
+
+func init() { gob.Register(State{}) }
+
+// EntryState mirrors one TLB entry.
+type EntryState struct {
+	Valid bool
+	VPN   uint64
+	PPN   uint64
+	Stamp uint64
+}
+
+// State is a TLB's checkpointable state at a quiescent point (no page
+// walks in flight — walk callbacks are closures threaded through the
+// cache hierarchy and cannot serialize).
+type State struct {
+	Sets   [][]EntryState
+	Clock  uint64
+	NextID uint64
+	Stats  Stats
+}
+
+// Checkpointable reports whether the TLB can snapshot now. The error
+// wraps checkpoint.ErrNotCheckpointable.
+func (t *TLB) Checkpointable() error {
+	if len(t.pending) != 0 {
+		return fmt.Errorf("%w: core %d TLB has %d page walks in flight",
+			checkpoint.ErrNotCheckpointable, t.core, len(t.pending))
+	}
+	return nil
+}
+
+// Snapshot implements checkpoint.Snapshotter.
+func (t *TLB) Snapshot() any {
+	st := State{
+		Sets:   make([][]EntryState, len(t.sets)),
+		Clock:  t.clock,
+		NextID: t.nextID,
+		Stats:  t.stats,
+	}
+	for i, set := range t.sets {
+		out := make([]EntryState, len(set))
+		for w, e := range set {
+			out[w] = EntryState{Valid: e.valid, VPN: e.vpn, PPN: e.ppn, Stamp: e.stamp}
+		}
+		st.Sets[i] = out
+	}
+	return st
+}
+
+// Restore implements checkpoint.Snapshotter on an identically
+// configured TLB.
+func (t *TLB) Restore(snap any) error {
+	st, err := checkpoint.As[State](snap, fmt.Sprintf("core %d TLB", t.core))
+	if err != nil {
+		return err
+	}
+	if len(st.Sets) != len(t.sets) {
+		return checkpoint.Mismatchf("core %d TLB: snapshot has %d sets, TLB has %d",
+			t.core, len(st.Sets), len(t.sets))
+	}
+	for i, set := range st.Sets {
+		if len(set) != len(t.sets[i]) {
+			return checkpoint.Mismatchf("core %d TLB: snapshot set %d has %d ways, TLB has %d",
+				t.core, i, len(set), len(t.sets[i]))
+		}
+	}
+	for i, set := range st.Sets {
+		for w, e := range set {
+			t.sets[i][w] = tlbEntry{valid: e.Valid, vpn: e.VPN, ppn: e.PPN, stamp: e.Stamp}
+		}
+	}
+	t.clock = st.Clock
+	t.nextID = st.NextID
+	t.stats = st.Stats
+	return nil
+}
