@@ -70,7 +70,7 @@ func BenchmarkSimulationLRU(b *testing.B) {
 	benchSimulation(b, "lru")
 }
 
-func benchSimulation(b *testing.B, policy string) {
+func benchSimulation(b *testing.B, policy care.Policy) {
 	b.Helper()
 	benchSimulationTelemetry(b, policy, "")
 }
@@ -79,7 +79,7 @@ func benchSimulation(b *testing.B, policy string) {
 // optional streaming telemetry sink, reporting simulated instructions
 // per second. Comparing the "" and "jsonl" variants quantifies the
 // collector's overhead (DESIGN.md §7 records the expectation: <2%).
-func benchSimulationTelemetry(b *testing.B, policy, format string) {
+func benchSimulationTelemetry(b *testing.B, policy care.Policy, format string) {
 	b.Helper()
 	const instr = 50_000
 	for i := 0; i < b.N; i++ {

@@ -23,14 +23,17 @@
 //
 //	traces := []care.TraceReader{care.MustSPECTrace("429.mcf", 1, 16)}
 //	cfg := care.ScaledConfig(1, 16)
-//	cfg.LLCPolicy = "care"
-//	result, err := care.RunSimulation(cfg, traces, 50_000, 200_000)
+//	cfg.LLCPolicy = care.PolicyCARE
+//	result, err := care.Run(context.Background(), cfg, traces,
+//		care.RunOpts{Warmup: 50_000, Measure: 200_000})
 //
 // See the examples/ directory for complete programs and DESIGN.md for
 // the architecture and experiment index.
 package care
 
 import (
+	"context"
+	"errors"
 	"io"
 
 	careplc "care/internal/core/care"
@@ -39,6 +42,7 @@ import (
 	"care/internal/graph"
 	"care/internal/harness"
 	"care/internal/mem"
+	"care/internal/policy"
 	"care/internal/replacement"
 	"care/internal/sim"
 	"care/internal/synth"
@@ -77,10 +81,87 @@ func NewSystem(cfg SystemConfig, traces []TraceReader) (*System, error) {
 	return sim.New(cfg, traces)
 }
 
+// CheckpointOptions schedules periodic quiesce+checkpoint during the
+// measured region; see Run and internal/sim.
+type CheckpointOptions = sim.CheckpointOptions
+
+// ErrInterrupted is the error a run returns when it was interrupted —
+// by a cancelled context passed to Run, or by System.Interrupt.
+var ErrInterrupted = sim.ErrInterrupted
+
+// RunOpts configures one Run call. The zero value runs no warmup and
+// no measurement, so callers always set at least Measure.
+type RunOpts struct {
+	// Warmup is the per-core instruction budget executed (and then
+	// discarded from the statistics) before measurement begins.
+	Warmup uint64
+	// Measure is the per-core measured instruction budget.
+	Measure uint64
+	// Telemetry, when non-nil, attaches an interval collector to the
+	// run (it overrides any collector already set on the config).
+	Telemetry *TelemetryCollector
+	// Checkpoint, when non-nil, runs the measured region on a
+	// checkpoint schedule: segments of Checkpoint.Every instructions
+	// with a pipeline quiesce (and, with Checkpoint.Path set, a
+	// checkpoint write) between segments.
+	Checkpoint *CheckpointOptions
+}
+
+// Run builds a system over one trace per core, warms it up, measures,
+// and returns the result. Cancelling ctx interrupts the run: it
+// returns the partial result with an error wrapping both
+// ErrInterrupted and the context's error (and, when a checkpoint path
+// is configured, writes a final checkpoint first so the run can be
+// resumed). Integrity failures (watchdog, invariant checker, corrupt
+// traces, cycle and wall-clock caps) also surface as errors alongside
+// the partial result.
+func Run(ctx context.Context, cfg SystemConfig, traces []TraceReader, opts RunOpts) (Result, error) {
+	if opts.Telemetry != nil {
+		cfg.Telemetry = opts.Telemetry
+	}
+	s, err := sim.New(cfg, traces)
+	if err != nil {
+		return Result{}, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if done := ctx.Done(); done != nil {
+		stop := make(chan struct{})
+		finished := make(chan struct{})
+		go func() {
+			defer close(finished)
+			select {
+			case <-done:
+				s.Interrupt()
+			case <-stop:
+			}
+		}()
+		defer func() {
+			close(stop)
+			<-finished
+		}()
+	}
+	var ck sim.CheckpointOptions
+	if opts.Checkpoint != nil {
+		ck = *opts.Checkpoint
+	}
+	r, err := s.RunSchedule(opts.Warmup, opts.Measure, ck)
+	if errors.Is(err, sim.ErrInterrupted) && ctx.Err() != nil {
+		err = errors.Join(err, ctx.Err())
+	}
+	return r, err
+}
+
 // RunSimulation builds a system, warms it up, measures, and returns
 // the result.
+//
+// Deprecated: use Run, which adds context cancellation, telemetry,
+// and checkpoint scheduling through RunOpts. RunSimulation(cfg,
+// traces, w, m) is exactly Run(context.Background(), cfg, traces,
+// RunOpts{Warmup: w, Measure: m}).
 func RunSimulation(cfg SystemConfig, traces []TraceReader, warmup, measure uint64) (Result, error) {
-	return sim.Run(cfg, traces, warmup, measure)
+	return Run(context.Background(), cfg, traces, RunOpts{Warmup: warmup, Measure: measure})
 }
 
 // ---- traces and workloads ----
@@ -156,8 +237,56 @@ func OffsetTrace(r TraceReader, delta Addr) TraceReader { return trace.NewOffset
 
 // ---- policies ----
 
-// Policies lists every registered LLC replacement policy, including
-// "care" and "m-care".
+// Policy is the typed identifier for an LLC replacement policy; set
+// it on SystemConfig.LLCPolicy. Untyped string constants assign
+// directly (cfg.LLCPolicy = "care"); runtime strings should go
+// through ParsePolicy so an unknown name fails with ErrUnknownPolicy
+// at configuration time instead of deep inside simulator setup.
+type Policy = policy.Policy
+
+// ErrUnknownPolicy is the typed error ParsePolicy (and config
+// validation inside NewSystem/Run) returns for a policy name outside
+// the zoo; match it with errors.As.
+type ErrUnknownPolicy = policy.ErrUnknown
+
+// The policy zoo: the paper's CARE and its M-CARE ablation, and every
+// baseline replacement policy in the registry.
+const (
+	PolicyBIP        = policy.BIP
+	PolicyBRRIP      = policy.BRRIP
+	PolicyCARE       = policy.CARE
+	PolicyDIP        = policy.DIP
+	PolicyDRRIP      = policy.DRRIP
+	PolicyEAF        = policy.EAF
+	PolicyGlider     = policy.Glider
+	PolicyHawkeye    = policy.Hawkeye
+	PolicyLACS       = policy.LACS
+	PolicyLIP        = policy.LIP
+	PolicyLin        = policy.Lin
+	PolicyLRU        = policy.LRU
+	PolicyMCARE      = policy.MCARE
+	PolicyMockingjay = policy.Mockingjay
+	PolicyPacman     = policy.Pacman
+	PolicyRandom     = policy.Random
+	PolicyRLR        = policy.RLR
+	PolicySBAR       = policy.SBAR
+	PolicySHiP       = policy.SHiP
+	PolicySHiPPP     = policy.SHiPPP
+	PolicySRRIP      = policy.SRRIP
+)
+
+// ParsePolicy validates a policy name, returning *ErrUnknownPolicy
+// for names outside the zoo. It round-trips with Policy.String:
+// ParsePolicy(p.String()) == p for every p in AllPolicies().
+func ParsePolicy(name string) (Policy, error) { return policy.Parse(name) }
+
+// AllPolicies returns every valid Policy in sorted order.
+func AllPolicies() []Policy { return policy.All() }
+
+// Policies lists every registered LLC replacement policy name,
+// including "care" and "m-care".
+//
+// Deprecated: use AllPolicies, which returns typed Policy values.
 func Policies() []string { return replacement.Names() }
 
 // CAREConfig tunes the CARE policy (sampled sets, DTRM period and

@@ -25,6 +25,7 @@ import (
 
 	"care/internal/faultinject"
 	"care/internal/harness"
+	"care/internal/policy"
 	"care/internal/telemetry"
 )
 
@@ -49,6 +50,11 @@ func main() {
 		telInterval = flag.Uint64("telemetry-interval", telemetry.DefaultInterval, "telemetry sampling interval in cycles")
 		telOut      = flag.String("telemetry-out", "", "telemetry output file (empty = care-bench-telemetry.<ext>, \"-\" = stdout); experiments append to one stream")
 
+		perf         = flag.Bool("perf", false, "run the performance-regression suite (Fig.7/Fig.9 sweeps at 1/4/8 cores) instead of accuracy experiments")
+		perfOut      = flag.String("perf-out", "", "write the perf report to this JSON file (default BENCH_5.json; \"-\" = stdout only)")
+		perfBaseline = flag.String("perf-baseline", "", "compare the perf report against this baseline JSON; exit 1 on regression")
+		perfTol      = flag.Float64("perf-tolerance", 0.10, "fractional ns/op regression tolerated against -perf-baseline")
+
 		retries   = flag.Int("retries", 0, "retry crashed/faulted simulations up to this many extra attempts, resuming from their last good checkpoint")
 		ckptDir   = flag.String("checkpoint-dir", "", "directory for per-simulation checkpoints (enables supervised runs)")
 		ckptEvery = flag.Uint64("checkpoint-every", 0, "measured instructions between checkpoints (0 = a quarter of -measure; requires -checkpoint-dir)")
@@ -60,6 +66,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "care-bench:", err)
 		os.Exit(2)
+	}
+
+	if *perf {
+		if err := runPerf(*perfOut, *perfBaseline, *perfTol, *schemes); err != nil {
+			fmt.Fprintln(os.Stderr, "care-bench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *list || *runIDs == "" {
@@ -119,7 +133,16 @@ func main() {
 		opts.Workloads = strings.Split(*workloads, ",")
 	}
 	if *schemes != "" {
-		opts.Schemes = strings.Split(*schemes, ",")
+		// Typed validation up front: a misspelled scheme fails here
+		// with the valid set listed, not hours into a campaign.
+		for _, s := range strings.Split(*schemes, ",") {
+			p, err := policy.Parse(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "care-bench: -schemes:", err)
+				os.Exit(2)
+			}
+			opts.Schemes = append(opts.Schemes, string(p))
+		}
 	}
 	for _, c := range strings.Split(*cores, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(c))
@@ -183,6 +206,55 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// runPerf executes the performance-regression sweep, writes the
+// report, and optionally compares it against a committed baseline.
+func runPerf(outPath, baselinePath string, tol float64, schemes string) error {
+	opts := harness.PerfOptions{Out: os.Stdout}
+	if schemes != "" {
+		for _, s := range strings.Split(schemes, ",") {
+			p, err := policy.Parse(strings.TrimSpace(s))
+			if err != nil {
+				return fmt.Errorf("-schemes: %w", err)
+			}
+			opts.Schemes = append(opts.Schemes, string(p))
+		}
+	}
+	report, err := harness.RunPerf(opts)
+	if err != nil {
+		return err
+	}
+	switch outPath {
+	case "-":
+	default:
+		if outPath == "" {
+			outPath = "BENCH_5.json"
+		}
+		if err := harness.WritePerfReport(outPath, report); err != nil {
+			return err
+		}
+		fmt.Printf("perf report -> %s\n", outPath)
+	}
+	if baselinePath == "" {
+		return nil
+	}
+	base, err := harness.LoadPerfReport(baselinePath)
+	if err != nil {
+		return err
+	}
+	violations, notes := harness.ComparePerf(report, base, tol)
+	for _, n := range notes {
+		fmt.Println("note:", n)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", v)
+		}
+		return fmt.Errorf("%d performance regression(s) vs %s", len(violations), baselinePath)
+	}
+	fmt.Printf("perf: no regressions vs %s (tolerance %.0f%%)\n", baselinePath, 100*tol)
+	return nil
 }
 
 // errFlagConflict tags invalid flag combinations so they fail at

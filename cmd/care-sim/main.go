@@ -26,6 +26,7 @@ import (
 	"care/internal/faultinject"
 	"care/internal/graph"
 	"care/internal/mem"
+	"care/internal/policy"
 	"care/internal/replacement"
 	"care/internal/sim"
 	"care/internal/stats"
@@ -39,7 +40,7 @@ func main() {
 		traceFile     = flag.String("trace", "", "replay a binary trace file (care-trace format) instead of a named workload")
 		workload      = flag.String("workload", "429.mcf", "SPEC workload name or GAP kernel-dataset (e.g. bfs-or)")
 		cores         = flag.Int("cores", 4, "number of cores (multi-copy)")
-		policy        = flag.String("policy", "care", "LLC replacement policy")
+		policyName    = flag.String("policy", "care", "LLC replacement policy")
 		prefetch      = flag.Bool("prefetch", true, "enable L1 next-line + L2 IP-stride prefetchers")
 		scale         = flag.Int("scale", 16, "cache scale divisor (1 = paper-size hierarchy)")
 		instr         = flag.Uint64("instr", 200_000, "measured instructions per core")
@@ -97,8 +98,16 @@ func main() {
 		*workload = *traceFile
 	}
 
+	// Typed policy validation up front: a bad -policy fails here with
+	// the valid set listed, not deep inside simulator construction.
+	pol, perr := policy.Parse(*policyName)
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, "care-sim:", perr)
+		os.Exit(2)
+	}
+
 	cfg := sim.ScaledConfig(*cores, *scale)
-	cfg.LLCPolicy = *policy
+	cfg.LLCPolicy = pol
 	cfg.Prefetch = *prefetch
 	cfg.MaxCycles = *maxCycles
 	cfg.WallClockTimeout = *timeout
@@ -167,7 +176,7 @@ func main() {
 		if sink != nil {
 			c = telemetry.NewCollector(telemetry.Options{
 				Interval: *telInterval,
-				Tag:      fmt.Sprintf("%s/%s/c%d", *workload, *policy, *cores),
+				Tag:      fmt.Sprintf("%s/%s/c%d", *workload, pol, *cores),
 				Sink:     sink,
 			})
 			runCfg.Telemetry = c
@@ -234,7 +243,7 @@ func main() {
 	}
 
 	fmt.Printf("workload=%s cores=%d policy=%s prefetch=%v scale=%d\n",
-		*workload, *cores, *policy, *prefetch, *scale)
+		*workload, *cores, pol, *prefetch, *scale)
 	fmt.Printf("cycles: %d\n", r.Cycles)
 	if col != nil {
 		dest := telPath

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,17 +20,15 @@ func main() {
 		dataset = "orkut" // scaled power-law social network (Table IX)
 		cores   = 4
 		scale   = 16
-		warmup  = 50_000
-		measure = 250_000
 		records = 250_000
 	)
-	schemes := []string{"lru", "ship++", "care"}
+	schemes := []care.Policy{care.PolicyLRU, care.PolicySHiPPP, care.PolicyCARE}
 
 	fmt.Printf("dataset %s, %d-core multi-copy, schemes %v\n\n", dataset, cores, schemes)
 	fmt.Printf("%-6s %10s %10s %10s %14s\n", "kernel", "LRU IPC", "SHiP++", "CARE", "CARE vs LRU")
 
 	for _, kernel := range care.GAPKernels() {
-		ipc := map[string]float64{}
+		ipc := map[care.Policy]float64{}
 		for _, scheme := range schemes {
 			traces := make([]care.TraceReader, cores)
 			for i := 0; i < cores; i++ {
@@ -45,14 +44,15 @@ func main() {
 			cfg := care.ScaledConfig(cores, scale)
 			cfg.LLCPolicy = scheme
 			cfg.Prefetch = true
-			r, err := care.RunSimulation(cfg, traces, warmup, measure)
+			r, err := care.Run(context.Background(), cfg, traces,
+				care.RunOpts{Warmup: 50_000, Measure: 250_000})
 			if err != nil {
 				log.Fatal(err)
 			}
 			ipc[scheme] = r.IPCSum()
 		}
 		fmt.Printf("%-6s %10.4f %10.4f %10.4f %+13.2f%%\n",
-			kernel, ipc["lru"], ipc["ship++"], ipc["care"],
-			100*(ipc["care"]/ipc["lru"]-1))
+			kernel, ipc[care.PolicyLRU], ipc[care.PolicySHiPPP], ipc[care.PolicyCARE],
+			100*(ipc[care.PolicyCARE]/ipc[care.PolicyLRU]-1))
 	}
 }

@@ -25,7 +25,7 @@ func main() {
 	const scale = 16
 
 	cfg := care.ScaledConfig(1, scale)
-	cfg.LLCPolicy = "lru"
+	cfg.LLCPolicy = care.PolicyLRU
 	sys, err := care.NewSystem(cfg, []care.TraceReader{care.MustSPECTrace(workload, 1, scale)})
 	if err != nil {
 		log.Fatal(err)

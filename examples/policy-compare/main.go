@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -15,16 +16,12 @@ import (
 )
 
 func main() {
-	const (
-		scale   = 16
-		warmup  = 30_000
-		measure = 80_000
-	)
+	const scale = 16
 	// A deliberately mixed bag: pointer chasing, streaming, a
 	// cache-friendly codec, and a scanning solver.
 	mix := []string{"429.mcf", "462.libquantum", "625.x264_s", "450.soplex"}
 
-	run := func(policy string) care.Result {
+	run := func(policy care.Policy) care.Result {
 		traces := make([]care.TraceReader, len(mix))
 		for i, name := range mix {
 			traces[i] = care.MustSPECTrace(name, uint64(i+1), scale)
@@ -32,7 +29,8 @@ func main() {
 		cfg := care.ScaledConfig(len(mix), scale)
 		cfg.LLCPolicy = policy
 		cfg.Prefetch = true
-		r, err := care.RunSimulation(cfg, traces, warmup, measure)
+		r, err := care.Run(context.Background(), cfg, traces,
+			care.RunOpts{Warmup: 30_000, Measure: 80_000})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -40,14 +38,14 @@ func main() {
 	}
 
 	fmt.Printf("mix: %v\n\n", mix)
-	base := run("lru")
+	base := run(care.PolicyLRU)
 
 	type row struct {
-		policy string
+		policy care.Policy
 		ws     float64
 	}
 	var rows []row
-	for _, policy := range care.Policies() {
+	for _, policy := range care.AllPolicies() {
 		r := run(policy)
 		// Weighted speedup: sum over cores of IPC/IPC_LRU, /cores.
 		ws := 0.0

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,11 +18,9 @@ func main() {
 		workload = "429.mcf" // pointer-chasing, high-MPKI (Table VIII)
 		cores    = 4
 		scale    = 16 // shrink the paper's hierarchy 16x for speed
-		warmup   = 30_000
-		measure  = 100_000
 	)
 
-	run := func(policy string) care.Result {
+	run := func(policy care.Policy) care.Result {
 		// A multi-copy workload: each core replays its own copy with
 		// a distinct seed, as the paper's multi-copy methodology does.
 		traces := make([]care.TraceReader, cores)
@@ -31,15 +30,16 @@ func main() {
 		cfg := care.ScaledConfig(cores, scale)
 		cfg.LLCPolicy = policy
 		cfg.Prefetch = true
-		r, err := care.RunSimulation(cfg, traces, warmup, measure)
+		r, err := care.Run(context.Background(), cfg, traces,
+			care.RunOpts{Warmup: 30_000, Measure: 100_000})
 		if err != nil {
 			log.Fatal(err)
 		}
 		return r
 	}
 
-	lru := run("lru")
-	cre := run("care")
+	lru := run(care.PolicyLRU)
+	cre := run(care.PolicyCARE)
 
 	fmt.Printf("workload %s on %d cores (caches scaled 1/%d):\n\n", workload, cores, scale)
 	show := func(name string, r care.Result) {

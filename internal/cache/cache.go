@@ -15,13 +15,16 @@ import (
 	"fmt"
 
 	"care/internal/mem"
+	"care/internal/ring"
 )
 
 // Level is anything that can accept a memory request: a lower cache
 // level or the DRAM model.
 type Level interface {
-	// Access submits a request at the given cycle. The request's Done
-	// callback (if any) fires when data is available.
+	// Access submits a request at the given cycle. The request's
+	// completion route (Owner/Tag, or a Done closure in tests) fires
+	// when data is available. Ownership of req transfers to the level:
+	// it releases the request to its pool once fully consumed.
 	Access(req *mem.Request, cycle uint64)
 }
 
@@ -143,14 +146,28 @@ type Cache struct {
 	lower      Level
 	mshr       *MSHR
 	sets       [][]Block
-	inq        []queued
-	trackers   []Tracker
-	evictHook  func(mem.Addr, uint64)
-	stats      Stats
-	failure    error
+	// tags mirrors sets as a flat packed array (tag<<1|1 when valid,
+	// 0 when not): probing scans 8 bytes per way instead of a full
+	// Block, cutting the tag-match loop's cache footprint ~10×. It is
+	// updated wherever Valid/Tag change: installBlock, Invalidate,
+	// and snapshot restore.
+	tags      []uint64
+	inq       ring.Ring[queued]
+	trackers  []Tracker
+	evictHook func(mem.Addr, uint64)
+	stats     Stats
+	failure   error
 
-	setMask   uint64
-	setShift  uint
+	// pool recycles the requests this cache issues (fetches to the
+	// lower level, writebacks, self-prefetches).
+	pool mem.RequestPool
+	// pfBuf is the reusable buffer handed to the prefetcher.
+	pfBuf []mem.Addr
+
+	setMask uint64
+	// pfDropAt is the MSHR occupancy at which prefetches are dropped
+	// to preserve demand headroom (precomputed from MSHREntries).
+	pfDropAt  int
 	nextReqID uint64
 }
 
@@ -179,7 +196,9 @@ func New(p Params, policy Policy) *Cache {
 	for i := range c.sets {
 		c.sets[i] = backing[i*p.Ways : (i+1)*p.Ways : (i+1)*p.Ways]
 	}
+	c.tags = make([]uint64, p.Sets*p.Ways)
 	c.setMask = uint64(p.Sets - 1)
+	c.pfDropAt = p.MSHREntries - p.MSHREntries/4
 	policy.Init(p.Sets, p.Ways)
 	c.stats.PerCoreDemandAccesses = make([]uint64, p.Cores)
 	c.stats.PerCoreDemandMisses = make([]uint64, p.Cores)
@@ -213,6 +232,7 @@ func (c *Cache) Invalidate(a mem.Addr, cycle uint64) bool {
 	}
 	c.stats.Invalidations++
 	*blk = Block{}
+	c.tags[set*c.Ways+way] = 0
 	return true
 }
 
@@ -247,7 +267,7 @@ func (c *Cache) Access(req *mem.Request, cycle uint64) {
 	for _, t := range c.trackers {
 		t.OnAccessStart(req.Core, req.Kind, cycle)
 	}
-	c.inq = append(c.inq, queued{req: req, ready: cycle + c.Latency})
+	c.inq.PushBack(queued{req: req, ready: cycle + c.Latency})
 }
 
 // Contains reports whether the block holding a is present (used by
@@ -263,9 +283,11 @@ func (c *Cache) Outstanding(a mem.Addr) bool { return c.mshr.Lookup(a.BlockID())
 // probe returns (set, way) of a resident block, way == -1 on miss.
 func (c *Cache) probe(a mem.Addr) (int, int) {
 	set := c.SetIndex(a)
-	tag := a.BlockID()
-	for w := range c.sets[set] {
-		if c.sets[set][w].Valid && c.sets[set][w].Tag == tag {
+	want := a.BlockID()<<1 | 1
+	base := set * c.Ways
+	tags := c.tags[base : base+c.Ways]
+	for w := range tags {
+		if tags[w] == want {
 			return set, w
 		}
 	}
@@ -278,12 +300,16 @@ func (c *Cache) Tick(cycle uint64) {
 	for _, t := range c.trackers {
 		t.Tick(cycle, c.mshr)
 	}
-	for len(c.inq) > 0 && c.inq[0].ready <= cycle {
-		if !c.lookup(c.inq[0].req, cycle) {
+	for c.inq.Len() > 0 {
+		front := c.inq.Front()
+		if front.ready > cycle {
+			break
+		}
+		if !c.lookup(front.req, cycle) {
 			c.stats.MSHRStallCycles++
 			break // head-of-line blocking on a full MSHR
 		}
-		c.inq = c.inq[1:]
+		c.inq.PopFront()
 	}
 }
 
@@ -314,6 +340,7 @@ func (c *Cache) lookup(req *mem.Request, cycle uint64) bool {
 		c.policy.OnHit(set, way, c.sets[set], info)
 		c.maybePrefetch(req, true, cycle)
 		req.Respond(cycle)
+		req.Release()
 		return true
 	}
 
@@ -326,15 +353,22 @@ func (c *Cache) lookup(req *mem.Request, cycle uint64) bool {
 		c.mshr.Merge(e, req)
 		c.stats.MSHRMerges++
 		c.maybePrefetch(req, false, cycle)
+		if !req.HasDone() {
+			// Nobody waits for this request (prefetch, forwarded
+			// writeback): it was not kept as an MSHR waiter, so its
+			// life ends here.
+			req.Release()
+		}
 		return true
 	}
-	if req.Kind == mem.Prefetch && c.mshr.Len() >= c.MSHREntries-c.MSHREntries/4 {
+	if req.Kind == mem.Prefetch && c.mshr.Len() >= c.pfDropAt {
 		// Prefetches must not crowd out demand misses: once the MSHR
 		// file runs low on headroom they are dropped, as real
 		// prefetch queues do.
 		c.countAccess(req, false)
 		c.stats.PrefetchesDropped++
 		req.Respond(cycle)
+		req.Release()
 		return true
 	}
 	if c.mshr.Full() {
@@ -349,22 +383,29 @@ func (c *Cache) lookup(req *mem.Request, cycle uint64) bool {
 		// the cache consistent by not installing anything.
 		c.fail(fmt.Errorf("cache %s: %w", c.Name, err))
 		req.Respond(cycle)
+		req.Release()
 		return true
 	}
 	c.maybePrefetch(req, false, cycle)
 	if c.lower == nil {
 		// No backing level configured (unit tests): serve instantly.
+		if !req.HasDone() {
+			req.Release()
+		}
 		c.fill(e, cycle)
 		return true
 	}
-	down := &mem.Request{
-		ID:         req.ID,
-		Addr:       req.Addr.Block(),
-		PC:         req.PC,
-		Core:       req.Core,
-		Kind:       req.Kind,
-		IssueCycle: cycle,
-		Done:       func(done uint64) { c.fill(e, done) },
+	down := c.pool.Get()
+	down.ID = req.ID
+	down.Addr = req.Addr.Block()
+	down.PC = req.PC
+	down.Core = req.Core
+	down.Kind = req.Kind
+	down.IssueCycle = cycle
+	down.Owner = c
+	down.Tag = e.slot
+	if !req.HasDone() {
+		req.Release()
 	}
 	c.lower.Access(down, cycle)
 	return true
@@ -384,24 +425,31 @@ func (c *Cache) lookupWriteback(req *mem.Request, cycle uint64) {
 		blk.Dirty = true
 		blk.LastTouch = cycle
 		req.Respond(cycle)
+		req.Release()
 		return
 	}
 	if c.lower != nil {
 		c.stats.WritebacksIssued++
-		c.lower.Access(&mem.Request{
-			ID:         req.ID,
-			Addr:       req.Addr.Block(),
-			PC:         req.PC,
-			Core:       req.Core,
-			Kind:       mem.Writeback,
-			IssueCycle: cycle,
-		}, cycle)
+		fwd := c.pool.Get()
+		fwd.ID = req.ID
+		fwd.Addr = req.Addr.Block()
+		fwd.PC = req.PC
+		fwd.Core = req.Core
+		fwd.Kind = mem.Writeback
+		fwd.IssueCycle = cycle
+		c.lower.Access(fwd, cycle)
 		req.Respond(cycle)
+		req.Release()
 		return
 	}
 	c.installBlock(req.Addr, req.PC, req.Core, mem.Writeback, 0, 0, 0, cycle)
 	req.Respond(cycle)
+	req.Release()
 }
+
+// Complete implements mem.Completer: the lower level answered the
+// fetch tagged with an MSHR slab slot.
+func (c *Cache) Complete(tag uint32, cycle uint64) { c.fill(c.mshr.At(tag), cycle) }
 
 // fill completes an outstanding miss: metrics are finalised, a victim
 // is chosen, dirty victims are written back, the block is installed,
@@ -424,6 +472,7 @@ func (c *Cache) fill(e *MSHREntry, cycle uint64) {
 		w.PMC = e.PMC
 		w.MLPCost = e.MLPCost
 		w.Respond(cycle)
+		w.Release()
 	}
 }
 
@@ -477,6 +526,7 @@ func (c *Cache) installBlock(addr, pc mem.Addr, core int, kind mem.Kind, pmc, ml
 		FillCycle:  cycle,
 		LastTouch:  cycle,
 	}
+	c.tags[set*c.Ways+way] = addr.BlockID()<<1 | 1
 	c.stats.Fills++
 	c.policy.OnFill(set, way, c.sets[set], info)
 }
@@ -486,8 +536,9 @@ func (c *Cache) installBlock(addr, pc mem.Addr, core int, kind mem.Kind, pmc, ml
 // way latches ErrBadVictim and yields -1 (the fill is skipped; a
 // wrong-way eviction would silently corrupt the timing model).
 func (c *Cache) findVictim(set int, info AccessInfo) int {
-	for w := range c.sets[set] {
-		if !c.sets[set][w].Valid {
+	base := set * c.Ways
+	for w, t := range c.tags[base : base+c.Ways] {
+		if t == 0 {
 			return w
 		}
 	}
@@ -503,14 +554,13 @@ func (c *Cache) findVictim(set int, info AccessInfo) int {
 func (c *Cache) writeback(blk Block, core int, cycle uint64) {
 	c.stats.WritebacksIssued++
 	c.nextReqID++
-	wb := &mem.Request{
-		ID:         c.nextReqID,
-		Addr:       mem.Addr(blk.Tag << mem.BlockBits),
-		PC:         blk.PC,
-		Core:       blk.Core,
-		Kind:       mem.Writeback,
-		IssueCycle: cycle,
-	}
+	wb := c.pool.Get()
+	wb.ID = c.nextReqID
+	wb.Addr = mem.Addr(blk.Tag << mem.BlockBits)
+	wb.PC = blk.PC
+	wb.Core = blk.Core
+	wb.Kind = mem.Writeback
+	wb.IssueCycle = cycle
 	_ = core
 	c.lower.Access(wb, cycle)
 }
@@ -522,20 +572,20 @@ func (c *Cache) maybePrefetch(req *mem.Request, hit bool, cycle uint64) {
 	if c.prefetcher == nil || !req.Kind.IsDemand() {
 		return
 	}
-	for _, addr := range c.prefetcher.OnAccess(req.PC, req.Addr, hit) {
+	c.pfBuf = c.prefetcher.OnAccess(req.PC, req.Addr, hit, c.pfBuf[:0])
+	for _, addr := range c.pfBuf {
 		addr = addr.Block()
 		if c.Contains(addr) || c.Outstanding(addr) {
 			continue
 		}
 		c.nextReqID++
-		pf := &mem.Request{
-			ID:         c.nextReqID,
-			Addr:       addr,
-			PC:         req.PC,
-			Core:       req.Core,
-			Kind:       mem.Prefetch,
-			IssueCycle: cycle,
-		}
+		pf := c.pool.Get()
+		pf.ID = c.nextReqID
+		pf.Addr = addr
+		pf.PC = req.PC
+		pf.Core = req.Core
+		pf.Kind = mem.Prefetch
+		pf.IssueCycle = cycle
 		c.Access(pf, cycle)
 	}
 }
@@ -586,4 +636,4 @@ func (c *Cache) infoFor(req *mem.Request, cycle uint64) AccessInfo {
 
 // Drained reports whether the cache has no queued or outstanding
 // work; the simulator uses it to decide when a run has quiesced.
-func (c *Cache) Drained() bool { return len(c.inq) == 0 && c.mshr.Len() == 0 }
+func (c *Cache) Drained() bool { return c.inq.Len() == 0 && c.mshr.Len() == 0 }

@@ -53,6 +53,7 @@ func (m *fixedLatencyMemory) Access(req *mem.Request, cycle uint64) {
 	if req.Kind == mem.Writeback {
 		m.writes++
 		req.Respond(cycle)
+		req.Release()
 		return
 	}
 	m.pending = append(m.pending, queued{req: req, ready: cycle + m.latency})
@@ -62,7 +63,10 @@ func (m *fixedLatencyMemory) Tick(cycle uint64) {
 	rest := m.pending[:0]
 	for _, q := range m.pending {
 		if q.ready <= cycle {
+			// Respond then recycle, the bottom-of-hierarchy contract
+			// the real DRAM model follows.
 			q.req.Respond(cycle)
+			q.req.Release()
 		} else {
 			rest = append(rest, q)
 		}
@@ -303,9 +307,9 @@ func TestPrefetchFillSetsPrefetchedBit(t *testing.T) {
 type nextLinePF struct{ issued int }
 
 func (p *nextLinePF) Name() string { return "test-next-line" }
-func (p *nextLinePF) OnAccess(pc, addr mem.Addr, hit bool) []mem.Addr {
+func (p *nextLinePF) OnAccess(pc, addr mem.Addr, hit bool, buf []mem.Addr) []mem.Addr {
 	p.issued++
-	return []mem.Addr{addr + mem.BlockSize}
+	return append(buf, addr+mem.BlockSize)
 }
 
 func TestPrefetcherInjection(t *testing.T) {

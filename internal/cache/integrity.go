@@ -33,7 +33,7 @@ func (c *Cache) Err() error { return c.failure }
 
 // QueueLen returns the input-queue depth (requests waiting for their
 // base access phase or blocked on a full MSHR file), for diagnostics.
-func (c *Cache) QueueLen() int { return len(c.inq) }
+func (c *Cache) QueueLen() int { return c.inq.Len() }
 
 // CheckIntegrity verifies the cache's structural invariants: every
 // valid block's tag maps back to the set holding it, the MSHR file is
@@ -109,6 +109,7 @@ func (c *Cache) FlipTagBit(set, way int, bit uint) bool {
 		bit %= 64
 	}
 	blk.Tag ^= 1 << bit
+	c.tags[set*c.Ways+way] = blk.Tag<<1 | 1
 	return true
 }
 

@@ -22,20 +22,15 @@ var ErrMSHRDuplicate = errors.New("cache: duplicate MSHR allocation")
 // accumulated directly on the entry by the attached Tracker, exactly
 // as the paper adds a PMC field to each MSHR entry (§IV-B).
 type MSHREntry struct {
-	// Block is the missing block number.
-	Block uint64
+	// The fields the per-cycle tracker sweep touches (Core to select
+	// the per-core state, then the accumulated metrics) are laid out
+	// first so they share cache lines; the sweep visits every live
+	// entry every cycle and dominates the simulator's profile.
+
 	// Core is the core whose access allocated the entry. Merged
 	// requesters from other cores do not re-attribute the entry; the
 	// paper tracks concurrency per allocating core.
 	Core int
-	// Kind is the strongest access kind among the requesters: a
-	// demand access upgrades a prefetch-allocated entry.
-	Kind mem.Kind
-	// PC is the program counter of the allocating access.
-	PC mem.Addr
-	// AllocCycle is when the entry was allocated (end of the base
-	// access / tag lookup phase; miss access cycles start here).
-	AllocCycle uint64
 	// PMC accumulates the pure miss contribution in cycles.
 	PMC float64
 	// MLPCost accumulates the MLP-based cost in cycles.
@@ -48,41 +43,84 @@ type MSHREntry struct {
 	// (the hit-miss overlapping of Figure 3).
 	HitOverlapped bool
 
+	// Block is the missing block number.
+	Block uint64
+	// Kind is the strongest access kind among the requesters: a
+	// demand access upgrades a prefetch-allocated entry.
+	Kind mem.Kind
+	// PC is the program counter of the allocating access.
+	PC mem.Addr
+	// AllocCycle is when the entry was allocated (end of the base
+	// access / tag lookup phase; miss access cycles start here).
+	AllocCycle uint64
+
 	waiters []*mem.Request
+	slot    uint32 // index of this entry in the file's slab
 }
 
+// Slot returns the entry's stable slab index; the cache uses it as
+// the completion tag on the request it sends to the lower level.
+func (e *MSHREntry) Slot() uint32 { return e.slot }
+
 // MSHR is a bounded miss status holding register file. Entries live
-// in a dense slice (iterated every cycle by the trackers) with a map
-// index for block lookup.
+// in a fixed slab (stable pointers, stable slot indices) with a dense
+// slot list iterated every cycle by the trackers and a parallel
+// packed block-number list scanned on lookup — with at most a few
+// dozen entries, a linear scan of 8-byte block numbers beats hashing.
+// Allocation and release recycle slab slots through a free list, so
+// the steady state allocates nothing.
 type MSHR struct {
 	capacity int
-	entries  map[uint64]*MSHREntry
-	live     []*MSHREntry
-	perCore  []int // outstanding entries per core
+	slab     []MSHREntry
+	free     []uint32 // recycled slots, LIFO
+	live     []uint32 // allocated slots in tracker-iteration order
+	// liveBlocks[i] is the block number of entry live[i]; kept in
+	// lockstep with live (append on allocate, swap-remove on release).
+	liveBlocks []uint64
+	perCore    []int // outstanding entries per core
 }
 
 // NewMSHR creates an MSHR file with the given entry capacity serving
 // cores cores.
 func NewMSHR(capacity, cores int) *MSHR {
-	return &MSHR{
-		capacity: capacity,
-		entries:  make(map[uint64]*MSHREntry, capacity),
-		live:     make([]*MSHREntry, 0, capacity),
-		perCore:  make([]int, cores),
+	m := &MSHR{
+		capacity:   capacity,
+		slab:       make([]MSHREntry, capacity),
+		free:       make([]uint32, 0, capacity),
+		live:       make([]uint32, 0, capacity),
+		liveBlocks: make([]uint64, 0, capacity),
+		perCore:    make([]int, cores),
 	}
+	for i := capacity - 1; i >= 0; i-- {
+		m.slab[i].slot = uint32(i)
+		m.free = append(m.free, uint32(i))
+	}
+	return m
 }
 
 // Capacity returns the total number of entries.
 func (m *MSHR) Capacity() int { return m.capacity }
 
 // Len returns the number of allocated entries.
-func (m *MSHR) Len() int { return len(m.entries) }
+func (m *MSHR) Len() int { return len(m.live) }
 
 // Full reports whether a new allocation would fail.
-func (m *MSHR) Full() bool { return len(m.entries) >= m.capacity }
+func (m *MSHR) Full() bool { return len(m.live) >= m.capacity }
 
 // Lookup returns the outstanding entry for block, or nil.
-func (m *MSHR) Lookup(block uint64) *MSHREntry { return m.entries[block] }
+func (m *MSHR) Lookup(block uint64) *MSHREntry {
+	for i, b := range m.liveBlocks {
+		if b == block {
+			return &m.slab[m.live[i]]
+		}
+	}
+	return nil
+}
+
+// At returns the entry occupying slab slot tag. The caller must know
+// the slot is allocated (it is the completion tag of an in-flight
+// fetch).
+func (m *MSHR) At(tag uint32) *MSHREntry { return &m.slab[tag] }
 
 // Allocate creates an entry for req's block. The caller must check
 // Full and Lookup first; Allocate returns ErrMSHRFull or
@@ -93,21 +131,26 @@ func (m *MSHR) Allocate(req *mem.Request, cycle uint64) (*MSHREntry, error) {
 	if m.Full() {
 		return nil, ErrMSHRFull
 	}
-	if _, dup := m.entries[block]; dup {
+	if m.Lookup(block) != nil {
 		return nil, ErrMSHRDuplicate
 	}
-	e := &MSHREntry{
+	slot := m.free[len(m.free)-1]
+	m.free = m.free[:len(m.free)-1]
+	e := &m.slab[slot]
+	*e = MSHREntry{
 		Block:      block,
 		Core:       req.Core,
 		Kind:       req.Kind,
 		PC:         req.PC,
 		AllocCycle: cycle,
+		waiters:    e.waiters[:0],
+		slot:       slot,
 	}
-	if req.Done != nil {
+	if req.HasDone() {
 		e.waiters = append(e.waiters, req)
 	}
-	m.entries[block] = e
-	m.live = append(m.live, e)
+	m.live = append(m.live, slot)
+	m.liveBlocks = append(m.liveBlocks, block)
 	if e.Core >= 0 && e.Core < len(m.perCore) {
 		m.perCore[e.Core]++
 	}
@@ -121,29 +164,33 @@ func (m *MSHR) Merge(e *MSHREntry, req *mem.Request) {
 	if req.Kind.IsDemand() && e.Kind == mem.Prefetch {
 		e.Kind = req.Kind
 	}
-	if req.Done != nil {
+	if req.HasDone() {
 		e.waiters = append(e.waiters, req)
 	}
 }
 
 // Release removes the entry and returns its waiters for response.
+// The slab slot returns to the free list immediately; the entry's
+// fields and the returned waiter slice stay readable until the next
+// Allocate reuses the slot, which cannot happen synchronously — a
+// completing fill only ever enqueues new accesses into the cache's
+// input queue, it never allocates on the same MSHR re-entrantly.
 func (m *MSHR) Release(e *MSHREntry) []*mem.Request {
-	delete(m.entries, e.Block)
-	for i, le := range m.live {
-		if le == e {
+	for i, slot := range m.live {
+		if slot == e.slot {
 			last := len(m.live) - 1
 			m.live[i] = m.live[last]
-			m.live[last] = nil
 			m.live = m.live[:last]
+			m.liveBlocks[i] = m.liveBlocks[last]
+			m.liveBlocks = m.liveBlocks[:last]
 			break
 		}
 	}
 	if e.Core >= 0 && e.Core < len(m.perCore) {
 		m.perCore[e.Core]--
 	}
-	w := e.waiters
-	e.waiters = nil
-	return w
+	m.free = append(m.free, e.slot)
+	return e.waiters
 }
 
 // OutstandingForCore returns N_x: the number of outstanding miss
@@ -160,7 +207,17 @@ func (m *MSHR) OutstandingForCore(core int) int {
 // unspecified; callers must not depend on it (metric updates are
 // commutative).
 func (m *MSHR) ForEach(fn func(*MSHREntry)) {
-	for _, e := range m.live {
-		fn(e)
+	for _, slot := range m.live {
+		fn(&m.slab[slot])
 	}
+}
+
+// Entries exposes the entry slab and the live slot list for per-cycle
+// trackers that walk every outstanding miss on the simulator's
+// hottest path (fused iteration avoids a closure call per entry).
+// Callers must treat both slices as read-only structure: they may
+// update metric fields of slab[slot] for live slots but must not
+// append, reorder, or retain either slice.
+func (m *MSHR) Entries() (slab []MSHREntry, live []uint32) {
+	return m.slab, m.live
 }

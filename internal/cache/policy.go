@@ -90,6 +90,9 @@ type Prefetcher interface {
 	// Name identifies the prefetcher in reports.
 	Name() string
 	// OnAccess observes a demand access and returns the addresses to
-	// prefetch (block aligned, may be empty).
-	OnAccess(pc, addr mem.Addr, hit bool) []mem.Addr
+	// prefetch (block aligned, may be empty) appended to buf. The
+	// cache passes a reusable buffer (sliced to length 0) so the
+	// steady-state access path allocates nothing; implementations
+	// must append rather than build a fresh slice.
+	OnAccess(pc, addr mem.Addr, hit bool, buf []mem.Addr) []mem.Addr
 }

@@ -30,7 +30,7 @@ type State struct {
 func (c *Cache) Checkpointable() error {
 	if !c.Drained() {
 		return fmt.Errorf("%w: cache %s not drained (queue %d, MSHR %d)",
-			checkpoint.ErrNotCheckpointable, c.Name, len(c.inq), c.mshr.Len())
+			checkpoint.ErrNotCheckpointable, c.Name, c.inq.Len(), c.mshr.Len())
 	}
 	if c.failure != nil {
 		return fmt.Errorf("%w: cache %s latched failure: %v",
@@ -87,6 +87,13 @@ func (c *Cache) Restore(snap any) error {
 			return checkpoint.Mismatchf("cache %s: snapshot set %d has %d ways, cache has %d", c.Name, i, len(set), c.Ways)
 		}
 		copy(c.sets[i], set)
+		for w, blk := range set {
+			if blk.Valid {
+				c.tags[i*c.Ways+w] = blk.Tag<<1 | 1
+			} else {
+				c.tags[i*c.Ways+w] = 0
+			}
+		}
 	}
 	if len(st.Stats.PerCoreDemandAccesses) != c.Cores || len(st.Stats.PerCoreDemandMisses) != c.Cores {
 		return checkpoint.Mismatchf("cache %s: snapshot per-core stats sized for %d cores, cache has %d",

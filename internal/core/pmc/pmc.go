@@ -69,12 +69,27 @@ type Logic struct {
 	// states is the per-core scratch buffer reused every Tick to
 	// avoid a per-cycle allocation on the simulator's hottest path.
 	states []coreState
+
+	// basePhases counts base-access phases in flight across all cores
+	// (sum of len(baseEnds[x])). When it is zero and the MSHR file is
+	// empty, a Tick is a provable no-op and is skipped outright —
+	// idle-level cycles dominate many mixes, and the PML runs every
+	// cycle of the simulation.
+	basePhases int
+
+	// invTable caches 1/float64(n) for the per-core divisor (bounded
+	// by the MSHR capacity), replacing a float division per core per
+	// cycle with a load of the identical precomputed quotient.
+	invTable []float64
 }
 
 type coreState struct {
 	baseActive bool
-	n          int
 	pure       bool
+	n          int
+	// inv is 1/n, computed once per cycle so the per-entry PCU pass
+	// adds a precomputed reciprocal instead of dividing per entry.
+	inv float64
 }
 
 var _ cache.Tracker = (*Logic)(nil)
@@ -103,38 +118,57 @@ func (l *Logic) OnAccessStart(core int, kind mem.Kind, cycle uint64) {
 		core = 0
 	}
 	l.baseEnds[core] = append(l.baseEnds[core], cycle+l.latency)
+	l.basePhases++
 	l.accessCount[core]++
 }
 
 // expireBase drops finished base phases and returns how many remain
-// active at cycle for core x.
+// active at cycle for core x. Base phases are recorded at
+// monotonically non-decreasing cycles with a fixed latency, so ends
+// is sorted and expiry removes a prefix; the common no-expiry case
+// costs one comparison and no writes.
 func (l *Logic) expireBase(x int, cycle uint64) int {
-	live := l.baseEnds[x][:0]
-	for _, end := range l.baseEnds[x] {
-		if end > cycle {
-			live = append(live, end)
-		}
+	ends := l.baseEnds[x]
+	i := 0
+	for i < len(ends) && ends[i] <= cycle {
+		i++
 	}
-	l.baseEnds[x] = live
-	return len(live)
+	if i > 0 {
+		ends = append(ends[:0], ends[i:]...)
+		l.baseEnds[x] = ends
+		l.basePhases -= i
+	}
+	return len(ends)
 }
 
 // Tick implements cache.Tracker and is Algorithm 1: called every
 // cycle with the level's MSHR file.
 func (l *Logic) Tick(cycle uint64, m *cache.MSHR) {
+	if l.basePhases == 0 && m.Len() == 0 {
+		// No base phase in flight and no outstanding miss: both passes
+		// are no-ops (no counter can change), so skip the per-core scan.
+		return
+	}
 	// First pass (AD + PMD): per-core NoNewAccess bit and N_x.
 	states := l.states
 	anyMiss := false
 	for x := 0; x < l.cores; x++ {
 		active := l.expireBase(x, cycle)
 		n := m.OutstandingForCore(x)
-		states[x] = coreState{
+		st := coreState{
 			baseActive: active > 0,
 			n:          n,
 			// NoNewAccess_x set and outstanding misses present ⇒
 			// active pure miss cycle for core x.
 			pure: active == 0 && n > 0,
 		}
+		if n > 0 {
+			if n >= len(l.invTable) {
+				l.growInvTable(n)
+			}
+			st.inv = l.invTable[n]
+		}
+		states[x] = st
 		if states[x].pure {
 			l.activePureMissCycles[x]++
 		}
@@ -151,31 +185,68 @@ func (l *Logic) Tick(cycle uint64, m *cache.MSHR) {
 	if !anyMiss {
 		return
 	}
-	// Second pass (PCU): update each outstanding miss.
-	m.ForEach(func(e *cache.MSHREntry) {
+	// Second pass (PCU): update each outstanding miss. The slab walk
+	// is fused here (rather than going through MSHR.ForEach) because
+	// it runs once per simulated cycle over every outstanding miss —
+	// the single hottest loop in the simulator. The walk is duplicated
+	// per TrackMLP setting to keep the loop-invariant branch out of
+	// the per-entry body.
+	cores := l.cores
+	slab, live := m.Entries()
+	if l.TrackMLP {
+		for _, slot := range live {
+			e := &slab[slot]
+			x := e.Core
+			if x < 0 || x >= cores {
+				x = 0
+			}
+			st := &states[x]
+			if st.n <= 0 {
+				continue
+			}
+			// MLP-based cost charges every miss cycle, hidden or not.
+			e.MLPCost += st.inv
+			if st.baseActive {
+				// A miss access cycle overlapped by a base access cycle
+				// from the same core: hit-miss overlapping (Figure 3).
+				e.HitOverlapped = true
+				continue
+			}
+			// Active pure miss cycle: the PCU's lookup-table divider
+			// spreads the cycle across all concurrent pure misses.
+			e.PMC += st.inv
+			e.PureCycles++
+		}
+		return
+	}
+	for _, slot := range live {
+		e := &slab[slot]
 		x := e.Core
-		if x < 0 || x >= l.cores {
+		if x < 0 || x >= cores {
 			x = 0
 		}
-		st := states[x]
+		st := &states[x]
 		if st.n <= 0 {
-			return
-		}
-		if l.TrackMLP {
-			// MLP-based cost charges every miss cycle, hidden or not.
-			e.MLPCost += 1.0 / float64(st.n)
+			continue
 		}
 		if st.baseActive {
-			// A miss access cycle overlapped by a base access cycle
-			// from the same core: hit-miss overlapping (Figure 3).
 			e.HitOverlapped = true
-			return
+			continue
 		}
-		// Active pure miss cycle: the PCU's lookup-table divider
-		// spreads the cycle across all concurrent pure misses.
-		e.PMC += 1.0 / float64(st.n)
+		e.PMC += st.inv
 		e.PureCycles++
-	})
+	}
+}
+
+// growInvTable extends invTable to cover divisor n.
+func (l *Logic) growInvTable(n int) {
+	for i := len(l.invTable); i <= n; i++ {
+		if i == 0 {
+			l.invTable = append(l.invTable, 0)
+			continue
+		}
+		l.invTable = append(l.invTable, 1.0/float64(i))
+	}
 }
 
 // OnMissComplete implements cache.Tracker.

@@ -160,7 +160,7 @@ func TestPMCSumInvariant(t *testing.T) {
 		l := New(2, 1)
 		m := cache.NewMSHR(16, 1)
 		var entries []*cache.MSHREntry
-		var done []*cache.MSHREntry
+		var donePMC []float64 // released slots are recycled, so capture PMC at release
 		block := uint64(0)
 		for cy := uint64(0); cy < 100; cy++ {
 			if next(4) == 0 && !m.Full() {
@@ -175,12 +175,12 @@ func TestPMCSumInvariant(t *testing.T) {
 				e := entries[0]
 				entries = entries[1:]
 				m.Release(e)
-				done = append(done, e)
+				donePMC = append(donePMC, e.PMC)
 			}
 		}
 		var sum float64
-		for _, e := range done {
-			sum += e.PMC
+		for _, p := range donePMC {
+			sum += p
 		}
 		for _, e := range entries {
 			sum += e.PMC

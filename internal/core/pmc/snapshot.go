@@ -43,8 +43,10 @@ func (l *Logic) Restore(snap any) error {
 		return checkpoint.Mismatchf("pmc: snapshot sized for %d cores, logic has %d",
 			len(st.ActivePureMissCycles), l.cores)
 	}
+	l.basePhases = 0
 	for i := range l.baseEnds {
 		l.baseEnds[i] = append(l.baseEnds[i][:0], st.BaseEnds[i]...)
+		l.basePhases += len(st.BaseEnds[i])
 	}
 	copy(l.activePureMissCycles, st.ActivePureMissCycles)
 	copy(l.overlapCycles, st.OverlapCycles)

@@ -22,6 +22,7 @@ import (
 	"io"
 
 	"care/internal/mem"
+	"care/internal/ring"
 	"care/internal/trace"
 )
 
@@ -86,6 +87,9 @@ type robEntry struct {
 	// dependent chains pointer-chasing loads: issued when this
 	// entry's data arrives.
 	dependent *robEntry
+	// slot is this entry's stable index in the core's completion
+	// table; loads carry it as the response tag.
+	slot uint32
 }
 
 // robItem groups a run of non-memory instructions with the memory
@@ -104,8 +108,8 @@ type Core struct {
 	l1    Level
 	stats Stats
 
-	rob    []robItem // FIFO, head at index 0
-	robLen int       // total instructions resident
+	rob    ring.Ring[robItem] // FIFO of batched instructions
+	robLen int                // total instructions resident
 	// current record being expanded into instructions.
 	rec        trace.Record
 	recValid   bool
@@ -115,7 +119,12 @@ type Core struct {
 	err        error
 	nextReqID  uint64
 	freeList   []*robEntry
-	tlb        Translator
+	// slots is the completion table: every robEntry ever allocated,
+	// indexed by its slot. Load responses address entries through it.
+	slots []*robEntry
+	// pool recycles the requests this core issues.
+	pool mem.RequestPool
+	tlb  Translator
 	// recsRead counts records consumed from src, so a restored core
 	// can reposition a freshly constructed copy of the same trace by
 	// replaying (and discarding) exactly this many records.
@@ -186,11 +195,11 @@ func (c *Core) ROBLen() int { return c.robLen }
 // ROB, used by the watchdog's diagnostic dump to show what each core
 // is blocked on.
 func (c *Core) Head() ROBHead {
-	for i := range c.rob {
-		if e := c.rob[i].mem; e != nil {
+	for i := 0; i < c.rob.Len(); i++ {
+		if e := c.rob.At(i).mem; e != nil {
 			return ROBHead{
 				Valid: true, IsLoad: e.isLoad, Issued: e.issued, Done: e.done,
-				PC: e.pc, Addr: e.addr, NonMemAhead: c.rob[0].nonMem,
+				PC: e.pc, Addr: e.addr, NonMemAhead: c.rob.Front().nonMem,
 			}
 		}
 	}
@@ -207,8 +216,8 @@ func (c *Core) Tick(cycle uint64) {
 // retire removes up to IssueWidth completed instructions in order.
 func (c *Core) retire() {
 	budget := c.IssueWidth
-	for budget > 0 && len(c.rob) > 0 {
-		it := &c.rob[0]
+	for budget > 0 && c.rob.Len() > 0 {
+		it := c.rob.Front()
 		if it.nonMem > 0 {
 			take := it.nonMem
 			if take > budget {
@@ -224,14 +233,14 @@ func (c *Core) retire() {
 		}
 		if it.mem == nil {
 			// Tail batch with no mem op yet: fully retired.
-			c.rob = c.rob[1:]
+			c.rob.PopFront()
 			continue
 		}
 		if !it.mem.done {
 			return // in-order retirement blocks here
 		}
 		e := it.mem
-		c.rob = c.rob[1:]
+		c.rob.PopFront()
 		c.robLen--
 		budget--
 		c.stats.Retired++
@@ -248,20 +257,25 @@ func (c *Core) retire() {
 	}
 }
 
-// recycle returns a completed entry to the free list.
+// recycle returns a completed entry to the free list. The slot index
+// survives the reset so the entry keeps its place in the completion
+// table.
 func (c *Core) recycle(e *robEntry) {
-	*e = robEntry{}
+	*e = robEntry{slot: e.slot}
 	c.freeList = append(c.freeList, e)
 }
 
-// newEntry allocates or reuses a robEntry.
+// newEntry allocates or reuses a robEntry, registering new entries in
+// the completion table.
 func (c *Core) newEntry() *robEntry {
 	if n := len(c.freeList); n > 0 {
 		e := c.freeList[n-1]
 		c.freeList = c.freeList[:n-1]
 		return e
 	}
-	return &robEntry{}
+	e := &robEntry{slot: uint32(len(c.slots))}
+	c.slots = append(c.slots, e)
+	return e
 }
 
 // nextRecord pulls the next trace record if needed.
@@ -290,21 +304,27 @@ func (c *Core) nextRecord() bool {
 // pushNonMem adds completed non-memory instructions to the tail
 // batch.
 func (c *Core) pushNonMem(n int) {
-	if last := len(c.rob) - 1; last >= 0 && c.rob[last].mem == nil {
-		c.rob[last].nonMem += n
-	} else {
-		c.rob = append(c.rob, robItem{nonMem: n})
+	if c.rob.Len() > 0 {
+		if last := c.rob.Back(); last.mem == nil {
+			last.nonMem += n
+			c.robLen += n
+			return
+		}
 	}
+	c.rob.PushBack(robItem{nonMem: n})
 	c.robLen += n
 }
 
 // pushMem closes the tail batch with a memory instruction.
 func (c *Core) pushMem(e *robEntry) {
-	if last := len(c.rob) - 1; last >= 0 && c.rob[last].mem == nil {
-		c.rob[last].mem = e
-	} else {
-		c.rob = append(c.rob, robItem{mem: e})
+	if c.rob.Len() > 0 {
+		if last := c.rob.Back(); last.mem == nil {
+			last.mem = e
+			c.robLen++
+			return
+		}
 	}
+	c.rob.PushBack(robItem{mem: e})
 	c.robLen++
 }
 
@@ -360,51 +380,63 @@ func (c *Core) dispatch(cycle uint64) {
 	}
 }
 
+// Complete implements mem.Completer: the hierarchy answered the load
+// occupying completion-table slot tag. The entry is marked
+// retirement-ready and a waiting pointer-chase dependent is issued.
+func (c *Core) Complete(tag uint32, cycle uint64) {
+	e := c.slots[tag]
+	e.done = true
+	if dep := e.dependent; dep != nil && !dep.issued {
+		c.issueLoad(dep, cycle)
+	}
+}
+
 // issueLoad sends a load into the hierarchy (translating first when
 // a TLB is attached); completion marks the entry done and releases a
 // waiting dependent chase.
 func (c *Core) issueLoad(e *robEntry, cycle uint64) {
 	e.issued = true
-	send := func(addr mem.Addr, at uint64) {
-		c.nextReqID++
-		c.l1.Access(&mem.Request{
-			ID:         c.nextReqID,
-			Addr:       addr,
-			PC:         e.pc,
-			Core:       c.id,
-			Kind:       mem.Load,
-			IssueCycle: at,
-			Done: func(done uint64) {
-				e.done = true
-				if dep := e.dependent; dep != nil && !dep.issued {
-					c.issueLoad(dep, done)
-				}
-			},
-		}, at)
-	}
 	if c.tlb == nil {
-		send(e.addr, cycle)
+		c.sendLoad(e, e.addr, cycle)
 		return
 	}
-	c.tlb.Translate(e.addr, cycle, send)
+	c.tlb.Translate(e.addr, cycle, func(addr mem.Addr, at uint64) { c.sendLoad(e, addr, at) })
 }
 
-// issue sends a non-load access (store) into the hierarchy.
+// sendLoad issues the translated load with this core as its completer.
+func (c *Core) sendLoad(e *robEntry, addr mem.Addr, at uint64) {
+	c.nextReqID++
+	req := c.pool.Get()
+	req.ID = c.nextReqID
+	req.Addr = addr
+	req.PC = e.pc
+	req.Core = c.id
+	req.Kind = mem.Load
+	req.IssueCycle = at
+	req.Owner = c
+	req.Tag = e.slot
+	c.l1.Access(req, at)
+}
+
+// issue sends a non-load access (store) into the hierarchy. Stores
+// retire through the write buffer, so no completion route is set.
 func (c *Core) issue(e *robEntry, kind mem.Kind, cycle uint64) {
-	send := func(addr mem.Addr, at uint64) {
-		c.nextReqID++
-		c.l1.Access(&mem.Request{
-			ID:         c.nextReqID,
-			Addr:       addr,
-			PC:         e.pc,
-			Core:       c.id,
-			Kind:       kind,
-			IssueCycle: at,
-		}, at)
-	}
 	if c.tlb == nil {
-		send(e.addr, cycle)
+		c.sendStore(e, kind, e.addr, cycle)
 		return
 	}
-	c.tlb.Translate(e.addr, cycle, send)
+	c.tlb.Translate(e.addr, cycle, func(addr mem.Addr, at uint64) { c.sendStore(e, kind, addr, at) })
+}
+
+// sendStore issues the translated non-load access.
+func (c *Core) sendStore(e *robEntry, kind mem.Kind, addr mem.Addr, at uint64) {
+	c.nextReqID++
+	req := c.pool.Get()
+	req.ID = c.nextReqID
+	req.Addr = addr
+	req.PC = e.pc
+	req.Core = c.id
+	req.Kind = kind
+	req.IssueCycle = at
+	c.l1.Access(req, at)
 }

@@ -31,7 +31,7 @@ type State struct {
 func (c *Core) SetFetchFrozen(frozen bool) { c.frozen = frozen }
 
 // Quiesced reports whether the core holds no in-flight instructions.
-func (c *Core) Quiesced() bool { return c.robLen == 0 && len(c.rob) == 0 }
+func (c *Core) Quiesced() bool { return c.robLen == 0 && c.rob.Len() == 0 }
 
 // Snapshot implements checkpoint.Snapshotter. The core must be
 // quiescent and error-free; the simulator guarantees both before

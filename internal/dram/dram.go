@@ -87,12 +87,27 @@ type DRAM struct {
 	// writeQ buffers posted writes; the controller drains them
 	// opportunistically (when no reads are in flight) or in bursts
 	// once the queue passes the high watermark, so writeback-heavy
-	// policies do not serialise demand reads behind writes.
+	// policies do not serialise demand reads behind writes. The queue
+	// is writeQ[wqHead:]; draining advances wqHead and the backing
+	// array is reused once the queue empties, so the steady state
+	// allocates nothing.
 	writeQ []mem.Addr
+	wqHead int
 	// minReady caches the earliest completion among inflight reads so
 	// Tick can return without scanning on idle cycles.
 	minReady uint64
 	stats    Stats
+
+	// Precomputed address-routing masks and shifts, valid when
+	// Channels, BanksPerChannel, and the blocks-per-row count are all
+	// powers of two (the paper's configuration); route then replaces
+	// its divisions with masking.
+	routePow2 bool
+	chanMask  uint64
+	chanShift uint
+	bankMask  uint64
+	bankShift uint
+	rowShift  uint
 }
 
 // New builds a DRAM model.
@@ -104,7 +119,27 @@ func New(p Params) *DRAM {
 	for i := range d.channels {
 		d.channels[i].banks = make([]bank, p.BanksPerChannel)
 	}
+	rowBlocks := p.RowBytes / mem.BlockSize
+	if isPow2(p.Channels) && isPow2(p.BanksPerChannel) && rowBlocks > 0 && isPow2(rowBlocks) {
+		d.routePow2 = true
+		d.chanMask = uint64(p.Channels - 1)
+		d.chanShift = log2(p.Channels)
+		d.bankMask = uint64(p.BanksPerChannel - 1)
+		d.bankShift = log2(p.BanksPerChannel)
+		d.rowShift = log2(rowBlocks)
+	}
 	return d
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+func log2(n int) uint {
+	var s uint
+	for n > 1 {
+		n >>= 1
+		s++
+	}
+	return s
 }
 
 // Stats returns the live counters.
@@ -119,6 +154,14 @@ func (d *DRAM) ResetStats() { d.stats = Stats{} }
 // the system; the row is the address within a bank.
 func (d *DRAM) route(a mem.Addr) (ch, bk int, row uint64) {
 	blk := a.BlockID()
+	if d.routePow2 {
+		ch = int(blk & d.chanMask)
+		blk >>= d.chanShift
+		bk = int(blk & d.bankMask)
+		blk >>= d.bankShift
+		row = blk >> d.rowShift
+		return
+	}
 	ch = int(blk % uint64(d.Channels))
 	blk /= uint64(d.Channels)
 	bk = int(blk % uint64(d.BanksPerChannel))
@@ -174,6 +217,7 @@ func (d *DRAM) Access(req *mem.Request, cycle uint64) {
 		d.stats.Writes++
 		d.writeQ = append(d.writeQ, req.Addr)
 		req.Respond(cycle)
+		req.Release()
 		return
 	}
 	done := d.service(req.Addr, cycle)
@@ -191,19 +235,24 @@ func (d *DRAM) Access(req *mem.Request, cycle uint64) {
 // drainWrites issues buffered writes when reads are idle or the
 // queue is past the high watermark (read-priority scheduling).
 func (d *DRAM) drainWrites(cycle uint64) {
-	if len(d.writeQ) == 0 {
+	queued := len(d.writeQ) - d.wqHead
+	if queued == 0 {
 		return
 	}
-	if len(d.inflight) == 0 || len(d.writeQ) >= writeQueueHigh {
+	if len(d.inflight) == 0 || queued >= writeQueueHigh {
 		// Drain a small burst to amortise row activations.
 		n := 2
-		if n > len(d.writeQ) {
-			n = len(d.writeQ)
+		if n > queued {
+			n = queued
 		}
 		for i := 0; i < n; i++ {
-			d.service(d.writeQ[i], cycle)
+			d.service(d.writeQ[d.wqHead+i], cycle)
 		}
-		d.writeQ = d.writeQ[n:]
+		d.wqHead += n
+		if d.wqHead == len(d.writeQ) {
+			d.writeQ = d.writeQ[:0]
+			d.wqHead = 0
+		}
 	}
 }
 
@@ -219,12 +268,16 @@ func (d *DRAM) Tick(cycle uint64) {
 	for _, p := range d.inflight {
 		if p.ready <= cycle {
 			p.req.Respond(cycle)
+			p.req.Release()
 		} else {
 			if p.ready < next {
 				next = p.ready
 			}
 			rest = append(rest, p)
 		}
+	}
+	for i := len(rest); i < len(d.inflight); i++ {
+		d.inflight[i] = pending{} // drop released request pointers
 	}
 	d.inflight = rest
 	d.minReady = next
@@ -238,9 +291,9 @@ func (d *DRAM) Drained() bool { return len(d.inflight) == 0 }
 func (d *DRAM) PendingReads() int { return len(d.inflight) }
 
 // QueuedWrites returns the posted-write queue depth.
-func (d *DRAM) QueuedWrites() int { return len(d.writeQ) }
+func (d *DRAM) QueuedWrites() int { return len(d.writeQ) - d.wqHead }
 
 // QueueDepth returns the total controller backlog — reads in flight
 // plus buffered writes — the congestion signal the telemetry collector
 // samples at interval boundaries.
-func (d *DRAM) QueueDepth() int { return len(d.inflight) + len(d.writeQ) }
+func (d *DRAM) QueueDepth() int { return len(d.inflight) + d.QueuedWrites() }

@@ -47,7 +47,7 @@ func (d *DRAM) Checkpointable() error {
 func (d *DRAM) Snapshot() any {
 	st := State{
 		Channels: make([]ChannelState, len(d.channels)),
-		WriteQ:   append([]mem.Addr(nil), d.writeQ...),
+		WriteQ:   append([]mem.Addr(nil), d.writeQ[d.wqHead:]...),
 		MinReady: d.minReady,
 		Stats:    d.stats,
 	}
@@ -86,6 +86,7 @@ func (d *DRAM) Restore(snap any) error {
 		}
 	}
 	d.writeQ = append(d.writeQ[:0], st.WriteQ...)
+	d.wqHead = 0
 	d.minReady = st.MinReady
 	d.stats = st.Stats
 	return nil

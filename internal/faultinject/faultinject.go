@@ -237,34 +237,60 @@ type Memory struct {
 	lower cache.Level
 	reads uint64
 	held  []heldResponse
+	// icept holds the hijacked completion routes of delayed reads;
+	// the request carries this Memory as its owner and an icept slot
+	// as its tag until DRAM responds.
+	icept     []iceptState
+	iceptFree []uint32
 }
 
 type heldResponse struct {
-	done func(uint64)
-	at   uint64
+	cpl mem.Completion
+	at  uint64
+}
+
+type iceptState struct {
+	cpl   mem.Completion
+	delay uint64
 }
 
 // Access implements cache.Level: read responses are counted and the
-// configured ones are dropped (Done discarded) or delayed (Done
-// deferred to Tick).
+// configured ones are dropped (the completion route is discarded) or
+// delayed (the route is hijacked and deferred to Tick).
 func (m *Memory) Access(req *mem.Request, cycle uint64) {
 	cfg := &m.in.cfg
-	if req.Done != nil && req.Kind != mem.Writeback {
+	if req.HasDone() && req.Kind != mem.Writeback {
 		m.reads++
 		switch {
 		case cfg.DRAMDropEvery > 0 && m.reads%cfg.DRAMDropEvery == 0:
 			m.in.stats.ResponsesDropped++
-			req.Done = func(uint64) {} // swallow the response
+			req.TakeCompletion() // swallow the response
 		case cfg.DRAMDelayEvery > 0 && m.reads%cfg.DRAMDelayEvery == 0:
-			orig := req.Done
-			delay := cfg.DRAMDelayCycles
-			req.Done = func(done uint64) {
-				m.in.stats.ResponsesDelayed++
-				m.held = append(m.held, heldResponse{done: orig, at: done + delay})
+			var tag uint32
+			if n := len(m.iceptFree); n > 0 {
+				tag = m.iceptFree[n-1]
+				m.iceptFree = m.iceptFree[:n-1]
+			} else {
+				tag = uint32(len(m.icept))
+				m.icept = append(m.icept, iceptState{})
 			}
+			m.icept[tag] = iceptState{cpl: req.TakeCompletion(), delay: cfg.DRAMDelayCycles}
+			req.Owner = m
+			req.Tag = tag
 		}
 	}
 	m.lower.Access(req, cycle)
+}
+
+// Complete implements mem.Completer: DRAM answered a read whose
+// completion route was hijacked for delaying; park the original
+// route until the hold time matures.
+func (m *Memory) Complete(tag uint32, cycle uint64) {
+	st := m.icept[tag]
+	m.icept[tag] = iceptState{}
+	m.iceptFree = append(m.iceptFree, tag)
+	m.in.stats.ResponsesDelayed++
+	m.held = append(m.held, heldResponse{cpl: st.cpl, at: cycle + st.delay})
 }
 
 // Tick releases delayed responses whose hold time has matured.
@@ -275,7 +301,7 @@ func (m *Memory) Tick(cycle uint64) {
 	rest := m.held[:0]
 	for _, h := range m.held {
 		if h.at <= cycle {
-			h.done(cycle)
+			h.cpl.Deliver(cycle)
 		} else {
 			rest = append(rest, h)
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	careplc "care/internal/core/care"
+	"care/internal/policy"
 	"care/internal/sim"
 	"care/internal/stats"
 	"care/internal/synth"
@@ -172,9 +173,9 @@ func runAblMSHR(o *Options) error {
 			if err != nil {
 				return err
 			}
-			run := func(policy string) (sim.Result, error) {
+			run := func(pol policy.Policy) (sim.Result, error) {
 				cfg := sim.ScaledConfig(4, o.Scale)
-				cfg.LLCPolicy = policy
+				cfg.LLCPolicy = pol
 				cfg.Prefetch = true
 				cfg.LLC.MSHREntries = n
 				o.applyGuards(&cfg)
@@ -225,9 +226,9 @@ func runAblPrefetch(o *Options) error {
 			if err != nil {
 				return err
 			}
-			run := func(policy string) (sim.Result, error) {
+			run := func(pol policy.Policy) (sim.Result, error) {
 				cfg := sim.ScaledConfig(4, o.Scale)
-				cfg.LLCPolicy = policy
+				cfg.LLCPolicy = pol
 				cfg.Prefetch = true
 				cfg.L2Prefetcher = pf
 				o.applyGuards(&cfg)

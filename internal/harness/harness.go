@@ -19,6 +19,7 @@ import (
 	"care/internal/faultinject"
 	"care/internal/graph"
 	"care/internal/mem"
+	"care/internal/policy"
 	"care/internal/sim"
 	"care/internal/stats"
 	"care/internal/synth"
@@ -449,7 +450,7 @@ func runAttempt(key runKey, o *Options, ckptPath, resumeFrom string, attempt int
 	}
 
 	cfg := sim.ScaledConfig(key.cores, key.scale)
-	cfg.LLCPolicy = key.scheme
+	cfg.LLCPolicy = policy.Policy(key.scheme)
 	cfg.Prefetch = key.prefetch
 	o.applyGuards(&cfg)
 	if o.Faults != nil {

@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func perfFixture() PerfReport {
+	return PerfReport{
+		Schema: PerfSchema,
+		Params: PerfParams{Scale: 16, Warmup: 5_000, Measure: 20_000, GAPRecords: 250_000},
+		Benchmarks: []PerfRecord{
+			{Name: "fig7/429.mcf/lru/c1", NsPerOp: 1_000_000, AllocsPerOp: 100, SimCyclesPerSec: 1e8},
+			{Name: "fig7/429.mcf/care/c4", NsPerOp: 4_000_000, AllocsPerOp: 400, SimCyclesPerSec: 9e7},
+		},
+	}
+}
+
+func TestComparePerfClean(t *testing.T) {
+	cur, base := perfFixture(), perfFixture()
+	// 8% slower stays inside the 10% tolerance.
+	cur.Benchmarks[0].NsPerOp = 1_080_000
+	violations, notes := ComparePerf(cur, base, 0.10)
+	if len(violations) != 0 {
+		t.Fatalf("unexpected violations: %v", violations)
+	}
+	if len(notes) != 0 {
+		t.Fatalf("unexpected notes: %v", notes)
+	}
+}
+
+func TestComparePerfNsRegression(t *testing.T) {
+	cur, base := perfFixture(), perfFixture()
+	cur.Benchmarks[1].NsPerOp = 4_600_000 // +15%
+	violations, _ := ComparePerf(cur, base, 0.10)
+	if len(violations) != 1 || !strings.Contains(violations[0], "fig7/429.mcf/care/c4") ||
+		!strings.Contains(violations[0], "ns/op regressed") {
+		t.Fatalf("want one ns/op violation for care/c4, got %v", violations)
+	}
+}
+
+func TestComparePerfAllocRegression(t *testing.T) {
+	cur, base := perfFixture(), perfFixture()
+	cur.Benchmarks[0].AllocsPerOp = 150
+	violations, _ := ComparePerf(cur, base, 0.10)
+	if len(violations) != 1 || !strings.Contains(violations[0], "allocs/op regressed") {
+		t.Fatalf("want one allocs/op violation, got %v", violations)
+	}
+	// A two-object wobble is tolerated.
+	cur.Benchmarks[0].AllocsPerOp = 112
+	if violations, _ := ComparePerf(cur, base, 0.10); len(violations) != 0 {
+		t.Fatalf("small alloc wobble flagged: %v", violations)
+	}
+}
+
+func TestComparePerfParamMismatch(t *testing.T) {
+	cur, base := perfFixture(), perfFixture()
+	cur.Params.Measure = 50_000
+	violations, _ := ComparePerf(cur, base, 0.10)
+	if len(violations) != 1 || !strings.Contains(violations[0], "not comparable") {
+		t.Fatalf("want a parameter-mismatch violation, got %v", violations)
+	}
+}
+
+func TestComparePerfMembershipNotes(t *testing.T) {
+	cur, base := perfFixture(), perfFixture()
+	cur.Benchmarks[0].Name = "fig9/bfs-or/lru/c1"
+	_, notes := ComparePerf(cur, base, 0.10)
+	var sawNew, sawMissing bool
+	for _, n := range notes {
+		sawNew = sawNew || strings.Contains(n, "new benchmark")
+		sawMissing = sawMissing || strings.Contains(n, "missing from current")
+	}
+	if !sawNew || !sawMissing {
+		t.Fatalf("want new+missing notes, got %v", notes)
+	}
+}
+
+func TestPerfReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	want := perfFixture()
+	if err := WritePerfReport(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPerfReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Params != want.Params || len(got.Benchmarks) != len(want.Benchmarks) ||
+		got.Benchmarks[0] != want.Benchmarks[0] {
+		t.Fatalf("round trip diverged: %+v", got)
+	}
+	// A schema we don't understand must be rejected, not misread.
+	bad := want
+	bad.Schema = PerfSchema + 1
+	if err := WritePerfReport(path, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPerfReport(path); err == nil {
+		t.Fatal("future-schema baseline accepted")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"care/internal/core/pmc"
 	"care/internal/mem"
+	"care/internal/policy"
 	"care/internal/sim"
 	"care/internal/stats"
 	"care/internal/synth"
@@ -374,7 +375,7 @@ func runFig10(o *Options) error {
 				traces[i] = synth.NewScaledGenerator(p, uint64(100*m+i+1), o.Scale)
 			}
 			cfg := sim.ScaledConfig(4, o.Scale)
-			cfg.LLCPolicy = scheme
+			cfg.LLCPolicy = policy.Policy(scheme)
 			cfg.Prefetch = true
 			o.applyGuards(&cfg)
 			return sim.Run(cfg, traces, o.Warmup, o.Measure)

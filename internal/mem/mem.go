@@ -70,11 +70,27 @@ func (k Kind) String() string {
 // predictors and contribute to IPC; non-demand accesses do not.
 func (k Kind) IsDemand() bool { return k == Load || k == Store || k == Translation }
 
+// Completer is the response side of a request: the component that
+// issued it. Completion is routed as an (owner, tag) pair instead of a
+// per-request closure so the steady-state access path allocates
+// nothing — the owner keeps an indexed completion table (the CPU's
+// ROB-slot table, a cache's MSHR slab) and the tag names the entry the
+// response belongs to.
+type Completer interface {
+	// Complete is invoked exactly once when the request's data is
+	// available, with the tag the owner stored in the request and the
+	// completion cycle.
+	Complete(tag uint32, cycle uint64)
+}
+
 // Request is a memory access travelling down the hierarchy.
 //
 // A single Request object is reused as the access descends (L1 → L2 →
 // LLC → DRAM) so identity is stable; response routing happens through
-// the Done callback installed by the issuing component.
+// the (Owner, Tag) completion route installed by the issuing
+// component. Requests are pooled: components obtain them from their
+// RequestPool and the component that finishes a request returns it
+// with Release, so the steady-state cycle loop allocates none.
 type Request struct {
 	// ID is unique per issued request within a simulation; useful for
 	// debugging and deterministic tie-breaking.
@@ -99,22 +115,107 @@ type Request struct {
 	// MLPCost is the analogous MLP-based cost (Qureshi et al.), used
 	// by SBAR and M-CARE.
 	MLPCost float64
-	// Done, if non-nil, is invoked exactly once when the request's
-	// data is available to the requester, with the completion cycle.
+	// Owner, if non-nil, receives Complete(Tag, cycle) exactly once
+	// when the request's data is available to the requester.
+	Owner Completer
+	// Tag is the owner's completion-table index for this request.
+	Tag uint32
+	// Done is a closure-based completion fallback for tests and
+	// ad-hoc drivers; the simulator's hot path uses Owner/Tag, which
+	// allocates nothing. Owner takes precedence when both are set.
 	Done func(completeCycle uint64)
 	// PrefetchHit records that a demand access hit a block that was
 	// brought in by a prefetcher (used by prefetch-aware policies).
 	PrefetchHit bool
+
+	// pool, when non-nil, is where Release returns this request.
+	pool *RequestPool
 }
 
-// Respond invokes the completion callback, if any, and clears it so a
+// HasDone reports whether a completion route (Owner/Tag or Done) is
+// installed: the issuer is waiting for this request's data.
+func (r *Request) HasDone() bool { return r.Owner != nil || r.Done != nil }
+
+// Respond invokes the completion route, if any, and clears it so a
 // double response is detectable during testing.
 func (r *Request) Respond(cycle uint64) {
-	if r.Done != nil {
-		cb := r.Done
+	if o := r.Owner; o != nil {
+		tag := r.Tag
+		r.Owner = nil
+		r.Done = nil
+		o.Complete(tag, cycle)
+		return
+	}
+	if cb := r.Done; cb != nil {
 		r.Done = nil
 		cb(cycle)
 	}
+}
+
+// Completion is a request's captured completion route. Interceptors
+// (fault injection) take the route over with TakeCompletion and
+// deliver — or drop — it later, independent of the request object,
+// which may be released and reused in the meantime.
+type Completion struct {
+	owner Completer
+	tag   uint32
+	fn    func(uint64)
+}
+
+// TakeCompletion removes and returns r's completion route; the
+// request will no longer respond to anyone.
+func (r *Request) TakeCompletion() Completion {
+	c := Completion{owner: r.Owner, tag: r.Tag, fn: r.Done}
+	r.Owner = nil
+	r.Done = nil
+	return c
+}
+
+// Valid reports whether the captured route leads anywhere.
+func (c Completion) Valid() bool { return c.owner != nil || c.fn != nil }
+
+// Deliver fires the captured completion route.
+func (c Completion) Deliver(cycle uint64) {
+	if c.owner != nil {
+		c.owner.Complete(c.tag, cycle)
+		return
+	}
+	if c.fn != nil {
+		c.fn(cycle)
+	}
+}
+
+// RequestPool is a free list of Request objects. Each issuing
+// component owns one; a request returns to the pool it came from
+// (wherever in the hierarchy it is released), so steady-state
+// simulation recycles a bounded working set instead of allocating.
+// Pools are not safe for concurrent use — one simulated system runs
+// single-threaded, and independent systems own independent pools.
+type RequestPool struct {
+	free []*Request
+}
+
+// Get returns a zeroed request bound to this pool.
+func (p *RequestPool) Get() *Request {
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return r
+	}
+	return &Request{pool: p}
+}
+
+// Release returns r to its origin pool, zeroing it. Releasing a
+// request that was not obtained from a pool (tests building literals)
+// is a no-op, so consuming components can release unconditionally.
+func (r *Request) Release() {
+	p := r.pool
+	if p == nil {
+		return
+	}
+	*r = Request{pool: p}
+	p.free = append(p.free, r)
 }
 
 // String implements fmt.Stringer for debugging.

@@ -1,0 +1,80 @@
+package policy_test
+
+import (
+	"errors"
+	"reflect"
+	"sort"
+	"testing"
+
+	_ "care/internal/core/care" // registers "care" and "m-care"
+	"care/internal/policy"
+	"care/internal/replacement"
+)
+
+// TestParseRoundTrip: Parse(p.String()) == p for the whole zoo, and
+// every constant validates.
+func TestParseRoundTrip(t *testing.T) {
+	all := policy.All()
+	if len(all) == 0 {
+		t.Fatal("empty policy zoo")
+	}
+	for _, p := range all {
+		got, err := policy.Parse(p.String())
+		if err != nil {
+			t.Errorf("Parse(%q): %v", p, err)
+			continue
+		}
+		if got != p {
+			t.Errorf("Parse(%q) = %q, want identity", p, got)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%q.Validate(): %v", p, err)
+		}
+	}
+}
+
+// TestParseUnknown: names outside the zoo fail with the typed
+// *ErrUnknown carrying the offending name, at parse time.
+func TestParseUnknown(t *testing.T) {
+	for _, name := range []string{"", "lruu", "CARE", "ship+++", "plru"} {
+		_, err := policy.Parse(name)
+		var unknown *policy.ErrUnknown
+		if !errors.As(err, &unknown) {
+			t.Fatalf("Parse(%q): got %v, want *ErrUnknown", name, err)
+		}
+		if unknown.Name != name {
+			t.Fatalf("Parse(%q): error names %q", name, unknown.Name)
+		}
+		if err := policy.Policy(name).Validate(); !errors.As(err, &unknown) {
+			t.Fatalf("Policy(%q).Validate(): got %v, want *ErrUnknown", name, err)
+		}
+	}
+}
+
+// TestAllSorted: All returns a sorted copy callers may mutate.
+func TestAllSorted(t *testing.T) {
+	a := policy.All()
+	if !sort.SliceIsSorted(a, func(i, j int) bool { return a[i] < a[j] }) {
+		t.Fatalf("All() not sorted: %v", a)
+	}
+	a[0] = "mutated"
+	if policy.All()[0] == "mutated" {
+		t.Fatal("All() exposes internal storage")
+	}
+}
+
+// TestLockstepWithReplacementRegistry: the typed constant set and the
+// replacement registry (including the CARE package's own
+// registrations) must name exactly the same policies, so a Policy
+// that validates always constructs and vice versa.
+func TestLockstepWithReplacementRegistry(t *testing.T) {
+	var fromConstants []string
+	for _, p := range policy.All() {
+		fromConstants = append(fromConstants, string(p))
+	}
+	registered := replacement.Names()
+	if !reflect.DeepEqual(fromConstants, registered) {
+		t.Fatalf("policy constants and replacement registry diverged:\nconstants:  %v\nregistered: %v",
+			fromConstants, registered)
+	}
+}

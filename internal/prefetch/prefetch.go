@@ -74,13 +74,12 @@ func NewNextLine(degree int) *NextLine {
 func (p *NextLine) Name() string { return "next-line" }
 
 // OnAccess implements cache.Prefetcher.
-func (p *NextLine) OnAccess(pc, addr mem.Addr, hit bool) []mem.Addr {
-	out := make([]mem.Addr, 0, p.Degree)
+func (p *NextLine) OnAccess(pc, addr mem.Addr, hit bool, buf []mem.Addr) []mem.Addr {
 	base := addr.Block()
 	for i := 1; i <= p.Degree; i++ {
-		out = append(out, base+mem.Addr(i*mem.BlockSize))
+		buf = append(buf, base+mem.Addr(i*mem.BlockSize))
 	}
-	return out
+	return buf
 }
 
 // ipEntry is one IP-stride table row.
@@ -118,20 +117,20 @@ func NewIPStride() *IPStride {
 func (p *IPStride) Name() string { return "ip-stride" }
 
 // OnAccess implements cache.Prefetcher.
-func (p *IPStride) OnAccess(pc, addr mem.Addr, hit bool) []mem.Addr {
+func (p *IPStride) OnAccess(pc, addr mem.Addr, hit bool, buf []mem.Addr) []mem.Addr {
 	idx := uint64(pc) % uint64(p.TableSize)
 	e := &p.table[idx]
 	block := addr.BlockID()
 
 	if !e.valid || e.tag != uint64(pc) {
 		*e = ipEntry{valid: true, tag: uint64(pc), lastBlock: block}
-		return nil
+		return buf
 	}
 
 	stride := int64(block) - int64(e.lastBlock)
 	if stride == 0 {
 		// Same-block access: no training signal.
-		return nil
+		return buf
 	}
 	if stride == e.stride {
 		if e.confidence < 8 {
@@ -144,16 +143,15 @@ func (p *IPStride) OnAccess(pc, addr mem.Addr, hit bool) []mem.Addr {
 	e.lastBlock = block
 
 	if e.confidence < p.Threshold {
-		return nil
+		return buf
 	}
-	out := make([]mem.Addr, 0, p.Degree)
 	next := int64(block)
 	for i := 0; i < p.Degree; i++ {
 		next += e.stride
 		if next < 0 {
 			break
 		}
-		out = append(out, mem.Addr(uint64(next)<<mem.BlockBits))
+		buf = append(buf, mem.Addr(uint64(next)<<mem.BlockBits))
 	}
-	return out
+	return buf
 }

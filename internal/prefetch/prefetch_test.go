@@ -8,7 +8,7 @@ import (
 
 func TestNextLineBasics(t *testing.T) {
 	p := NewNextLine(1)
-	got := p.OnAccess(0x400, 0x1000+7, true)
+	got := p.OnAccess(0x400, 0x1000+7, true, nil)
 	if len(got) != 1 {
 		t.Fatalf("degree-1 returned %d addrs", len(got))
 	}
@@ -19,7 +19,7 @@ func TestNextLineBasics(t *testing.T) {
 
 func TestNextLineDegree(t *testing.T) {
 	p := NewNextLine(3)
-	got := p.OnAccess(0x400, 0x2000, false)
+	got := p.OnAccess(0x400, 0x2000, false, nil)
 	want := []mem.Addr{0x2040, 0x2080, 0x20c0}
 	if len(got) != 3 {
 		t.Fatalf("degree-3 returned %d addrs", len(got))
@@ -48,7 +48,7 @@ func TestIPStrideTrainsAndPrefetches(t *testing.T) {
 	addr := mem.Addr(0x10000)
 	// Need Threshold+1 accesses with the same stride to train.
 	for i := 0; i < 5; i++ {
-		got = p.OnAccess(pc, addr, false)
+		got = p.OnAccess(pc, addr, false, nil)
 		addr += stride
 	}
 	if len(got) != p.Degree {
@@ -70,7 +70,7 @@ func TestIPStrideNegativeStride(t *testing.T) {
 	addr := mem.Addr(0x100000)
 	var got []mem.Addr
 	for i := 0; i < 5; i++ {
-		got = p.OnAccess(pc, addr, true)
+		got = p.OnAccess(pc, addr, true, nil)
 		addr -= 3 * mem.BlockSize
 	}
 	if len(got) == 0 {
@@ -85,11 +85,11 @@ func TestIPStrideNegativeStride(t *testing.T) {
 func TestIPStrideResetOnStrideChange(t *testing.T) {
 	p := NewIPStride()
 	pc := mem.Addr(0x400300)
-	p.OnAccess(pc, 0x0000, false)
-	p.OnAccess(pc, 0x0040, false)
-	p.OnAccess(pc, 0x0080, false)
+	p.OnAccess(pc, 0x0000, false, nil)
+	p.OnAccess(pc, 0x0040, false, nil)
+	p.OnAccess(pc, 0x0080, false, nil)
 	// Stride change resets confidence; no prefetch immediately after.
-	if got := p.OnAccess(pc, 0x1000, false); len(got) != 0 {
+	if got := p.OnAccess(pc, 0x1000, false, nil); len(got) != 0 {
 		t.Fatalf("stride change should suppress prefetching, got %v", got)
 	}
 }
@@ -98,7 +98,7 @@ func TestIPStrideSameBlockNoTraining(t *testing.T) {
 	p := NewIPStride()
 	pc := mem.Addr(0x400400)
 	for i := 0; i < 10; i++ {
-		if got := p.OnAccess(pc, 0x5000, false); len(got) != 0 {
+		if got := p.OnAccess(pc, 0x5000, false, nil); len(got) != 0 {
 			t.Fatal("same-block accesses must not produce prefetches")
 		}
 	}
@@ -109,11 +109,11 @@ func TestIPStrideDistinctPCsIndependent(t *testing.T) {
 	// Train PC A fully.
 	addr := mem.Addr(0)
 	for i := 0; i < 5; i++ {
-		p.OnAccess(0x100, addr, false)
+		p.OnAccess(0x100, addr, false, nil)
 		addr += mem.BlockSize
 	}
 	// A fresh PC that doesn't collide must start untrained.
-	if got := p.OnAccess(0x101, 0x9000, false); len(got) != 0 {
+	if got := p.OnAccess(0x101, 0x9000, false, nil); len(got) != 0 {
 		t.Fatal("fresh PC should not prefetch")
 	}
 }
@@ -124,13 +124,13 @@ func TestIPStrideTableCollisionEvicts(t *testing.T) {
 	pcB := pcA + mem.Addr(p.TableSize) // same table index, different tag
 	addr := mem.Addr(0)
 	for i := 0; i < 5; i++ {
-		p.OnAccess(pcA, addr, false)
+		p.OnAccess(pcA, addr, false, nil)
 		addr += mem.BlockSize
 	}
 	// B evicts A's entry...
-	p.OnAccess(pcB, 0x40000, false)
+	p.OnAccess(pcB, 0x40000, false, nil)
 	// ...so A must retrain from scratch.
-	if got := p.OnAccess(pcA, addr, false); len(got) != 0 {
+	if got := p.OnAccess(pcA, addr, false, nil); len(got) != 0 {
 		t.Fatal("evicted PC should have lost its training")
 	}
 }
@@ -168,7 +168,7 @@ func TestStreamConfirmsThenRunsAhead(t *testing.T) {
 	var got []mem.Addr
 	base := mem.Addr(0x100000)
 	for i := 0; i < 6; i++ {
-		got = s.OnAccess(0, base+mem.Addr(i*mem.BlockSize), false)
+		got = s.OnAccess(0, base+mem.Addr(i*mem.BlockSize), false, nil)
 	}
 	if len(got) != s.Degree {
 		t.Fatalf("confirmed stream should prefetch degree=%d, got %d", s.Degree, len(got))
@@ -186,7 +186,7 @@ func TestStreamDescending(t *testing.T) {
 	var got []mem.Addr
 	base := mem.Addr(0x900000)
 	for i := 0; i < 6; i++ {
-		got = s.OnAccess(0, base-mem.Addr(i*mem.BlockSize), false)
+		got = s.OnAccess(0, base-mem.Addr(i*mem.BlockSize), false, nil)
 	}
 	if len(got) == 0 {
 		t.Fatal("descending streams should train too")
@@ -202,8 +202,8 @@ func TestStreamInterleavedStreamsBothTrain(t *testing.T) {
 	b := mem.Addr(0x90_0000)
 	var gotA, gotB []mem.Addr
 	for i := 0; i < 8; i++ {
-		gotA = s.OnAccess(0, a+mem.Addr(i*mem.BlockSize), false)
-		gotB = s.OnAccess(0, b+mem.Addr(i*mem.BlockSize), false)
+		gotA = s.OnAccess(0, a+mem.Addr(i*mem.BlockSize), false, nil)
+		gotB = s.OnAccess(0, b+mem.Addr(i*mem.BlockSize), false, nil)
 	}
 	if len(gotA) == 0 || len(gotB) == 0 {
 		t.Fatal("interleaved streams must both be tracked")
@@ -218,7 +218,7 @@ func TestStreamRandomNoise(t *testing.T) {
 		rng ^= rng << 13
 		rng ^= rng >> 7
 		rng ^= rng << 17
-		if out := s.OnAccess(0, mem.Addr(rng%(1<<30))&^63, false); len(out) > 0 {
+		if out := s.OnAccess(0, mem.Addr(rng%(1<<30))&^63, false, nil); len(out) > 0 {
 			fired++
 		}
 	}

@@ -41,7 +41,7 @@ func NewStream() *Stream {
 func (s *Stream) Name() string { return "stream" }
 
 // OnAccess implements cache.Prefetcher.
-func (s *Stream) OnAccess(pc, addr mem.Addr, hit bool) []mem.Addr {
+func (s *Stream) OnAccess(pc, addr mem.Addr, hit bool, buf []mem.Addr) []mem.Addr {
 	s.clock++
 	block := addr.BlockID()
 
@@ -72,7 +72,7 @@ func (s *Stream) OnAccess(pc, addr mem.Addr, hit bool) []mem.Addr {
 			}
 		}
 		s.entries[victim] = streamEntry{valid: true, lastBlock: block, lastUse: s.clock}
-		return nil
+		return buf
 	}
 
 	e := &s.entries[best]
@@ -90,15 +90,14 @@ func (s *Stream) OnAccess(pc, addr mem.Addr, hit bool) []mem.Addr {
 	e.lastUse = s.clock
 
 	if e.confirms < 2 {
-		return nil
+		return buf
 	}
-	out := make([]mem.Addr, 0, s.Degree)
 	for i := 0; i < s.Degree; i++ {
 		next := int64(block) + dir*int64(s.Distance+i)
 		if next < 0 {
 			break
 		}
-		out = append(out, mem.Addr(uint64(next)<<mem.BlockBits))
+		buf = append(buf, mem.Addr(uint64(next)<<mem.BlockBits))
 	}
-	return out
+	return buf
 }

@@ -1,0 +1,82 @@
+// Package ring provides a growable FIFO ring buffer. The simulator's
+// cycle loop uses it for every queue that previously re-sliced from
+// the front (cache input queues, ROB batches, DRAM write queues):
+// popping is O(1), the backing array is reused forever, and the
+// steady state allocates nothing once the queue has grown to its
+// high-water mark.
+package ring
+
+// Ring is a FIFO queue over a power-of-two circular buffer.
+// The zero value is an empty, ready-to-use ring.
+type Ring[T any] struct {
+	buf  []T
+	head int // index of the front element
+	n    int // number of elements
+}
+
+// Len returns the number of queued elements.
+func (r *Ring[T]) Len() int { return r.n }
+
+// PushBack appends v at the tail, growing the buffer if full.
+func (r *Ring[T]) PushBack(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
+	r.n++
+}
+
+// Front returns a pointer to the head element; it panics on an empty
+// ring. The pointer is valid until the next PushBack or PopFront.
+func (r *Ring[T]) Front() *T {
+	if r.n == 0 {
+		panic("ring: Front on empty ring")
+	}
+	return &r.buf[r.head]
+}
+
+// Back returns a pointer to the tail element; it panics on an empty
+// ring. The pointer is valid until the next PushBack or PopFront.
+func (r *Ring[T]) Back() *T {
+	if r.n == 0 {
+		panic("ring: Back on empty ring")
+	}
+	return &r.buf[(r.head+r.n-1)&(len(r.buf)-1)]
+}
+
+// At returns a pointer to the i-th element from the front (0 = head).
+func (r *Ring[T]) At(i int) *T {
+	if i < 0 || i >= r.n {
+		panic("ring: index out of range")
+	}
+	return &r.buf[(r.head+i)&(len(r.buf)-1)]
+}
+
+// PopFront removes and returns the head element; it panics on an
+// empty ring. The vacated slot is zeroed so popped pointers do not
+// pin pooled objects.
+func (r *Ring[T]) PopFront() T {
+	if r.n == 0 {
+		panic("ring: PopFront on empty ring")
+	}
+	var zero T
+	v := r.buf[r.head]
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return v
+}
+
+// grow doubles the buffer, relinearising the contents.
+func (r *Ring[T]) grow() {
+	size := len(r.buf) * 2
+	if size == 0 {
+		size = 8
+	}
+	buf := make([]T, size)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head = 0
+}

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"testing"
+
+	"care/internal/telemetry"
+)
+
+// TestSteadyStateZeroAllocs pins the end-to-end zero-allocation
+// property: once warmup has sized every pool and ring (request pools,
+// input-queue rings, MSHR waiter slices, ROB tables, PMC scratch,
+// telemetry ring), advancing the full system — cores, three cache
+// levels, prefetchers, DRAM, the PML sweep, and interval telemetry
+// sampling — allocates nothing per simulated cycle.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	cfg := ScaledConfig(2, 16)
+	cfg.LLCPolicy = "care"
+	cfg.Prefetch = true
+	// A short interval so the measured window crosses telemetry
+	// boundaries (snapshot into the preallocated ring, no sink).
+	cfg.Telemetry = telemetry.NewCollector(telemetry.Options{Interval: 512})
+	s, err := New(cfg, mcfTraces(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunInstructions(30_000); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := s.RunInstructions(200); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state simulation allocated %.2f objects per 200-instruction slice", allocs)
+	}
+}
+
+func BenchmarkSteadyStateSlice(b *testing.B) {
+	cfg := ScaledConfig(2, 16)
+	cfg.LLCPolicy = "care"
+	cfg.Prefetch = true
+	cfg.Telemetry = telemetry.NewCollector(telemetry.Options{Interval: 512})
+	s, err := New(cfg, mcfTraces(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.RunInstructions(30_000); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunInstructions(200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -170,7 +170,7 @@ func (s *System) WriteCheckpoint(w *checkpoint.Writer, m RunMeta) error {
 		return err
 	}
 	m.Cores = s.cfg.Cores
-	m.LLCPolicy = s.cfg.LLCPolicy
+	m.LLCPolicy = string(s.cfg.LLCPolicy)
 	m.L1, m.L2, m.LLC = s.cfg.L1, s.cfg.L2, s.cfg.LLC
 	m.TLB = s.cfg.TLB
 	m.HasFaults = s.injector != nil
@@ -241,7 +241,7 @@ func (s *System) ReadCheckpoint(r *checkpoint.Reader) (RunMeta, error) {
 	switch {
 	case m.Cores != s.cfg.Cores:
 		return RunMeta{}, checkpoint.Mismatchf("checkpoint has %d cores, system has %d", m.Cores, s.cfg.Cores)
-	case m.LLCPolicy != s.cfg.LLCPolicy:
+	case m.LLCPolicy != string(s.cfg.LLCPolicy):
 		return RunMeta{}, checkpoint.Mismatchf("checkpoint ran policy %q, system runs %q", m.LLCPolicy, s.cfg.LLCPolicy)
 	case m.L1 != s.cfg.L1 || m.L2 != s.cfg.L2 || m.LLC != s.cfg.LLC:
 		return RunMeta{}, checkpoint.Mismatchf("checkpoint cache geometry %+v/%+v/%+v differs from system %+v/%+v/%+v",

@@ -11,6 +11,7 @@ import (
 
 	"care/internal/checkpoint"
 	"care/internal/faultinject"
+	policypkg "care/internal/policy"
 	"care/internal/replacement"
 	"care/internal/telemetry"
 )
@@ -28,7 +29,7 @@ const (
 // and core count, leaving the live checkpoint (2/3 point) and its
 // rotated predecessor (1/3 point) at path. It returns the result and
 // the full telemetry series when tele is set.
-func runFull(t *testing.T, policy string, cores int, path string, tele bool) (Result, []telemetry.Interval) {
+func runFull(t *testing.T, policy policypkg.Policy, cores int, path string, tele bool) (Result, []telemetry.Interval) {
 	t.Helper()
 	cfg := ScaledConfig(cores, 16)
 	cfg.LLCPolicy = policy
@@ -55,7 +56,7 @@ func runFull(t *testing.T, policy string, cores int, path string, tele bool) (Re
 
 // resumeFrom restores the checkpoint at from into a freshly built
 // system over freshly constructed traces and completes the schedule.
-func resumeFrom(t *testing.T, policy string, cores int, from string, tele bool) (Result, []telemetry.Interval) {
+func resumeFrom(t *testing.T, policy policypkg.Policy, cores int, from string, tele bool) (Result, []telemetry.Interval) {
 	t.Helper()
 	cfg := ScaledConfig(cores, 16)
 	cfg.LLCPolicy = policy
@@ -85,7 +86,7 @@ func resumeFrom(t *testing.T, policy string, cores int, from string, tele bool) 
 // either retained checkpoint must produce byte-identical final stats
 // and telemetry to the uninterrupted run.
 func TestResumeEquivalence(t *testing.T) {
-	for _, policy := range []string{"lru", "ship++", "care"} {
+	for _, policy := range []policypkg.Policy{"lru", "ship++", "care"} {
 		for _, cores := range []int{1, 4, 8} {
 			t.Run(fmt.Sprintf("%s/c%d", policy, cores), func(t *testing.T) {
 				path := filepath.Join(t.TempDir(), "run.ckpt")
@@ -115,6 +116,7 @@ func TestRoundTripEveryPolicy(t *testing.T) {
 		coreCounts = []int{2}
 	}
 	for _, policy := range replacement.Names() {
+		policy := policypkg.Policy(policy)
 		for _, cores := range coreCounts {
 			t.Run(fmt.Sprintf("%s/c%d", policy, cores), func(t *testing.T) {
 				path := filepath.Join(t.TempDir(), "run.ckpt")
@@ -130,7 +132,7 @@ func TestRoundTripEveryPolicy(t *testing.T) {
 
 // resumeErr replays a (possibly damaged) checkpoint and returns the
 // error.
-func resumeErr(t *testing.T, policy string, cores int, from string) error {
+func resumeErr(t *testing.T, policy policypkg.Policy, cores int, from string) error {
 	t.Helper()
 	cfg := ScaledConfig(cores, 16)
 	cfg.LLCPolicy = policy

@@ -194,12 +194,18 @@ func (s *System) progressSig() uint64 {
 	return sig
 }
 
-// allCaches lists every cache level, private levels first.
+// allCaches lists every cache level, private levels first. The list
+// is built once and memoized: guard paths walk it every cycle, so
+// rebuilding it would be the simulator's single largest allocation
+// source.
 func (s *System) allCaches() []*cache.Cache {
-	out := make([]*cache.Cache, 0, len(s.l1s)+len(s.l2s)+1)
-	out = append(out, s.l1s...)
-	out = append(out, s.l2s...)
-	return append(out, s.llc)
+	if s.caches == nil {
+		s.caches = make([]*cache.Cache, 0, len(s.l1s)+len(s.l2s)+1)
+		s.caches = append(s.caches, s.l1s...)
+		s.caches = append(s.caches, s.l2s...)
+		s.caches = append(s.caches, s.llc)
+	}
+	return s.caches
 }
 
 // checkProgress samples the progress signature and returns an

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"care/internal/faultinject"
+	policypkg "care/internal/policy"
 	"care/internal/trace"
 )
 
@@ -215,7 +216,7 @@ func TestIntegrityLayerPreservesDeterminism(t *testing.T) {
 }
 
 func TestInvariantsHoldOnHealthyRuns(t *testing.T) {
-	for _, policy := range []string{"lru", "care", "ship++"} {
+	for _, policy := range []policypkg.Policy{"lru", "care", "ship++"} {
 		cfg := ScaledConfig(2, 16)
 		cfg.LLCPolicy = policy
 		cfg.CheckInvariants = true

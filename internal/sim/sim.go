@@ -17,6 +17,7 @@ import (
 	"care/internal/dram"
 	"care/internal/faultinject"
 	"care/internal/mem"
+	"care/internal/policy"
 	"care/internal/prefetch"
 	"care/internal/replacement"
 	"care/internal/telemetry"
@@ -35,10 +36,12 @@ type CacheGeom struct {
 type Config struct {
 	// Cores is the number of cores (each replays one trace).
 	Cores int
-	// LLCPolicy names the LLC replacement policy (see replacement
-	// package; "care" and "m-care" are registered by the care
-	// package).
-	LLCPolicy string
+	// LLCPolicy selects the LLC replacement policy. Untyped string
+	// constants assign directly (cfg.LLCPolicy = "care"); runtime
+	// strings should go through policy.Parse, and New validates the
+	// value up front, returning *policy.ErrUnknown for names outside
+	// the zoo.
+	LLCPolicy policy.Policy
 	// Prefetch enables the paper's prefetcher pairing: next-line at
 	// L1, IP-stride at L2.
 	Prefetch bool
@@ -141,10 +144,15 @@ type System struct {
 	l1s   []*cache.Cache
 	l2s   []*cache.Cache
 	llc   *cache.Cache
-	mem   *dram.DRAM
-	pml   *pmc.Logic
-	tlbs  []*vmem.TLB
-	cycle uint64
+	// caches memoizes allCaches() — every level, private levels first.
+	caches []*cache.Cache
+	// targets is RunInstructions' reusable per-core retirement-target
+	// scratch, so driving the system in short slices allocates nothing.
+	targets []uint64
+	mem     *dram.DRAM
+	pml     *pmc.Logic
+	tlbs    []*vmem.TLB
+	cycle   uint64
 
 	// Fault injection (nil unless cfg.Faults is enabled).
 	injector *faultinject.Injector
@@ -176,14 +184,18 @@ func New(cfg Config, traces []trace.Reader) (*System, error) {
 		return nil, fmt.Errorf("sim: %d cores but %d traces", cfg.Cores, len(traces))
 	}
 
+	if err := cfg.LLCPolicy.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+
 	var llcPolicy cache.Policy
 	switch cfg.LLCPolicy {
-	case "care":
+	case policy.CARE:
 		llcPolicy = careplc.New(cfg.CARE)
-	case "m-care":
+	case policy.MCARE:
 		llcPolicy = careplc.NewMCARE(cfg.CARE)
 	default:
-		p, err := replacement.New(cfg.LLCPolicy, cfg.Cores)
+		p, err := replacement.New(string(cfg.LLCPolicy), cfg.Cores)
 		if err != nil {
 			return nil, err
 		}
@@ -407,7 +419,10 @@ func (s *System) RunInstructions(n uint64) (uint64, error) {
 	if s.cfg.WallClockTimeout > 0 && s.wallStart.IsZero() {
 		s.wallStart = time.Now()
 	}
-	targets := make([]uint64, len(s.cores))
+	if s.targets == nil {
+		s.targets = make([]uint64, len(s.cores))
+	}
+	targets := s.targets
 	for i, c := range s.cores {
 		targets[i] = c.Retired() + n
 	}
@@ -511,7 +526,7 @@ type Result struct {
 // Snapshot captures the current statistics as a Result.
 func (s *System) Snapshot() Result {
 	r := Result{
-		Policy:  s.cfg.LLCPolicy,
+		Policy:  string(s.cfg.LLCPolicy),
 		LLC:     *s.llc.Stats(),
 		LLCPMR:  s.llc.Stats().PureMissRate(),
 		MeanPMC: s.llc.Stats().MeanPMC(),

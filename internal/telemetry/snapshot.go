@@ -52,25 +52,25 @@ func (c *Collector) Snapshot() any {
 		Warm:    c.warm,
 		OccHist: c.occHist,
 		Prev: PrevState{
-			CoreInstr:    append([]uint64(nil), p.coreInstr...),
-			CoreCycles:   append([]uint64(nil), p.coreCycles...),
-			CoreMem:      append([]uint64(nil), p.coreMem...),
-			CoreStall:    append([]uint64(nil), p.coreStall...),
-			CoreLLCMiss:  append([]uint64(nil), p.coreLLCMiss...),
-			LLCAccesses:  p.llcAccesses,
-			LLCHits:      p.llcHits,
-			LLCMisses:    p.llcMisses,
-			LLCPure:      p.llcPure,
-			LLCMSHRStall: p.llcMSHRStall,
-			LLCPMCSum:    p.llcPMCSum,
-			DRAMReads:    p.dramReads,
-			DRAMWrites:   p.dramWrites,
-			DRAMRowHits:  p.dramRowHits,
+			CoreInstr:     append([]uint64(nil), p.coreInstr...),
+			CoreCycles:    append([]uint64(nil), p.coreCycles...),
+			CoreMem:       append([]uint64(nil), p.coreMem...),
+			CoreStall:     append([]uint64(nil), p.coreStall...),
+			CoreLLCMiss:   append([]uint64(nil), p.coreLLCMiss...),
+			LLCAccesses:   p.llcAccesses,
+			LLCHits:       p.llcHits,
+			LLCMisses:     p.llcMisses,
+			LLCPure:       p.llcPure,
+			LLCMSHRStall:  p.llcMSHRStall,
+			LLCPMCSum:     p.llcPMCSum,
+			DRAMReads:     p.dramReads,
+			DRAMWrites:    p.dramWrites,
+			DRAMRowHits:   p.dramRowHits,
 			DRAMRowMisses: p.dramRowMisses,
-			CARERaises:   p.careRaises,
-			CARELowers:   p.careLowers,
-			CARECostly:   p.careCostly,
-			CAREEPV:      p.careEPV,
+			CARERaises:    p.careRaises,
+			CARELowers:    p.careLowers,
+			CARECostly:    p.careCostly,
+			CAREEPV:       p.careEPV,
 		},
 		Intervals: c.Series(),
 	}

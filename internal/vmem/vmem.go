@@ -77,6 +77,17 @@ type TLB struct {
 	// pending de-duplicates concurrent walks of one page: vpn →
 	// callbacks waiting for the translation.
 	pending map[uint64][]func(ppn uint64, cycle uint64)
+	// walks is the completion table for in-flight page-table loads;
+	// walkFree recycles its slots and pool recycles the requests.
+	walks    []walkState
+	walkFree []uint32
+	pool     mem.RequestPool
+}
+
+// walkState tracks one in-flight page-table level load.
+type walkState struct {
+	vpn        uint64
+	levelsLeft int
 }
 
 // New builds a TLB for core whose walks are issued into walkLevel.
@@ -133,21 +144,37 @@ func (t *TLB) Translate(vaddr mem.Addr, cycle uint64, done func(paddr mem.Addr, 
 func (t *TLB) walk(vpn uint64, levelsLeft int, cycle uint64) {
 	t.stats.WalksIssued++
 	t.nextID++
-	req := &mem.Request{
-		ID:   t.nextID,
-		Addr: walkAddr(vpn, levelsLeft),
-		PC:   0, // walks have no program PC
-		Core: t.core,
-		Kind: mem.Translation,
-		Done: func(c uint64) {
-			if levelsLeft > 1 {
-				t.walk(vpn, levelsLeft-1, c)
-				return
-			}
-			t.complete(vpn, c)
-		},
+	var tag uint32
+	if n := len(t.walkFree); n > 0 {
+		tag = t.walkFree[n-1]
+		t.walkFree = t.walkFree[:n-1]
+	} else {
+		tag = uint32(len(t.walks))
+		t.walks = append(t.walks, walkState{})
 	}
+	t.walks[tag] = walkState{vpn: vpn, levelsLeft: levelsLeft}
+	req := t.pool.Get()
+	req.ID = t.nextID
+	req.Addr = walkAddr(vpn, levelsLeft)
+	req.PC = 0 // walks have no program PC
+	req.Core = t.core
+	req.Kind = mem.Translation
+	req.IssueCycle = cycle
+	req.Owner = t
+	req.Tag = tag
 	t.walkers.Access(req, cycle)
+}
+
+// Complete implements mem.Completer: one page-table level load
+// finished; chain to the next level or install the translation.
+func (t *TLB) Complete(tag uint32, cycle uint64) {
+	ws := t.walks[tag]
+	t.walkFree = append(t.walkFree, tag)
+	if ws.levelsLeft > 1 {
+		t.walk(ws.vpn, ws.levelsLeft-1, cycle)
+		return
+	}
+	t.complete(ws.vpn, cycle)
 }
 
 // complete installs the translation and releases the waiters.
