@@ -126,22 +126,7 @@ func Run(ctx context.Context, cfg SystemConfig, traces []TraceReader, opts RunOp
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if done := ctx.Done(); done != nil {
-		stop := make(chan struct{})
-		finished := make(chan struct{})
-		go func() {
-			defer close(finished)
-			select {
-			case <-done:
-				s.Interrupt()
-			case <-stop:
-			}
-		}()
-		defer func() {
-			close(stop)
-			<-finished
-		}()
-	}
+	defer s.WatchContext(ctx)()
 	var ck sim.CheckpointOptions
 	if opts.Checkpoint != nil {
 		ck = *opts.Checkpoint

@@ -1,10 +1,15 @@
 package main
 
 import (
+	"bytes"
 	"errors"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 func TestValidateFlags(t *testing.T) {
@@ -52,5 +57,120 @@ func TestValidateFlagsAcceptsRotatedOnly(t *testing.T) {
 	}
 	if got := resumeSources(ckpt); len(got) != 1 || got[0] != ckpt+".1" {
 		t.Fatalf("resumeSources = %v, want just the rotated file", got)
+	}
+}
+
+// TestMain re-execs the test binary as the real care-sim when the
+// re-exec variable is set, so the signal tests below can send real
+// SIGINT/SIGTERM to a live simulation process.
+func TestMain(m *testing.M) {
+	if os.Getenv("CARE_SIM_REEXEC") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// TestSignalGracefulStop sends SIGTERM to a running care-sim and
+// verifies the documented contract: exit code 1, an "interrupted"
+// notice with partial results, a final checkpoint on disk, and a
+// -resume run that completes from it.
+func TestSignalGracefulStop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a real simulation process")
+	}
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "run.ckpt")
+	args := []string{
+		"-workload", "429.mcf", "-cores", "1", "-policy", "care",
+		"-scale", "64", "-warmup", "5000", "-instr", "400000",
+		"-checkpoint", ckpt, "-checkpoint-every", "20000",
+	}
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "CARE_SIM_REEXEC=1")
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the first scheduled checkpoint so the signal provably
+	// lands mid-run, then ask for a graceful stop.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := os.Stat(ckpt); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatalf("no checkpoint appeared; output:\n%s", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 1 {
+		t.Fatalf("interrupted run exited %v, want code 1; output:\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"stop requested",
+		"interrupted — partial results follow",
+		"final checkpoint written",
+		"cycles:", // the partial summary did print
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// The final checkpoint resumes to completion.
+	resume := exec.Command(os.Args[0], append(args, "-resume")...)
+	resume.Env = append(os.Environ(), "CARE_SIM_REEXEC=1")
+	var rout bytes.Buffer
+	resume.Stdout = &rout
+	resume.Stderr = &rout
+	if err := resume.Run(); err != nil {
+		t.Fatalf("resume after SIGTERM failed: %v\n%s", err, rout.String())
+	}
+	if !strings.Contains(rout.String(), "aggregate IPC:") {
+		t.Fatalf("resumed run printed no full report:\n%s", rout.String())
+	}
+}
+
+// TestSignalInterruptWithoutCheckpoint covers the same contract with
+// no -checkpoint configured: still a clean stop with partial results,
+// just nothing to resume.
+func TestSignalInterruptWithoutCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a real simulation process")
+	}
+	cmd := exec.Command(os.Args[0],
+		"-workload", "429.mcf", "-cores", "1", "-policy", "lru",
+		"-scale", "64", "-warmup", "5000", "-instr", "2000000")
+	cmd.Env = append(os.Environ(), "CARE_SIM_REEXEC=1")
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Give it a moment to be mid-simulation, then SIGINT.
+	time.Sleep(300 * time.Millisecond)
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 1 {
+		t.Fatalf("interrupted run exited %v, want code 1; output:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "interrupted — partial results follow") {
+		t.Fatalf("no interrupt notice:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "final checkpoint written") {
+		t.Fatalf("claimed a checkpoint that was never configured:\n%s", out.String())
 	}
 }

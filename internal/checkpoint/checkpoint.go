@@ -32,6 +32,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"syscall"
 )
 
 // Magic identifies a checkpoint file; it never changes across
@@ -61,6 +62,11 @@ var (
 	// ErrNotCheckpointable means a live component cannot participate
 	// in checkpointing (e.g. a non-rewindable trace source).
 	ErrNotCheckpointable = errors.New("checkpoint: component not checkpointable")
+	// ErrNoSpace means a checkpoint write failed because the device is
+	// full (ENOSPC). Supervisors treat it as an environmental failure —
+	// worth surfacing loudly and retrying after cleanup — rather than a
+	// corrupt-state failure.
+	ErrNoSpace = errors.New("checkpoint: no space left on device")
 )
 
 // Snapshotter is the common interface stateful components implement.
@@ -251,13 +257,16 @@ func corruptf(path, format string, args ...any) error {
 
 // Save writes a checkpoint file atomically: fn streams frames into a
 // temporary file in path's directory, which is fsynced and renamed
-// over path only on success. The previous file at path survives any
-// failure.
+// over path, and the containing directory is fsynced so the rename
+// itself is durable — a crash immediately after Save returns cannot
+// roll the directory entry back to the old file, let alone a torn
+// one. The previous file at path survives any failure. A full device
+// surfaces as an error wrapping ErrNoSpace.
 func Save(path string, fn func(*Writer) error) (err error) {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
-		return fmt.Errorf("checkpoint: save %s: %w", path, err)
+		return saveErr(path, err)
 	}
 	tmpName := tmp.Name()
 	defer func() {
@@ -269,25 +278,62 @@ func Save(path string, fn func(*Writer) error) (err error) {
 	bw := bufio.NewWriter(tmp)
 	w, err := NewWriter(bw)
 	if err != nil {
-		return fmt.Errorf("checkpoint: save %s: %w", path, err)
+		return saveErr(path, err)
 	}
 	if err = fn(w); err != nil {
+		if noSpace(err) {
+			err = saveErr(path, err)
+		}
 		return err
 	}
 	if err = w.Close(); err != nil {
-		return fmt.Errorf("checkpoint: save %s: %w", path, err)
+		return saveErr(path, err)
 	}
 	if err = bw.Flush(); err != nil {
-		return fmt.Errorf("checkpoint: save %s: %w", path, err)
+		return saveErr(path, err)
 	}
 	if err = tmp.Sync(); err != nil {
-		return fmt.Errorf("checkpoint: save %s: %w", path, err)
+		return saveErr(path, err)
 	}
 	if err = tmp.Close(); err != nil {
-		return fmt.Errorf("checkpoint: save %s: %w", path, err)
+		return saveErr(path, err)
 	}
 	if err = os.Rename(tmpName, path); err != nil {
-		return fmt.Errorf("checkpoint: save %s: %w", path, err)
+		return saveErr(path, err)
+	}
+	if err = syncDir(dir); err != nil {
+		return saveErr(path, err)
+	}
+	return nil
+}
+
+// saveErr wraps a Save failure with its path, surfacing ENOSPC as the
+// typed ErrNoSpace instead of a generic wrap.
+func saveErr(path string, err error) error {
+	if noSpace(err) {
+		return fmt.Errorf("checkpoint: save %s: %w: %v", path, ErrNoSpace, err)
+	}
+	return fmt.Errorf("checkpoint: save %s: %w", path, err)
+}
+
+// noSpace reports whether err is the platform's device-full failure.
+func noSpace(err error) bool { return errors.Is(err, syscall.ENOSPC) }
+
+// syncDir fsyncs a directory so a just-renamed entry in it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		// Some filesystems refuse fsync on directories (EINVAL/ENOTSUP);
+		// the rename still happened, so degrade silently there and only
+		// propagate real I/O failures.
+		if errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) {
+			return nil
+		}
+		return err
 	}
 	return nil
 }

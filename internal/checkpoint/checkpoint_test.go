@@ -8,6 +8,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"syscall"
 	"testing"
 )
 
@@ -197,5 +198,64 @@ func TestAsTypeMismatch(t *testing.T) {
 	_, err := As[int]("not an int", "frame")
 	if !errors.Is(err, ErrMismatch) {
 		t.Fatalf("As on wrong type: got %v, want ErrMismatch", err)
+	}
+}
+
+func TestSaveErrClassifiesENOSPC(t *testing.T) {
+	// A full device anywhere in the write path must surface as the
+	// typed ErrNoSpace, not a generic wrap, so supervisors can tell an
+	// environmental failure from corrupt state.
+	wrapped := &fs.PathError{Op: "write", Path: "x", Err: syscall.ENOSPC}
+	err := saveErr("/tmp/x.ckpt", wrapped)
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("ENOSPC not classified: %v", err)
+	}
+	if errors.Is(saveErr("/tmp/x.ckpt", errors.New("boom")), ErrNoSpace) {
+		t.Fatal("unrelated failure classified as ErrNoSpace")
+	}
+}
+
+func TestSaveENOSPCFromFrameCallback(t *testing.T) {
+	// An ENOSPC raised inside the frame callback (e.g. the buffered
+	// writer flushing mid-frame) is classified too; other callback
+	// errors pass through untouched for errors.Is matching.
+	path := filepath.Join(t.TempDir(), "full.ckpt")
+	full := &fs.PathError{Op: "write", Path: path, Err: syscall.ENOSPC}
+	if err := Save(path, func(w *Writer) error { return full }); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("callback ENOSPC not classified: %v", err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatal("failed Save left a checkpoint behind")
+	}
+}
+
+func TestSaveSyncsDirectory(t *testing.T) {
+	// The durable-rename path (fsync of the containing directory) must
+	// not break ordinary saves or the round trip.
+	path := filepath.Join(t.TempDir(), "sub", "run.ckpt")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	want := testState{N: 42, S: []byte("dir-sync")}
+	if err := Save(path, func(w *Writer) error { return w.Frame("state", want) }); err != nil {
+		t.Fatal(err)
+	}
+	var got testState
+	err := Load(path, func(r *Reader) error {
+		raw, err := r.Frame("state")
+		if err != nil {
+			return err
+		}
+		got, err = As[testState](raw, "state")
+		if err != nil {
+			return err
+		}
+		return r.End()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != want.N || !bytes.Equal(got.S, want.S) {
+		t.Fatalf("round trip mismatch: %+v != %+v", got, want)
 	}
 }

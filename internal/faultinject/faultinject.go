@@ -30,6 +30,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 
 	"care/internal/cache"
 	"care/internal/mem"
@@ -71,6 +72,24 @@ type Config struct {
 	// by the run, 1-based (0 = off). The write itself succeeds; the
 	// damage surfaces as a CRC failure when something tries to resume.
 	CkptCorruptNth uint64
+
+	// ---- server-level crash classes (care-server chaos testing) ----
+
+	// ServerKillAppendNth hard-kills the server process immediately
+	// after its Nth journal append is durable but before the append is
+	// acknowledged or applied to in-memory state, 1-based (0 = off):
+	// the classic crash-between-commit-and-ack window recovery must
+	// close by journal replay.
+	ServerKillAppendNth uint64
+	// ServerTearAppendNth truncates the journal mid-record after its
+	// Nth append and then hard-kills the process, 1-based (0 = off):
+	// a torn write during a crash. Replay must discard the torn tail
+	// and recover everything before it.
+	ServerTearAppendNth uint64
+	// ServerWorkerPanicNth panics the worker executing the Nth job the
+	// server starts, 1-based (0 = off). The pool must contain the
+	// panic, requeue the job, and complete it on a later attempt.
+	ServerWorkerPanicNth uint64
 }
 
 // Enabled reports whether any fault is configured.
@@ -81,14 +100,44 @@ func (c *Config) Enabled() bool {
 	return c.TraceCorruptAfter > 0 || c.TraceFlipEvery > 0 ||
 		c.DRAMDropEvery > 0 || c.DRAMDelayEvery > 0 ||
 		c.MSHRSaturateAt > 0 || c.MetaFlipAt > 0 ||
-		c.KillAtCycle > 0 || c.CkptCorruptNth > 0
+		c.KillAtCycle > 0 || c.CkptCorruptNth > 0 ||
+		c.ServerEnabled()
+}
+
+// ServerEnabled reports whether any server-level crash class is
+// configured. Simulation-level injection ignores these fields, so a
+// spec carrying only server classes does not perturb job results.
+func (c *Config) ServerEnabled() bool {
+	if c == nil {
+		return false
+	}
+	return c.ServerKillAppendNth > 0 || c.ServerTearAppendNth > 0 || c.ServerWorkerPanicNth > 0
+}
+
+// SimOnly returns the configuration with the server-level crash
+// classes cleared: what care-server passes down into each job's
+// simulation (nil when nothing simulation-level remains).
+func (c *Config) SimOnly() *Config {
+	if c == nil {
+		return nil
+	}
+	sim := *c
+	sim.ServerKillAppendNth = 0
+	sim.ServerTearAppendNth = 0
+	sim.ServerWorkerPanicNth = 0
+	if !sim.Enabled() {
+		return nil
+	}
+	return &sim
 }
 
 // ParseSpec builds a Config from a compact comma-separated key=value
 // spec, e.g. "dram-drop=200,seed=7" or
 // "trace-flip=64,meta-flip=5000". Keys: seed, trace-corrupt,
 // trace-flip, dram-drop, dram-delay, dram-delay-cycles,
-// mshr-saturate, meta-flip, kill-at, ckpt-corrupt.
+// mshr-saturate, meta-flip, kill-at, ckpt-corrupt, and the
+// server-level crash classes server-kill-append, journal-tear,
+// worker-panic.
 func ParseSpec(spec string) (Config, error) {
 	var cfg Config
 	for _, field := range strings.Split(spec, ",") {
@@ -125,6 +174,12 @@ func ParseSpec(spec string) (Config, error) {
 			cfg.KillAtCycle = n
 		case "ckpt-corrupt":
 			cfg.CkptCorruptNth = n
+		case "server-kill-append":
+			cfg.ServerKillAppendNth = n
+		case "journal-tear":
+			cfg.ServerTearAppendNth = n
+		case "worker-panic":
+			cfg.ServerWorkerPanicNth = n
 		default:
 			return Config{}, fmt.Errorf("faultinject: unknown fault %q", key)
 		}
@@ -143,6 +198,7 @@ type Stats struct {
 	MetadataFlips        uint64
 	KillsFired           uint64
 	CheckpointsCorrupted uint64
+	WorkerPanics         uint64
 }
 
 // Injector owns the fault state for one simulation. It is not safe
@@ -153,6 +209,11 @@ type Injector struct {
 	stats        Stats
 	killed       bool
 	ckptsWritten uint64
+
+	// Server crash-class state (see server.go); lazily allocated so
+	// simulation-only injectors never pay for it.
+	srvOnce sync.Once
+	srv     *serverState
 }
 
 // New builds an injector for cfg.

@@ -1,0 +1,84 @@
+// Server-level crash classes: deterministic process kills, torn
+// journal writes, and worker panics for care-server's chaos tests.
+// Unlike the simulation faults, these hooks are called from multiple
+// goroutines (HTTP handlers appending to the journal, pool workers
+// starting jobs), so their counters are mutex-guarded.
+package faultinject
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// exitProcess is the process-kill primitive, stubbed in unit tests.
+// Exit code 137 mirrors a SIGKILL death, which is what these faults
+// model.
+var exitProcess = func() {
+	os.Exit(137)
+}
+
+// serverState holds the concurrency-guarded server fault counters; it
+// lives beside the Injector so the simulation hot path never touches
+// a mutex.
+type serverState struct {
+	mu       sync.Mutex
+	appends  uint64
+	jobs     uint64
+	panicked bool
+}
+
+// server lazily allocates the guarded state.
+func (in *Injector) server() *serverState {
+	in.srvOnce.Do(func() { in.srv = &serverState{} })
+	return in.srv
+}
+
+// OnJournalAppend fires the journal crash classes. The caller invokes
+// it after the Nth append is durable (fsynced) but before the append
+// is acknowledged or applied to in-memory state. recStart and recLen
+// locate the just-written record inside f so a torn write can chop it
+// mid-record. When a class fires the process dies here and never
+// returns.
+func (in *Injector) OnJournalAppend(f *os.File, recStart, recLen int64) {
+	if !in.cfg.ServerEnabled() {
+		return
+	}
+	st := in.server()
+	st.mu.Lock()
+	st.appends++
+	n := st.appends
+	st.mu.Unlock()
+	if in.cfg.ServerTearAppendNth > 0 && n == in.cfg.ServerTearAppendNth {
+		// Chop the record in half: the tail bytes of the journal no
+		// longer parse, exactly as a crash mid-write leaves them.
+		fmt.Fprintf(os.Stderr, "faultinject: tearing journal after append %d and killing process\n", n)
+		_ = f.Truncate(recStart + recLen/2)
+		_ = f.Sync()
+		exitProcess()
+	}
+	if in.cfg.ServerKillAppendNth > 0 && n == in.cfg.ServerKillAppendNth {
+		fmt.Fprintf(os.Stderr, "faultinject: killing process after journal append %d (before ack)\n", n)
+		exitProcess()
+	}
+}
+
+// BeginServerJob counts job executions and panics the worker running
+// the Nth one, once. The pool's recover turns it into a requeue.
+func (in *Injector) BeginServerJob() {
+	if in.cfg.ServerWorkerPanicNth == 0 {
+		return
+	}
+	st := in.server()
+	st.mu.Lock()
+	st.jobs++
+	fire := !st.panicked && st.jobs == in.cfg.ServerWorkerPanicNth
+	if fire {
+		st.panicked = true
+		in.stats.WorkerPanics++
+	}
+	st.mu.Unlock()
+	if fire {
+		panic(fmt.Sprintf("faultinject: injected worker panic on job %d", in.cfg.ServerWorkerPanicNth))
+	}
+}

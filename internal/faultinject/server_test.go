@@ -1,0 +1,129 @@
+package faultinject
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// stubExit replaces the process-kill primitive for the duration of a
+// test, recording each firing instead of dying.
+func stubExit(t *testing.T) *int {
+	t.Helper()
+	fired := 0
+	prev := exitProcess
+	exitProcess = func() { fired++ }
+	t.Cleanup(func() { exitProcess = prev })
+	return &fired
+}
+
+func TestParseSpecServerClasses(t *testing.T) {
+	cfg, err := ParseSpec("server-kill-append=3,journal-tear=5,worker-panic=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{ServerKillAppendNth: 3, ServerTearAppendNth: 5, ServerWorkerPanicNth: 2}
+	if cfg != want {
+		t.Fatalf("parsed %+v, want %+v", cfg, want)
+	}
+	if !cfg.Enabled() || !cfg.ServerEnabled() {
+		t.Fatal("server classes must enable the config")
+	}
+	if cfg.SimOnly() != nil {
+		t.Fatal("a server-only config must pass nil down to simulations")
+	}
+}
+
+func TestSimOnlyPreservesSimFaults(t *testing.T) {
+	cfg := &Config{Seed: 9, KillAtCycle: 100, ServerKillAppendNth: 1}
+	sim := cfg.SimOnly()
+	if sim == nil || sim.KillAtCycle != 100 || sim.Seed != 9 {
+		t.Fatalf("SimOnly dropped simulation faults: %+v", sim)
+	}
+	if sim.ServerEnabled() {
+		t.Fatal("SimOnly must clear server classes")
+	}
+	if cfg.ServerKillAppendNth != 1 {
+		t.Fatal("SimOnly must not mutate the original")
+	}
+}
+
+func TestServerKillAppendFiresOnNth(t *testing.T) {
+	fired := stubExit(t)
+	in := New(Config{ServerKillAppendNth: 2})
+	f, err := os.Create(filepath.Join(t.TempDir(), "journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	in.OnJournalAppend(f, 0, 10)
+	if *fired != 0 {
+		t.Fatal("kill fired on first append, want second")
+	}
+	in.OnJournalAppend(f, 10, 10)
+	if *fired != 1 {
+		t.Fatalf("kill fired %d times after second append, want 1", *fired)
+	}
+	in.OnJournalAppend(f, 20, 10)
+	if *fired != 1 {
+		t.Fatal("kill must fire exactly once")
+	}
+}
+
+func TestJournalTearChopsRecordAndKills(t *testing.T) {
+	fired := stubExit(t)
+	path := filepath.Join(t.TempDir(), "journal")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.WriteString("record-one\nrecord-two\n"); err != nil {
+		t.Fatal(err)
+	}
+	in := New(Config{ServerTearAppendNth: 1})
+	// The second record starts at offset 11 and is 11 bytes long.
+	in.OnJournalAppend(f, 11, 11)
+	if *fired != 1 {
+		t.Fatalf("tear fired %d kills, want 1", *fired)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "record-one\nrecor" {
+		t.Fatalf("journal after tear = %q, want first record intact and second torn mid-record", data)
+	}
+}
+
+func TestWorkerPanicFiresOnceOnNthJob(t *testing.T) {
+	in := New(Config{ServerWorkerPanicNth: 2})
+	in.BeginServerJob() // job 1: no panic
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("job 2 should panic")
+			}
+			if !strings.Contains(r.(string), "injected worker panic") {
+				t.Fatalf("unexpected panic value %v", r)
+			}
+		}()
+		in.BeginServerJob()
+	}()
+	in.BeginServerJob() // job 3 (the requeued retry): must run clean
+	if in.Stats().WorkerPanics != 1 {
+		t.Fatalf("WorkerPanics = %d, want 1", in.Stats().WorkerPanics)
+	}
+}
+
+func TestServerHooksNoOpWhenDisabled(t *testing.T) {
+	fired := stubExit(t)
+	in := New(Config{KillAtCycle: 5}) // sim fault only
+	in.OnJournalAppend(nil, 0, 0)
+	in.BeginServerJob()
+	if *fired != 0 {
+		t.Fatal("disabled server hooks must not kill")
+	}
+}

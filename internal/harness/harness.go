@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -83,10 +84,27 @@ type Options struct {
 	// faulted simulation is retried, resuming from its last good
 	// checkpoint when one exists (0 or 1 = no retries).
 	MaxAttempts int
-	// RetryBackoff is the delay before the first retry; it doubles per
-	// attempt up to MaxRetryBackoff (defaults 100ms / 2s).
+	// RetryBackoff is the base delay before the first retry; it doubles
+	// per attempt up to MaxRetryBackoff (defaults 100ms / 2s). The
+	// actual sleep is "equal jitter": at least half the capped delay,
+	// the rest randomised deterministically from RetryJitterSeed so
+	// parallel workers never retry in lockstep yet campaigns replay on
+	// an identical schedule.
 	RetryBackoff    time.Duration
 	MaxRetryBackoff time.Duration
+	// RetryJitterSeed varies the deterministic backoff jitter (0 is a
+	// valid seed; the schedule is always reproducible).
+	RetryJitterSeed uint64
+	// RetryBudget bounds the total wall clock one supervised run may
+	// spend across all attempts and backoff sleeps (0 = unlimited;
+	// only the attempt count caps retries). A run cut short by the
+	// budget fails with an error wrapping ErrRetryBudget.
+	RetryBudget time.Duration
+	// ResumeExisting makes even a run's first attempt resume from its
+	// checkpoint file when one exists. Campaign experiments leave this
+	// off (a fresh campaign starts fresh); care-server sets it so jobs
+	// survive process restarts mid-run.
+	ResumeExisting bool
 	// CheckpointDir, when set, gives every supervised simulation a
 	// checkpoint file under it, written every CheckpointEvery measured
 	// instructions, so retries resume instead of restarting.
@@ -103,9 +121,29 @@ type Options struct {
 	// supervised campaigns and prints its summary.
 	Report *Report
 
+	// TelemetryRegistry, when non-nil, receives every supervised run's
+	// interval series (tagged TelemetryTag + run tag). care-server
+	// shares one registry across jobs and streams it to its sinks;
+	// experiment campaigns instead use the internal registry Run
+	// creates from the Telemetry format options.
+	TelemetryRegistry *telemetry.Registry
+	// TelemetryTag prefixes the series tags of supervised runs (e.g. a
+	// job ID), distinguishing repeated submissions of the same config.
+	TelemetryTag string
+
 	// registry accumulates per-simulation series while the experiment
 	// runs; Run creates it when Telemetry is set.
 	registry *telemetry.Registry
+}
+
+// telemetryRegistry resolves the destination for per-run series: the
+// experiment-scoped registry when one exists, else the caller-shared
+// one (care-server), else nil (telemetry off).
+func (o *Options) telemetryRegistry() *telemetry.Registry {
+	if o.registry != nil {
+		return o.registry
+	}
+	return o.TelemetryRegistry
 }
 
 // supervised reports whether runs go through the retry supervisor.
@@ -442,8 +480,11 @@ func buildTraces(key runKey) ([]trace.Reader, error) {
 // resuming from the checkpoint at resumeFrom. Retry attempts run with
 // crash-class faults disabled: an injected kill or checkpoint
 // corruption models the first execution crashing, and a real re-run
-// would not deterministically re-crash.
-func runAttempt(key runKey, o *Options, ckptPath, resumeFrom string, attempt int) (sim.Result, error) {
+// would not deterministically re-crash. Cancelling ctx interrupts the
+// simulation at its next guard point (writing a final checkpoint when
+// checkpointing is configured) — the same semantics care.Run gives
+// its context, via the same sim.System.WatchContext mechanism.
+func runAttempt(ctx context.Context, key runKey, o *Options, ckptPath, resumeFrom string, attempt int) (sim.Result, error) {
 	traces, err := buildTraces(key)
 	if err != nil {
 		return sim.Result{}, err
@@ -465,28 +506,34 @@ func runAttempt(key runKey, o *Options, ckptPath, resumeFrom string, attempt int
 	// Each concurrently running simulation gets a private collector
 	// and in-memory sink; only the finished, copied series touches the
 	// shared (mutex-guarded) registry, so workers never race.
+	registry := o.telemetryRegistry()
 	var telSink *telemetry.Memory
 	var col *telemetry.Collector
-	if o.registry != nil {
+	if registry != nil {
 		telSink = telemetry.NewMemory()
 		col = telemetry.NewCollector(telemetry.Options{
 			Interval: o.TelemetryInterval,
-			Tag:      key.tag(),
+			Tag:      o.TelemetryTag + key.tag(),
 			Sink:     telSink,
 		})
 		cfg.Telemetry = col
 	}
 
+	s, err := sim.New(cfg, traces)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	defer s.WatchContext(ctx)()
+
 	var r sim.Result
-	switch {
-	case resumeFrom != "":
-		opts := sim.CheckpointOptions{Path: ckptPath, Every: o.checkpointEvery()}
-		r, err = sim.Resume(cfg, traces, key.warmup, key.measure, opts, resumeFrom)
-	case ckptPath != "":
-		opts := sim.CheckpointOptions{Path: ckptPath, Every: o.checkpointEvery()}
-		r, err = sim.RunCheckpointed(cfg, traces, key.warmup, key.measure, opts)
-	default:
-		r, err = sim.Run(cfg, traces, key.warmup, key.measure)
+	schedOpts := sim.CheckpointOptions{}
+	if ckptPath != "" {
+		schedOpts = sim.CheckpointOptions{Path: ckptPath, Every: o.checkpointEvery()}
+	}
+	if resumeFrom != "" {
+		r, err = s.ResumeSchedule(key.warmup, key.measure, schedOpts, resumeFrom)
+	} else {
+		r, err = s.RunSchedule(key.warmup, key.measure, schedOpts)
 	}
 	if err != nil {
 		return sim.Result{}, err
@@ -495,9 +542,9 @@ func runAttempt(key runKey, o *Options, ckptPath, resumeFrom string, attempt int
 		if resumeFrom != "" {
 			// The fresh sink only saw post-resume intervals; the
 			// restored ring holds the full retained series.
-			o.registry.Add(col.Meta(), col.Series())
+			registry.Add(col.Meta(), col.Series())
 		} else {
-			o.registry.Add(col.Meta(), telSink.Intervals())
+			registry.Add(col.Meta(), telSink.Intervals())
 		}
 	}
 	return r, nil
@@ -509,7 +556,7 @@ func runAttempt(key runKey, o *Options, ckptPath, resumeFrom string, attempt int
 // several experiments share them.
 func runSim(key runKey, o *Options) (sim.Result, error) {
 	if o.supervised() {
-		return o.superviseSim(key)
+		return o.superviseSim(context.Background(), key)
 	}
 	memoMu.Lock()
 	if r, ok := memo[key]; ok {
@@ -518,7 +565,7 @@ func runSim(key runKey, o *Options) (sim.Result, error) {
 	}
 	memoMu.Unlock()
 
-	r, err := runAttempt(key, o, "", "", 1)
+	r, err := runAttempt(context.Background(), key, o, "", "", 1)
 	if err != nil {
 		return sim.Result{}, err
 	}

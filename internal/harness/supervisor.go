@@ -5,8 +5,10 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -16,8 +18,103 @@ import (
 	"time"
 
 	"care/internal/checkpoint"
+	"care/internal/policy"
 	"care/internal/sim"
 )
+
+// ErrRetryBudget marks a run whose retries were cut short because the
+// per-run wall-clock budget (Options.RetryBudget) ran out before the
+// attempt budget did.
+var ErrRetryBudget = errors.New("harness: retry wall-clock budget exhausted")
+
+// RunSpec publicly identifies one supervised simulation for external
+// drivers (care-server submits jobs as RunSpecs). It mirrors the
+// internal run key the experiments use, so a job and an experiment
+// describing the same run execute identically.
+type RunSpec struct {
+	// Kind is "spec" (synthetic SPEC-like workload) or "gap"
+	// (kernel-dataset, e.g. "bfs-or").
+	Kind string
+	// Workload names the trace source.
+	Workload string
+	// Scheme is the LLC replacement policy name.
+	Scheme string
+	// Cores is the simulated core count.
+	Cores int
+	// Prefetch enables the paper's L1/L2 prefetcher pairing.
+	Prefetch bool
+	// Scale is the cache scale divisor (1 = paper-size hierarchy).
+	Scale int
+	// Warmup and Measure are per-core instruction budgets.
+	Warmup, Measure uint64
+	// GAPRecords caps GAP kernel traces (0 = the harness default).
+	GAPRecords int
+}
+
+// Validate rejects malformed specs up front with typed errors, so a
+// bad job submission fails at the API boundary rather than inside a
+// worker.
+func (r *RunSpec) Validate() error {
+	switch r.Kind {
+	case "spec", "gap":
+	default:
+		return fmt.Errorf("harness: run kind %q (want \"spec\" or \"gap\")", r.Kind)
+	}
+	if r.Workload == "" {
+		return errors.New("harness: run spec needs a workload")
+	}
+	if _, err := policy.Parse(r.Scheme); err != nil {
+		return err
+	}
+	if r.Cores < 1 {
+		return fmt.Errorf("harness: run spec needs at least one core, got %d", r.Cores)
+	}
+	if r.Measure == 0 {
+		return errors.New("harness: run spec needs a measure budget")
+	}
+	return nil
+}
+
+// Tag renders the run identity (workload/scheme/cores) used for
+// telemetry series and checkpoint file names.
+func (r *RunSpec) Tag() string { return r.key().tag() }
+
+// key converts the public spec to the internal run key.
+func (r *RunSpec) key() runKey {
+	scale := r.Scale
+	if scale < 1 {
+		scale = 1
+	}
+	gapRecs := r.GAPRecords
+	if gapRecs <= 0 {
+		gapRecs = 250_000
+	}
+	return runKey{
+		kind:     r.Kind,
+		workload: r.Workload,
+		scheme:   r.Scheme,
+		cores:    r.Cores,
+		prefetch: r.Prefetch,
+		scale:    scale,
+		warmup:   r.Warmup,
+		measure:  r.Measure,
+		gapRecs:  gapRecs,
+	}
+}
+
+// Supervise runs one simulation under the options' retry policy —
+// capped, jittered backoff; checkpoint resume with fallback; attempt
+// and wall-clock budgets — exactly as experiment campaigns do.
+// Cancelling ctx interrupts the running simulation (after a final
+// checkpoint write when checkpointing is configured) and stops
+// retrying; the returned error then wraps sim.ErrInterrupted and the
+// context's error. This is the entry point care-server workers drive.
+func (o *Options) Supervise(ctx context.Context, spec RunSpec) (sim.Result, error) {
+	if err := spec.Validate(); err != nil {
+		return sim.Result{}, err
+	}
+	return o.superviseSim(ctx, spec.key())
+}
 
 // SimError attaches the simulation's identity to a failure so a
 // campaign summary names every failed run with enough context to
@@ -160,14 +257,45 @@ func badCheckpoint(err error) bool {
 		errors.Is(err, fs.ErrNotExist)
 }
 
+// retryDelay computes the jittered backoff before retry attempt n
+// (n >= 2): the base delay doubles per attempt and is capped at
+// maxBackoff, then "equal jitter" keeps at least half of it and
+// randomises the rest so parallel workers retrying simultaneously
+// (e.g. after a shared-resource hiccup) do not stampede in lockstep.
+// The jitter is a pure function of (tag, attempt, seed), so a given
+// campaign configuration retries on an identical schedule every run —
+// chaos tests stay deterministic.
+func retryDelay(tag string, attempt int, backoff, maxBackoff time.Duration, seed uint64) time.Duration {
+	d := backoff
+	for i := 2; i < attempt; i++ {
+		d *= 2
+		if d >= maxBackoff {
+			d = maxBackoff
+			break
+		}
+	}
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d/%d", tag, attempt, seed)
+	frac := float64(h.Sum64()%(1<<20)) / (1 << 20) // [0, 1)
+	half := d / 2
+	return half + time.Duration(frac*float64(d-half))
+}
+
 // superviseSim runs one simulation under the retry policy: failed
-// attempts are retried after capped exponential backoff, resuming
-// from the newest usable checkpoint (falling back from the live file
-// to its rotated predecessor to a from-scratch restart when restores
-// are refused). A run that exhausts its attempts is recorded as
-// dropped and its last error returned with full context; the rest of
-// the campaign keeps running.
-func (o *Options) superviseSim(key runKey) (sim.Result, error) {
+// attempts are retried after capped exponential backoff with
+// deterministic jitter, resuming from the newest usable checkpoint
+// (falling back from the live file to its rotated predecessor to a
+// from-scratch restart when restores are refused). Retries stop when
+// the attempt budget, the wall-clock RetryBudget, or ctx runs out. A
+// run that exhausts its budgets is recorded as dropped and its last
+// error returned with full context; the rest of the campaign keeps
+// running. A ctx cancellation is not a drop: the interrupted run's
+// error returns directly (wrapping sim.ErrInterrupted) and no outcome
+// is recorded, because the caller requeues or resumes it.
+func (o *Options) superviseSim(ctx context.Context, key runKey) (sim.Result, error) {
 	maxAttempts := o.MaxAttempts
 	if maxAttempts < 1 {
 		maxAttempts = 1
@@ -181,6 +309,7 @@ func (o *Options) superviseSim(key runKey) (sim.Result, error) {
 		maxBackoff = 2 * time.Second
 	}
 	ckptPath := o.checkpointPath(key)
+	start := time.Now()
 
 	var seed uint64
 	if key.kind == "spec" {
@@ -195,13 +324,17 @@ func (o *Options) superviseSim(key runKey) (sim.Result, error) {
 			if Interrupted() {
 				break
 			}
-			time.Sleep(backoff)
-			if backoff *= 2; backoff > maxBackoff {
-				backoff = maxBackoff
+			delay := retryDelay(oc.Tag, attempt, backoff, maxBackoff, o.RetryJitterSeed)
+			if o.RetryBudget > 0 && time.Since(start)+delay > o.RetryBudget {
+				lastErr = errors.Join(ErrRetryBudget, lastErr)
+				break
+			}
+			if !sleepCtx(ctx, delay) {
+				break
 			}
 		}
 		oc.Attempts = attempt
-		r, resumed, err := o.attemptWithFallback(key, ckptPath, attempt)
+		r, resumed, err := o.attemptWithFallback(ctx, key, ckptPath, attempt)
 		oc.Resumed += resumed
 		if err == nil {
 			oc.Completed = true
@@ -209,6 +342,16 @@ func (o *Options) superviseSim(key runKey) (sim.Result, error) {
 			return r, nil
 		}
 		lastErr = err
+		if errors.Is(err, sim.ErrInterrupted) && ctx.Err() != nil {
+			// Cancelled mid-run: the final checkpoint (when configured)
+			// is already on disk; hand the interruption straight back.
+			return r, errors.Join(err, ctx.Err())
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		// Cancelled while sleeping between attempts: the run is not
+		// dropped (the caller requeues it), so no outcome is recorded.
+		return sim.Result{}, errors.Join(sim.ErrInterrupted, err, lastErr)
 	}
 	oc.Err = lastErr
 	o.Report.add(oc)
@@ -222,18 +365,37 @@ func (o *Options) superviseSim(key runKey) (sim.Result, error) {
 	}
 }
 
+// sleepCtx sleeps for d unless ctx is cancelled first; it reports
+// whether the full sleep completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
 // attemptWithFallback makes one attempt, resuming from the newest
 // usable checkpoint. Unusable checkpoints (corrupt, truncated,
 // mismatched) cascade: live file, rotated predecessor, fresh start.
-// It returns how many resume attempts actually restored state.
-func (o *Options) attemptWithFallback(key runKey, ckptPath string, attempt int) (sim.Result, int, error) {
+// First attempts resume too when ResumeExisting is set (care-server
+// restarting after a crash continues drained or killed jobs from
+// their last checkpoint instead of starting over). It returns how
+// many resume attempts actually restored state.
+func (o *Options) attemptWithFallback(ctx context.Context, key runKey, ckptPath string, attempt int) (sim.Result, int, error) {
 	resumed := 0
-	if attempt > 1 && ckptPath != "" {
+	if (attempt > 1 || o.ResumeExisting) && ckptPath != "" {
 		for _, from := range []string{ckptPath, sim.RotatedPath(ckptPath)} {
 			if _, err := os.Stat(from); err != nil {
 				continue
 			}
-			r, err := runAttempt(key, o, ckptPath, from, attempt)
+			r, err := runAttempt(ctx, key, o, ckptPath, from, attempt)
 			if err == nil {
 				return r, 1, nil
 			}
@@ -244,6 +406,6 @@ func (o *Options) attemptWithFallback(key runKey, ckptPath string, attempt int) 
 			return sim.Result{}, 1, err
 		}
 	}
-	r, err := runAttempt(key, o, ckptPath, "", attempt)
+	r, err := runAttempt(ctx, key, o, ckptPath, "", attempt)
 	return r, resumed, err
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -79,7 +80,7 @@ func TestSupervisorChaosRecovery(t *testing.T) {
 	// Baseline: same schedule, no faults, supervised (so the checkpoint
 	// quiesce schedule matches the chaos run's).
 	base := supervisedOpts(t, t.TempDir())
-	want, err := base.superviseSim(key)
+	want, err := base.superviseSim(context.Background(), key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestSupervisorChaosRecovery(t *testing.T) {
 	chaos := supervisedOpts(t, t.TempDir())
 	chaos.MaxAttempts = 3
 	chaos.Faults = &faultinject.Config{Seed: 11, KillAtCycle: killAt, CkptCorruptNth: 2}
-	got, err := chaos.superviseSim(key)
+	got, err := chaos.superviseSim(context.Background(), key)
 	if err != nil {
 		t.Fatalf("chaos run did not recover: %v", err)
 	}
@@ -120,7 +121,7 @@ func TestSupervisorChaosRecovery(t *testing.T) {
 func TestAttemptFallbackSkipsCorruptCheckpoint(t *testing.T) {
 	key := chaosKey()
 	o := supervisedOpts(t, t.TempDir())
-	want, err := o.superviseSim(key)
+	want, err := o.superviseSim(context.Background(), key)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestAttemptFallbackSkipsCorruptCheckpoint(t *testing.T) {
 	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	got, resumed, err := o.attemptWithFallback(key, path, 2)
+	got, resumed, err := o.attemptWithFallback(context.Background(), key, path, 2)
 	if err != nil {
 		t.Fatalf("fallback attempt failed: %v", err)
 	}
@@ -155,7 +156,7 @@ func TestSupervisorDropsAndReports(t *testing.T) {
 	// Kill during warmup: no checkpoint exists yet and no retries are
 	// budgeted, so the run must be dropped.
 	o.Faults = &faultinject.Config{Seed: 5, KillAtCycle: 2000}
-	_, err := o.superviseSim(key)
+	_, err := o.superviseSim(context.Background(), key)
 	var se *SimError
 	if !errors.As(err, &se) {
 		t.Fatalf("dropped run returned %T (%v), want *SimError", err, err)
@@ -182,14 +183,14 @@ func TestSupervisorDropsAndReports(t *testing.T) {
 func TestSupervisorRestartsWithoutCheckpoint(t *testing.T) {
 	key := chaosKey()
 	base := supervisedOpts(t, t.TempDir())
-	want, err := base.superviseSim(key)
+	want, err := base.superviseSim(context.Background(), key)
 	if err != nil {
 		t.Fatal(err)
 	}
 	o := supervisedOpts(t, t.TempDir())
 	o.MaxAttempts = 2
 	o.Faults = &faultinject.Config{Seed: 5, KillAtCycle: 2000}
-	got, err := o.superviseSim(key)
+	got, err := o.superviseSim(context.Background(), key)
 	if err != nil {
 		t.Fatalf("retry from scratch failed: %v", err)
 	}

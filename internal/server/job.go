@@ -1,0 +1,188 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"care/internal/faultinject"
+	"care/internal/harness"
+	"care/internal/sim"
+)
+
+// Job states. A job is born pending, moves to running when a worker
+// claims it, and ends in exactly one terminal state. requeue (crash,
+// drain, or worker panic) moves running back to pending.
+const (
+	StatePending   = "pending"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// JobSpec describes one simulation job as submitted over the API. It
+// maps one-to-one onto harness.RunSpec plus the per-job supervision
+// knobs (retries, timeout, checkpoint period, fault spec).
+type JobSpec struct {
+	// Kind is "spec" or "gap".
+	Kind string `json:"kind"`
+	// Workload names the trace source (e.g. "429.mcf", "bfs-or").
+	Workload string `json:"workload"`
+	// Policy is the LLC replacement policy name (e.g. "care", "lru").
+	Policy string `json:"policy"`
+	// Cores is the simulated core count.
+	Cores int `json:"cores"`
+	// Prefetch enables the paper's prefetcher pairing.
+	Prefetch bool `json:"prefetch,omitempty"`
+	// Scale divides the hierarchy (0 = 1, the paper-size caches).
+	Scale int `json:"scale,omitempty"`
+	// Warmup and Measure are per-core instruction budgets.
+	Warmup  uint64 `json:"warmup,omitempty"`
+	Measure uint64 `json:"measure"`
+	// GAPRecords caps GAP kernel traces (0 = harness default).
+	GAPRecords int `json:"gap_records,omitempty"`
+	// CheckpointEvery is the measured-instruction checkpoint period
+	// (0 = a quarter of Measure). The result of a job depends on this
+	// schedule, so reproducing a job's bytes requires the same value.
+	CheckpointEvery uint64 `json:"checkpoint_every,omitempty"`
+	// Retries is the in-worker retry budget per execution
+	// (harness MaxAttempts = Retries+1).
+	Retries int `json:"retries,omitempty"`
+	// TimeoutSec bounds one execution's wall clock (0 = unlimited).
+	TimeoutSec int `json:"timeout_sec,omitempty"`
+	// Faults is a faultinject spec applied inside the job's
+	// simulation (chaos testing; "" = none).
+	Faults string `json:"faults,omitempty"`
+}
+
+// Validate rejects malformed specs at the API boundary.
+func (s *JobSpec) Validate() error {
+	rs := s.RunSpec()
+	if err := rs.Validate(); err != nil {
+		return err
+	}
+	if s.Retries < 0 {
+		return fmt.Errorf("server: negative retry budget %d", s.Retries)
+	}
+	if s.TimeoutSec < 0 {
+		return fmt.Errorf("server: negative timeout %d", s.TimeoutSec)
+	}
+	if s.Faults != "" {
+		if _, err := faultinject.ParseSpec(s.Faults); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunSpec converts the job spec to the harness's public run identity.
+func (s *JobSpec) RunSpec() harness.RunSpec {
+	return harness.RunSpec{
+		Kind:       s.Kind,
+		Workload:   s.Workload,
+		Scheme:     s.Policy,
+		Cores:      s.Cores,
+		Prefetch:   s.Prefetch,
+		Scale:      s.Scale,
+		Warmup:     s.Warmup,
+		Measure:    s.Measure,
+		GAPRecords: s.GAPRecords,
+	}
+}
+
+// Timeout returns the per-execution deadline, or 0 for none.
+func (s *JobSpec) Timeout() time.Duration {
+	return time.Duration(s.TimeoutSec) * time.Second
+}
+
+// MarshalResult renders a simulation result as the canonical bytes
+// stored in the journal and served by the API. Chaos tests compare
+// these bytes against an unsupervised run's, so the encoding must be
+// deterministic (encoding/json is, for a fixed struct).
+func MarshalResult(r sim.Result) (json.RawMessage, error) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("server: encode result: %w", err)
+	}
+	return b, nil
+}
+
+// Job is the in-memory view of one submitted job: pure replayed
+// journal state plus scheduling bookkeeping.
+type Job struct {
+	// ID is the server-assigned job identifier ("j000001", ...).
+	ID string `json:"id"`
+	// Spec is the submitted job description.
+	Spec JobSpec `json:"spec"`
+	// State is one of the State* constants.
+	State string `json:"state"`
+	// Attempts counts server-level executions: how many times a worker
+	// claimed this job (crash/requeue increments it; in-worker harness
+	// retries do not).
+	Attempts int `json:"attempts"`
+	// Result is the canonical result JSON (terminal done state only).
+	Result json.RawMessage `json:"result,omitempty"`
+	// Error is the failure reason (terminal failed state, and the last
+	// requeue reason while pending again).
+	Error string `json:"error,omitempty"`
+	// Seq is the journal sequence of the job's latest transition.
+	Seq uint64 `json:"seq"`
+}
+
+// Terminal reports whether the job has reached a final state.
+func (jb *Job) Terminal() bool {
+	switch jb.State {
+	case StateDone, StateFailed, StateCancelled:
+		return true
+	}
+	return false
+}
+
+// apply folds one journal event into the job, enforcing the exactly-
+// once invariant: a terminal job never transitions again.
+func (jb *Job) apply(ev Event) error {
+	if jb.Terminal() {
+		return fmt.Errorf("server: job %s is %s; event %q violates exactly-once", jb.ID, jb.State, ev.Op)
+	}
+	switch ev.Op {
+	case opStart:
+		jb.State = StateRunning
+		jb.Attempts = ev.Attempt
+	case opRequeue:
+		jb.State = StatePending
+		jb.Error = ev.Error
+	case opComplete:
+		jb.State = StateDone
+		jb.Result = ev.Result
+		jb.Error = ""
+	case opFail:
+		jb.State = StateFailed
+		jb.Error = ev.Error
+	case opCancel:
+		jb.State = StateCancelled
+	default:
+		return fmt.Errorf("server: unknown journal op %q", ev.Op)
+	}
+	jb.Seq = ev.Seq
+	return nil
+}
+
+// Journal ops (Event.Op values).
+const (
+	opSubmit   = "submit"
+	opStart    = "start"
+	opRequeue  = "requeue"
+	opComplete = "complete"
+	opFail     = "fail"
+	opCancel   = "cancel"
+)
+
+// ErrUnknownJob is returned for lookups and transitions on job IDs
+// the journal has never seen.
+var ErrUnknownJob = errors.New("server: unknown job")
+
+// ErrBadTransition is returned when an API call asks for a transition
+// the job's current state does not allow (e.g. cancelling a done job).
+var ErrBadTransition = errors.New("server: invalid job transition")

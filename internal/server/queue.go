@@ -1,0 +1,296 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"care/internal/faultinject"
+)
+
+// Queue is the durable job queue: an in-memory state machine whose
+// every transition is committed to the journal *before* it is applied
+// (write-ahead). Reconstructing a Queue from the journal therefore
+// always reproduces the committed state at the moment of a crash —
+// minus transitions that never committed, which is exactly the window
+// the checkpoint/resume layer closes into exactly-once execution.
+type Queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	jnl    *Journal
+	jobs   map[string]*Job
+	order  []string // submission order, for listings
+	ready  []string // FIFO of claimable pending job IDs
+	nextID uint64
+	closed bool
+}
+
+// OpenQueue opens the journal at path and replays it into a queue.
+// Jobs that were running when the previous process died have a start
+// event with no terminal event after it; replay moves them back to
+// pending (an implicit requeue) so a worker re-claims them and
+// resumes from their checkpoints. inj may be nil; when set, its
+// server crash classes fire inside journal appends.
+func OpenQueue(journalPath string, inj *faultinject.Injector) (*Queue, error) {
+	jnl, events, err := OpenJournal(journalPath, inj)
+	if err != nil {
+		return nil, err
+	}
+	q := &Queue{jnl: jnl, jobs: make(map[string]*Job)}
+	q.cond = sync.NewCond(&q.mu)
+	for _, ev := range events {
+		if ev.Op == opSubmit {
+			if ev.Spec == nil {
+				jnl.Close()
+				return nil, fmt.Errorf("%w: submit event %d has no spec", ErrJournalCorrupt, ev.Seq)
+			}
+			q.jobs[ev.Job] = &Job{ID: ev.Job, Spec: *ev.Spec, State: StatePending, Seq: ev.Seq}
+			q.order = append(q.order, ev.Job)
+			if n := parseJobID(ev.Job); n > q.nextID {
+				q.nextID = n
+			}
+			continue
+		}
+		jb, ok := q.jobs[ev.Job]
+		if !ok {
+			jnl.Close()
+			return nil, fmt.Errorf("%w: event %d for unsubmitted job %s", ErrJournalCorrupt, ev.Seq, ev.Job)
+		}
+		if err := jb.apply(ev); err != nil {
+			jnl.Close()
+			return nil, err
+		}
+	}
+	// Crash recovery: re-pend interrupted jobs and rebuild the ready
+	// FIFO in submission order.
+	for _, id := range q.order {
+		jb := q.jobs[id]
+		if jb.State == StateRunning {
+			jb.State = StatePending
+			jb.Error = "requeued: server restarted mid-run"
+		}
+		if jb.State == StatePending {
+			q.ready = append(q.ready, id)
+		}
+	}
+	return q, nil
+}
+
+// parseJobID extracts the numeric part of a "jNNNNNN" job ID (0 if it
+// does not parse — replay then just never reuses low IDs).
+func parseJobID(id string) uint64 {
+	n, _ := strconv.ParseUint(strings.TrimPrefix(id, "j"), 10, 64)
+	return n
+}
+
+// commit journals ev and then applies it to jb. The append is the
+// commit point; if it kills the process (chaos) or fails, the
+// in-memory state is untouched. Callers hold q.mu.
+func (q *Queue) commit(jb *Job, ev Event) error {
+	if err := q.jnl.Append(&ev); err != nil {
+		return err
+	}
+	return jb.apply(ev)
+}
+
+// Submit validates the spec, assigns an ID, commits the submission,
+// and makes the job claimable. It returns the new job.
+func (q *Queue) Submit(spec JobSpec) (Job, error) {
+	if err := spec.Validate(); err != nil {
+		return Job{}, err
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return Job{}, fmt.Errorf("server: queue is shut down")
+	}
+	q.nextID++
+	id := fmt.Sprintf("j%06d", q.nextID)
+	ev := Event{Op: opSubmit, Job: id, Spec: &spec}
+	if err := q.jnl.Append(&ev); err != nil {
+		q.nextID--
+		return Job{}, err
+	}
+	jb := &Job{ID: id, Spec: spec, State: StatePending, Seq: ev.Seq}
+	q.jobs[id] = jb
+	q.order = append(q.order, id)
+	q.ready = append(q.ready, id)
+	q.cond.Broadcast()
+	return *jb, nil
+}
+
+// Claim blocks until a pending job is available (or the queue is
+// closed), commits its start event, and returns it for execution.
+// The second return is false when the queue has shut down.
+func (q *Queue) Claim() (Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		// closed wins over ready: a drain requeues running jobs, and
+		// the draining workers must not immediately re-claim them.
+		if q.closed {
+			return Job{}, false
+		}
+		for len(q.ready) > 0 {
+			id := q.ready[0]
+			q.ready = q.ready[1:]
+			jb := q.jobs[id]
+			if jb.State != StatePending {
+				continue // cancelled while queued
+			}
+			ev := Event{Op: opStart, Job: id, Attempt: jb.Attempts + 1}
+			if err := q.commit(jb, ev); err != nil {
+				// The start never committed; leave the job pending and
+				// surface the journal failure to whoever shuts us down.
+				q.ready = append([]string{id}, q.ready...)
+				q.closed = true
+				q.cond.Broadcast()
+				return Job{}, false
+			}
+			return *jb, true
+		}
+		if q.closed {
+			return Job{}, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// Complete commits the job's canonical result. This append is THE
+// exactly-once commit point: a crash before it reruns the job (from
+// its checkpoint, deterministically); a crash after it replays as
+// done and the job never runs again.
+func (q *Queue) Complete(id string, result []byte) error {
+	return q.transition(id, StateRunning, Event{Op: opComplete, Job: id, Result: result})
+}
+
+// Fail commits a permanent failure (retry budgets exhausted, or the
+// spec turned out to be unrunnable).
+func (q *Queue) Fail(id string, reason string) error {
+	return q.transition(id, StateRunning, Event{Op: opFail, Job: id, Error: reason})
+}
+
+// Requeue commits a running job back to pending (drain, worker panic,
+// injected crash) so a later claim resumes it.
+func (q *Queue) Requeue(id string, reason string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	jb, ok := q.jobs[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	if jb.State != StateRunning {
+		return fmt.Errorf("%w: requeue of %s job %s", ErrBadTransition, jb.State, id)
+	}
+	if err := q.commit(jb, Event{Op: opRequeue, Job: id, Error: reason}); err != nil {
+		return err
+	}
+	q.ready = append(q.ready, id)
+	q.cond.Broadcast()
+	return nil
+}
+
+// Cancel commits a pending job to cancelled. Cancelling a running job
+// is coordinated by the pool (which interrupts the worker first and
+// then commits); the queue only handles the queued case.
+func (q *Queue) Cancel(id string) error {
+	return q.transition(id, StatePending, Event{Op: opCancel, Job: id})
+}
+
+// CancelRunning commits the cancel event for a job the pool has
+// already interrupted.
+func (q *Queue) CancelRunning(id string) error {
+	return q.transition(id, StateRunning, Event{Op: opCancel, Job: id})
+}
+
+// transition commits ev provided the job currently sits in want.
+func (q *Queue) transition(id, want string, ev Event) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	jb, ok := q.jobs[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	if jb.State != want {
+		return fmt.Errorf("%w: %s of %s job %s", ErrBadTransition, ev.Op, jb.State, id)
+	}
+	return q.commit(jb, ev)
+}
+
+// Get returns a copy of the job.
+func (q *Queue) Get(id string) (Job, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	jb, ok := q.jobs[id]
+	if !ok {
+		return Job{}, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	return *jb, nil
+}
+
+// Jobs returns copies of every job in submission order.
+func (q *Queue) Jobs() []Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Job, 0, len(q.order))
+	for _, id := range q.order {
+		out = append(out, *q.jobs[id])
+	}
+	return out
+}
+
+// Depth returns the number of claimable pending jobs.
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, id := range q.ready {
+		if q.jobs[id].State == StatePending {
+			n++
+		}
+	}
+	return n
+}
+
+// Counts returns the number of jobs in each state.
+func (q *Queue) Counts() map[string]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	counts := make(map[string]int)
+	for _, jb := range q.jobs {
+		counts[jb.State]++
+	}
+	return counts
+}
+
+// Seq returns the journal's last committed sequence number.
+func (q *Queue) Seq() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.jnl.Seq()
+}
+
+// Stop ends claiming: blocked Claim calls return false and workers
+// wind down. The journal stays open so in-flight jobs can still
+// commit their requeue/complete events while draining.
+func (q *Queue) Stop() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// Close stops claims and closes the journal. Call only after every
+// in-flight job has committed its final transition.
+func (q *Queue) Close() error {
+	q.Stop()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.jnl == nil {
+		return nil
+	}
+	err := q.jnl.Close()
+	q.jnl = nil
+	return err
+}

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+func testSpec() JobSpec {
+	return JobSpec{Kind: "spec", Workload: "429.mcf", Policy: "care", Cores: 1, Warmup: 100, Measure: 1000}
+}
+
+func openTestQueue(t *testing.T, path string) *Queue {
+	t.Helper()
+	q, err := OpenQueue(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { q.Close() })
+	q.jnl.nosync = true
+	return q
+}
+
+func TestQueueSubmitClaimComplete(t *testing.T) {
+	q := openTestQueue(t, filepath.Join(t.TempDir(), "journal"))
+	jb, err := q.Submit(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jb.ID != "j000001" || jb.State != StatePending {
+		t.Fatalf("submitted job = %+v", jb)
+	}
+	claimed, ok := q.Claim()
+	if !ok || claimed.ID != jb.ID || claimed.State != StateRunning || claimed.Attempts != 1 {
+		t.Fatalf("claimed = %+v ok=%v", claimed, ok)
+	}
+	if err := q.Complete(jb.ID, []byte(`{"ok":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := q.Get(jb.ID)
+	if err != nil || got.State != StateDone || string(got.Result) != `{"ok":true}` {
+		t.Fatalf("completed job = %+v err=%v", got, err)
+	}
+	// Exactly-once: no further transitions are accepted.
+	if err := q.Complete(jb.ID, nil); !errors.Is(err, ErrBadTransition) {
+		t.Fatalf("double complete returned %v, want ErrBadTransition", err)
+	}
+}
+
+func TestQueueRejectsInvalidSpec(t *testing.T) {
+	q := openTestQueue(t, filepath.Join(t.TempDir(), "journal"))
+	bad := testSpec()
+	bad.Policy = "no-such-policy"
+	if _, err := q.Submit(bad); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	if n := len(q.Jobs()); n != 0 {
+		t.Fatalf("rejected submit left %d jobs", n)
+	}
+}
+
+func TestQueueReplayRestoresState(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	q := openTestQueue(t, path)
+	a, _ := q.Submit(testSpec())
+	b, _ := q.Submit(testSpec())
+	c, _ := q.Submit(testSpec())
+	ca, _ := q.Claim() // a starts
+	if ca.ID != a.ID {
+		t.Fatalf("claimed %s, want %s", ca.ID, a.ID)
+	}
+	if err := q.Complete(a.ID, []byte(`{"r":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	q.Claim() // b starts and is left running (simulated crash)
+	if err := q.Cancel(c.ID); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+
+	q2 := openTestQueue(t, path)
+	ga, _ := q2.Get(a.ID)
+	gb, _ := q2.Get(b.ID)
+	gc, _ := q2.Get(c.ID)
+	if ga.State != StateDone || string(ga.Result) != `{"r":1}` {
+		t.Fatalf("job a after replay = %+v", ga)
+	}
+	if gb.State != StatePending {
+		t.Fatalf("crashed-running job b replayed as %s, want pending (implicit requeue)", gb.State)
+	}
+	if gc.State != StateCancelled {
+		t.Fatalf("job c after replay = %+v", gc)
+	}
+	// The interrupted job is claimable again, with the attempt counter
+	// advancing past the crashed execution.
+	rb, ok := q2.Claim()
+	if !ok || rb.ID != b.ID || rb.Attempts != 2 {
+		t.Fatalf("reclaim after replay = %+v ok=%v", rb, ok)
+	}
+	// ID assignment continues past replayed jobs.
+	d, err := q2.Submit(testSpec())
+	if err != nil || d.ID != "j000004" {
+		t.Fatalf("post-replay submit = %+v err=%v", d, err)
+	}
+}
+
+func TestQueueRequeueMakesJobClaimable(t *testing.T) {
+	q := openTestQueue(t, filepath.Join(t.TempDir(), "journal"))
+	jb, _ := q.Submit(testSpec())
+	q.Claim()
+	if err := q.Requeue(jb.ID, "drained"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := q.Get(jb.ID)
+	if got.State != StatePending || got.Error != "drained" {
+		t.Fatalf("requeued job = %+v", got)
+	}
+	re, ok := q.Claim()
+	if !ok || re.ID != jb.ID || re.Attempts != 2 {
+		t.Fatalf("re-claim = %+v ok=%v", re, ok)
+	}
+}
+
+func TestQueueClaimUnblocksOnClose(t *testing.T) {
+	q := openTestQueue(t, filepath.Join(t.TempDir(), "journal"))
+	done := make(chan bool)
+	go func() {
+		_, ok := q.Claim()
+		done <- ok
+	}()
+	q.Close()
+	if ok := <-done; ok {
+		t.Fatal("Claim returned a job from a closed empty queue")
+	}
+}
+
+func TestQueueCancelSkipsClaim(t *testing.T) {
+	q := openTestQueue(t, filepath.Join(t.TempDir(), "journal"))
+	a, _ := q.Submit(testSpec())
+	b, _ := q.Submit(testSpec())
+	if err := q.Cancel(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := q.Claim()
+	if !ok || got.ID != b.ID {
+		t.Fatalf("claim after cancel = %+v ok=%v, want %s", got, ok, b.ID)
+	}
+	if q.Depth() != 0 {
+		t.Fatalf("depth = %d, want 0", q.Depth())
+	}
+}

@@ -1,0 +1,392 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"care/internal/faultinject"
+	"care/internal/harness"
+	"care/internal/telemetry"
+)
+
+// Config configures a care-server instance.
+type Config struct {
+	// Addr is the listen address (e.g. "127.0.0.1:7777"; ":0" picks a
+	// free port — read it back with Addr()).
+	Addr string
+	// DataDir holds the journal, per-job checkpoint directories, and
+	// the telemetry stream. It is created if absent.
+	DataDir string
+	// Workers is the worker-pool size (0 = 2).
+	Workers int
+	// Faults configures fault injection: the server-level crash
+	// classes act on this process (chaos testing); the simulation
+	// classes are passed into every job.
+	Faults *faultinject.Config
+	// DrainTimeout bounds a graceful shutdown's wait for running jobs
+	// to reach their next checkpoint (0 = 30s).
+	DrainTimeout time.Duration
+	// NoSync skips journal fsyncs (unit tests only).
+	NoSync bool
+}
+
+// Server is the care-server daemon: an HTTP API over a durable job
+// queue and a checkpoint-supervised worker pool.
+type Server struct {
+	cfg      Config
+	q        *Queue
+	pool     *pool
+	inj      *faultinject.Injector
+	registry *telemetry.Registry
+	report   *harness.Report
+	http     *http.Server
+	ln       net.Listener
+	started  time.Time
+	draining atomic.Bool
+	serveErr chan error
+}
+
+// New creates the server: it ensures DataDir, opens and replays the
+// journal (restoring every job committed before the last shutdown or
+// crash), and prepares — but does not start — the worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 30 * time.Second
+	}
+	if cfg.DataDir == "" {
+		return nil, errors.New("server: config needs a data directory")
+	}
+	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: data dir: %w", err)
+	}
+	var inj *faultinject.Injector
+	if cfg.Faults.Enabled() {
+		inj = faultinject.New(*cfg.Faults)
+	}
+	q, err := OpenQueue(filepath.Join(cfg.DataDir, "journal"), inj)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.NoSync {
+		q.jnl.nosync = true
+	}
+	registry := telemetry.NewRegistry()
+	report := harness.NewReport()
+	s := &Server{
+		cfg:      cfg,
+		q:        q,
+		inj:      inj,
+		registry: registry,
+		report:   report,
+		serveErr: make(chan error, 1),
+	}
+	s.pool = newPool(q, cfg.DataDir, cfg.Workers, inj, cfg.Faults.SimOnly(), registry, report)
+	s.http = &http.Server{Handler: s.routes()}
+	return s, nil
+}
+
+// routes builds the API surface.
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /api/v1/report", s.handleReport)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// Start listens and serves in the background and launches the worker
+// pool. It returns once the listener is bound, so Addr() is valid.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("server: listen: %w", err)
+	}
+	s.ln = ln
+	s.started = time.Now()
+	s.pool.start()
+	go func() {
+		if err := s.http.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.serveErr <- err
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return s.cfg.Addr
+	}
+	return s.ln.Addr().String()
+}
+
+// ServeErr delivers a fatal Serve error, if one occurred.
+func (s *Server) ServeErr() <-chan error { return s.serveErr }
+
+// Shutdown drains the server gracefully: readiness flips to 503, the
+// queue stops handing out jobs, every running simulation is
+// interrupted at its next checkpoint boundary and durably requeued,
+// then the HTTP listener closes and the journal is synced shut. A
+// subsequent New on the same DataDir resumes the requeued jobs from
+// their checkpoints.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.q.Stop()
+	drainCtx, cancel := context.WithTimeout(ctx, s.cfg.DrainTimeout)
+	defer cancel()
+	var errs []error
+	if err := s.pool.Drain(drainCtx); err != nil {
+		errs = append(errs, err)
+	}
+	if err := s.http.Shutdown(ctx); err != nil {
+		errs = append(errs, err)
+	}
+	if err := s.flushTelemetry(); err != nil {
+		errs = append(errs, err)
+	}
+	if err := s.q.Close(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
+// flushTelemetry streams every per-job interval series collected this
+// process lifetime to DataDir/telemetry.jsonl (appending, so series
+// survive across restarts alongside the journal).
+func (s *Server) flushTelemetry() error {
+	if s.registry.Len() == 0 {
+		return nil
+	}
+	f, err := os.OpenFile(filepath.Join(s.cfg.DataDir, "telemetry.jsonl"),
+		os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("server: telemetry flush: %w", err)
+	}
+	defer f.Close()
+	return s.registry.WriteTo(telemetry.NewJSONL(f))
+}
+
+// ---- request/response shapes ----
+
+// SubmitRequest submits jobs: either one fully specified job, or a
+// sweep — the cross product of Workloads × Policies × CoreCounts,
+// sharing the remaining knobs. Singular and plural fields merge.
+type SubmitRequest struct {
+	JobSpec
+	Workloads  []string `json:"workloads,omitempty"`
+	Policies   []string `json:"policies,omitempty"`
+	CoreCounts []int    `json:"core_counts,omitempty"`
+}
+
+// specs expands the request into concrete job specs.
+func (req *SubmitRequest) specs() []JobSpec {
+	workloads := req.Workloads
+	if len(workloads) == 0 {
+		workloads = []string{req.Workload}
+	}
+	policies := req.Policies
+	if len(policies) == 0 {
+		policies = []string{req.Policy}
+	}
+	cores := req.CoreCounts
+	if len(cores) == 0 {
+		cores = []int{req.Cores}
+	}
+	var out []JobSpec
+	for _, w := range workloads {
+		for _, p := range policies {
+			for _, c := range cores {
+				spec := req.JobSpec
+				spec.Workload, spec.Policy, spec.Cores = w, p, c
+				out = append(out, spec)
+			}
+		}
+	}
+	return out
+}
+
+// Health is the /healthz body.
+type Health struct {
+	Status     string         `json:"status"`
+	Draining   bool           `json:"draining"`
+	QueueDepth int            `json:"queue_depth"`
+	Jobs       map[string]int `json:"jobs"`
+	Workers    []WorkerStatus `json:"workers"`
+	JournalSeq uint64         `json:"journal_seq"`
+	UptimeSec  float64        `json:"uptime_sec"`
+}
+
+// DegradationReport is the /api/v1/report body: what the campaign
+// survived. CI chaos-smoke uploads it as a build artifact.
+type DegradationReport struct {
+	Jobs         map[string]int `json:"jobs"`
+	JournalSeq   uint64         `json:"journal_seq"`
+	Completed    int            `json:"runs_completed"`
+	Retried      int            `json:"runs_retried"`
+	Dropped      int            `json:"runs_dropped"`
+	WorkerPanics uint64         `json:"worker_panics"`
+	Summary      string         `json:"summary"`
+}
+
+// ---- handlers ----
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+		return
+	}
+	var req SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad submission: %w", err))
+		return
+	}
+	specs := req.specs()
+	// Validate the whole sweep before committing any of it, so a bad
+	// cell cannot leave a half-submitted cross product behind.
+	for i := range specs {
+		if err := specs[i].Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	jobs := make([]Job, 0, len(specs))
+	for _, spec := range specs {
+		jb, err := s.q.Submit(spec)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		jobs = append(jobs, jb)
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"jobs": jobs})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.q.Jobs()})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	jb, err := s.q.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, jb)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	jb, err := s.q.Get(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	switch jb.State {
+	case StatePending:
+		if err := s.q.Cancel(id); err != nil {
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+	case StateRunning:
+		// Interrupt the worker; it commits the cancel event when the
+		// simulation unwinds. Report accepted, not yet terminal.
+		if !s.pool.CancelJob(id) {
+			// Raced with completion: report the terminal state.
+			jb, _ = s.q.Get(id)
+			writeJSON(w, http.StatusConflict, jb)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		return
+	default:
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("%w: cancel of %s job %s", ErrBadTransition, jb.State, id))
+		return
+	}
+	jb, _ = s.q.Get(id)
+	writeJSON(w, http.StatusOK, jb)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := Health{
+		Status:     "ok",
+		Draining:   s.draining.Load(),
+		QueueDepth: s.q.Depth(),
+		Jobs:       s.q.Counts(),
+		Workers:    s.pool.Status(),
+		JournalSeq: s.q.Seq(),
+		UptimeSec:  time.Since(s.started).Seconds(),
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	completed, retried, dropped := s.report.Counts()
+	rep := DegradationReport{
+		Jobs:       s.q.Counts(),
+		JournalSeq: s.q.Seq(),
+		Completed:  completed,
+		Retried:    retried,
+		Dropped:    dropped,
+		Summary:    s.report.Summary(),
+	}
+	if s.inj != nil {
+		rep.WorkerPanics = s.inj.Stats().WorkerPanics
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// handleMetrics serves Prometheus text format: server gauges followed
+// by every collected per-job interval series.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	counts := s.q.Counts()
+	for _, state := range []string{StatePending, StateRunning, StateDone, StateFailed, StateCancelled} {
+		fmt.Fprintf(w, "care_server_jobs{state=%q} %d\n", state, counts[state])
+	}
+	fmt.Fprintf(w, "care_server_queue_depth %d\n", s.q.Depth())
+	fmt.Fprintf(w, "care_server_journal_seq %d\n", s.q.Seq())
+	fmt.Fprintf(w, "care_server_workers %d\n", s.cfg.Workers)
+	fmt.Fprintf(w, "care_server_uptime_seconds %f\n", time.Since(s.started).Seconds())
+	if s.registry.Len() > 0 {
+		s.registry.WriteTo(telemetry.NewProm(w))
+	}
+}

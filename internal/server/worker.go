@@ -1,0 +1,252 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"care/internal/faultinject"
+	"care/internal/harness"
+	"care/internal/sim"
+	"care/internal/telemetry"
+)
+
+// maxPanicRequeues bounds how many executions a job that keeps
+// panicking its worker gets before it is failed permanently; without
+// the cap a deterministic panic would loop forever.
+const maxPanicRequeues = 5
+
+// pool runs queue jobs on a fixed set of worker goroutines. Each job
+// executes through the harness supervisor — checkpointed, retried
+// with jittered backoff, fault-injectable — under a context that the
+// drain path cancels, so SIGTERM interrupts every running simulation
+// at its next checkpoint boundary and requeues it durably.
+type pool struct {
+	q        *Queue
+	dataDir  string
+	workers  int
+	inj      *faultinject.Injector // server crash classes (may be nil)
+	faults   *faultinject.Config   // simulation-level faults for every job
+	registry *telemetry.Registry
+	report   *harness.Report
+
+	drainCtx context.Context
+	drain    context.CancelFunc
+	wg       sync.WaitGroup
+
+	mu        sync.Mutex
+	cancels   map[string]context.CancelFunc
+	cancelled map[string]bool
+	status    []WorkerStatus
+}
+
+// WorkerStatus is one worker's health snapshot for /healthz: what it
+// is running and when it last made a state transition (the
+// last-progress watermark — a worker stuck long past it is wedged).
+type WorkerStatus struct {
+	Worker int    `json:"worker"`
+	Job    string `json:"job,omitempty"`
+	Busy   bool   `json:"busy"`
+	// LastProgress is the time of the worker's last job transition
+	// (claim or finish), RFC 3339.
+	LastProgress time.Time `json:"last_progress"`
+}
+
+func newPool(q *Queue, dataDir string, workers int, inj *faultinject.Injector, faults *faultinject.Config, registry *telemetry.Registry, report *harness.Report) *pool {
+	// The drain context is cancelled with sim.ErrDrain as its cause:
+	// running simulations then stop at their next *scheduled*
+	// checkpoint boundary instead of hard-interrupting, which keeps
+	// the requeued job's eventual result bit-identical to an
+	// undisturbed run.
+	ctx, cancelCause := context.WithCancelCause(context.Background())
+	p := &pool{
+		q: q, dataDir: dataDir, workers: workers,
+		inj: inj, faults: faults, registry: registry, report: report,
+		drainCtx: ctx, drain: func() { cancelCause(sim.ErrDrain) },
+		cancels:   make(map[string]context.CancelFunc),
+		cancelled: make(map[string]bool),
+		status:    make([]WorkerStatus, workers),
+	}
+	now := time.Now()
+	for i := range p.status {
+		p.status[i] = WorkerStatus{Worker: i, LastProgress: now}
+	}
+	return p
+}
+
+// start launches the workers.
+func (p *pool) start() {
+	for i := 0; i < p.workers; i++ {
+		p.wg.Add(1)
+		go func(id int) {
+			defer p.wg.Done()
+			for {
+				jb, ok := p.q.Claim()
+				if !ok {
+					return
+				}
+				p.setStatus(id, jb.ID, true)
+				p.runJob(jb)
+				p.setStatus(id, "", false)
+			}
+		}(i)
+	}
+}
+
+func (p *pool) setStatus(worker int, job string, busy bool) {
+	p.mu.Lock()
+	p.status[worker] = WorkerStatus{Worker: worker, Job: job, Busy: busy, LastProgress: time.Now()}
+	p.mu.Unlock()
+}
+
+// Status returns a snapshot of every worker.
+func (p *pool) Status() []WorkerStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]WorkerStatus(nil), p.status...)
+}
+
+// CancelJob interrupts a running job and marks it for a cancel (not
+// requeue) commit when the worker unwinds. Returns false if the job
+// is not currently running.
+func (p *pool) CancelJob(id string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cancel, ok := p.cancels[id]
+	if !ok {
+		return false
+	}
+	p.cancelled[id] = true
+	cancel()
+	return true
+}
+
+// wasCancelled consumes the job's cancel mark.
+func (p *pool) wasCancelled(id string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c := p.cancelled[id]
+	delete(p.cancelled, id)
+	return c
+}
+
+// jobOptions builds the harness supervision options for one job. Each
+// job gets a private checkpoint directory (two jobs with identical
+// specs must not share resume state) and a telemetry tag prefix so
+// its interval series are attributable in the shared registry.
+func (p *pool) jobOptions(jb Job) (*harness.Options, error) {
+	ckptDir := filepath.Join(p.dataDir, "checkpoints", jb.ID)
+	if err := os.MkdirAll(ckptDir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: checkpoint dir: %w", err)
+	}
+	faults := p.faults
+	if jb.Spec.Faults != "" {
+		cfg, err := faultinject.ParseSpec(jb.Spec.Faults)
+		if err != nil {
+			return nil, err
+		}
+		faults = cfg.SimOnly()
+	}
+	// Seed the retry jitter per job so concurrently retrying workers
+	// spread out even when their specs (and thus tags) are identical.
+	h := fnv.New64a()
+	h.Write([]byte(jb.ID))
+	return &harness.Options{
+		Measure:           jb.Spec.Measure,
+		Warmup:            jb.Spec.Warmup,
+		MaxAttempts:       jb.Spec.Retries + 1,
+		CheckpointDir:     ckptDir,
+		CheckpointEvery:   jb.Spec.CheckpointEvery,
+		ResumeExisting:    true,
+		RetryJitterSeed:   h.Sum64(),
+		Faults:            faults,
+		Report:            p.report,
+		TelemetryRegistry: p.registry,
+		TelemetryTag:      jb.ID + "/",
+	}, nil
+}
+
+// runJob executes one claimed job to a durable transition: complete,
+// fail, cancel, or requeue. Every exit path commits exactly one event.
+func (p *pool) runJob(jb Job) {
+	ctx, cancel := context.WithCancel(p.drainCtx)
+	if t := jb.Spec.Timeout(); t > 0 {
+		ctx, cancel = context.WithTimeout(p.drainCtx, t)
+	}
+	p.mu.Lock()
+	p.cancels[jb.ID] = cancel
+	p.mu.Unlock()
+	defer func() {
+		cancel()
+		p.mu.Lock()
+		delete(p.cancels, jb.ID)
+		delete(p.cancelled, jb.ID)
+		p.mu.Unlock()
+	}()
+
+	// A worker panic (injected or real) must not take the pool down:
+	// contain it and requeue the job, failing it permanently if it
+	// keeps happening.
+	defer func() {
+		if r := recover(); r != nil {
+			reason := fmt.Sprintf("worker panic: %v", r)
+			if jb.Attempts > maxPanicRequeues {
+				p.q.Fail(jb.ID, reason)
+				return
+			}
+			p.q.Requeue(jb.ID, reason)
+		}
+	}()
+
+	if p.inj != nil {
+		p.inj.BeginServerJob()
+	}
+	opts, err := p.jobOptions(jb)
+	if err != nil {
+		p.q.Fail(jb.ID, err.Error())
+		return
+	}
+	r, err := opts.Supervise(ctx, jb.Spec.RunSpec())
+	switch {
+	case err == nil:
+		bytes, merr := MarshalResult(r)
+		if merr != nil {
+			p.q.Fail(jb.ID, merr.Error())
+			return
+		}
+		p.q.Complete(jb.ID, bytes)
+	case p.wasCancelled(jb.ID):
+		p.q.CancelRunning(jb.ID)
+	case errors.Is(err, context.DeadlineExceeded):
+		p.q.Fail(jb.ID, fmt.Sprintf("timeout after %s: %v", jb.Spec.Timeout(), err))
+	case errors.Is(err, sim.ErrInterrupted) && p.drainCtx.Err() != nil:
+		// Drain: the final checkpoint is on disk; the next claim (by a
+		// future server instance) resumes from it.
+		p.q.Requeue(jb.ID, "drained: server shutting down")
+	default:
+		p.q.Fail(jb.ID, err.Error())
+	}
+}
+
+// Drain interrupts every running job (each writes a final checkpoint
+// and requeues durably) and waits for the workers to exit, up to ctx.
+// The queue must already be stopped so idle workers return.
+func (p *pool) Drain(ctx context.Context) error {
+	p.drain()
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain timed out: %w", ctx.Err())
+	}
+}

@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -24,6 +25,16 @@ var (
 	// ErrQuiesce means the system could not drain to a quiescent point
 	// within the quiesce cycle budget (something is wedged).
 	ErrQuiesce = errors.New("sim: quiesce did not drain")
+	// ErrDrain, used as a context cancellation *cause* (see
+	// context.WithCancelCause), asks WatchContext for a graceful drain
+	// instead of a hard interrupt: the run continues to its next
+	// scheduled checkpoint boundary, writes that checkpoint on
+	// schedule, and only then stops with ErrInterrupted. Because the
+	// final checkpoint sits exactly on the segment schedule, a run
+	// resumed from it is bit-identical to one that was never drained —
+	// which a hard interrupt's off-schedule final checkpoint cannot
+	// guarantee.
+	ErrDrain = errors.New("sim: drain requested")
 )
 
 // quiesceLimit bounds the drain to a quiescent point. A full ROB plus
@@ -36,6 +47,49 @@ const quiesceLimit = 1_000_000
 // one-shot so the interrupted run can still quiesce for a final
 // checkpoint; a second Interrupt aborts that too.
 func (s *System) Interrupt() { s.interrupted.Store(true) }
+
+// DrainAtNextCheckpoint requests a graceful stop: the schedule driver
+// finishes the current segment, quiesces and writes its checkpoint at
+// the scheduled boundary, then returns ErrInterrupted. A run with no
+// remaining boundaries (unsegmented, or already in its final segment)
+// simply completes. Unlike Interrupt, the resulting checkpoint is on
+// the segment schedule, so resuming from it reproduces the
+// undisturbed run bit-for-bit.
+func (s *System) DrainAtNextCheckpoint() { s.drainReq.Store(true) }
+
+// WatchContext interrupts the system when ctx is cancelled, giving
+// every run driver the same deadline/cancellation semantics as
+// care.Run: the run loop stops at its next guard point with
+// ErrInterrupted (writing a final checkpoint when one is scheduled).
+// A ctx cancelled with ErrDrain as its cause (context.WithCancelCause)
+// instead triggers DrainAtNextCheckpoint — stop at the next scheduled
+// boundary, preserving bit-identical resumability.
+// The returned stop function releases the watcher; call it once the
+// run has returned. A ctx without a Done channel costs nothing.
+func (s *System) WatchContext(ctx context.Context) (stop func()) {
+	done := ctx.Done()
+	if done == nil {
+		return func() {}
+	}
+	quit := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		select {
+		case <-done:
+			if errors.Is(context.Cause(ctx), ErrDrain) {
+				s.DrainAtNextCheckpoint()
+			} else {
+				s.Interrupt()
+			}
+		case <-quit:
+		}
+	}()
+	return func() {
+		close(quit)
+		<-finished
+	}
+}
 
 // Quiesce freezes instruction dispatch and steps the system until no
 // in-flight state remains anywhere: empty ROBs, drained caches and
@@ -496,6 +550,15 @@ func (s *System) runSchedule(m RunMeta, path string) (Result, error) {
 				if err := s.SaveCheckpoint(path, m); err != nil {
 					return fail(err)
 				}
+			}
+			if s.drainReq.Load() {
+				// Graceful drain: the checkpoint just written sits on
+				// the segment schedule, so a resume from it replays
+				// the remaining schedule bit-identically. Skip fail()
+				// — its extra save would only rotate the on-schedule
+				// checkpoint away.
+				_ = s.closeTelemetry()
+				return s.Snapshot(), ErrInterrupted
 			}
 		}
 	}

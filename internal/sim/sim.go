@@ -172,6 +172,10 @@ type System struct {
 	// interrupted is set by Interrupt (from any goroutine, e.g. a
 	// signal handler) and consumed one-shot by the guard.
 	interrupted atomic.Bool
+	// drainReq is set by DrainAtNextCheckpoint and honoured by the
+	// schedule driver at segment boundaries only, so the stop lands on
+	// a scheduled checkpoint.
+	drainReq atomic.Bool
 }
 
 // New builds a system running one trace per core. len(traces) must
