@@ -1,0 +1,64 @@
+package cache
+
+// mix64 is the splitmix64 finalizer: a full-avalanche mixer so that
+// consecutive integer keys spread over shards and sets instead of
+// marching through one set per shard.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hashUint seeds and mixes an integer key.
+func hashUint(v, seed uint64) uint64 { return mix64(v ^ mix64(seed^0x9e3779b97f4a7c15)) }
+
+// hashString is seeded FNV-1a finished with mix64 (FNV alone has weak
+// high bits, and the sharded cache takes its shard index from them).
+func hashString(s string, seed uint64) uint64 {
+	h := seed ^ 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return mix64(h)
+}
+
+// builtinHash returns a deterministic seeded hash for the key types
+// the library knows (strings and the fixed-width integers), or nil
+// for anything else — those callers must supply Options.Hash. The
+// type switch runs once at construction; the returned closures
+// assert-convert per call, which the compiler keeps off the heap.
+func builtinHash[K comparable](seed uint64) func(K) uint64 {
+	var zero K
+	switch any(zero).(type) {
+	case string:
+		return func(k K) uint64 { return hashString(any(k).(string), seed) }
+	case int:
+		return func(k K) uint64 { return hashUint(uint64(any(k).(int)), seed) }
+	case int8:
+		return func(k K) uint64 { return hashUint(uint64(any(k).(int8)), seed) }
+	case int16:
+		return func(k K) uint64 { return hashUint(uint64(any(k).(int16)), seed) }
+	case int32:
+		return func(k K) uint64 { return hashUint(uint64(any(k).(int32)), seed) }
+	case int64:
+		return func(k K) uint64 { return hashUint(uint64(any(k).(int64)), seed) }
+	case uint:
+		return func(k K) uint64 { return hashUint(uint64(any(k).(uint)), seed) }
+	case uint8:
+		return func(k K) uint64 { return hashUint(uint64(any(k).(uint8)), seed) }
+	case uint16:
+		return func(k K) uint64 { return hashUint(uint64(any(k).(uint16)), seed) }
+	case uint32:
+		return func(k K) uint64 { return hashUint(uint64(any(k).(uint32)), seed) }
+	case uint64:
+		return func(k K) uint64 { return hashUint(any(k).(uint64), seed) }
+	case uintptr:
+		return func(k K) uint64 { return hashUint(uint64(any(k).(uintptr)), seed) }
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,199 @@
+package cache_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"care/cache"
+)
+
+// opKind is one step of the deterministic mixed workload the parity
+// test replays.
+type opKind int
+
+const (
+	opGet opKind = iota
+	opPut
+	opDelete
+)
+
+type op struct {
+	kind opKind
+	key  uint64
+	cost float64
+}
+
+// parityOps builds a deterministic op sequence with enough pressure
+// to force thousands of evictions: a zipf-ish hot head, a churning
+// tail, and periodic deletes.
+func parityOps(n int) []op {
+	ops := make([]op, 0, n)
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	for i := 0; i < n; i++ {
+		r := next()
+		var k uint64
+		if r%3 == 0 {
+			k = r % 64 // hot head
+		} else {
+			k = 64 + r%4096 // cold tail, larger than capacity
+		}
+		switch {
+		case r%23 == 0:
+			ops = append(ops, op{opDelete, k, 0})
+		case r%2 == 0:
+			ops = append(ops, op{opPut, k, float64(r % 450)})
+		default:
+			ops = append(ops, op{opGet, k, float64(r % 450)})
+		}
+	}
+	return ops
+}
+
+// evictionLog captures every policy-driven eviction in order.
+type evictionLog struct{ keys []uint64 }
+
+func (l *evictionLog) hook(k uint64, _ uint64) { l.keys = append(l.keys, k) }
+
+// replayable is the surface shared by Cache and ShardedCache.
+type replayable interface {
+	Get(uint64) (uint64, bool)
+	PutCost(uint64, uint64, float64)
+	Delete(uint64) bool
+	Len() int
+	Stats() cache.Stats
+	Range(func(uint64, uint64) bool)
+	CheckIntegrity() error
+}
+
+func replay(t *testing.T, c replayable, ops []op) {
+	t.Helper()
+	for _, o := range ops {
+		switch o.kind {
+		case opGet:
+			if _, ok := c.Get(o.key); !ok {
+				// Read-through: a miss loads the value.
+				c.PutCost(o.key, o.key*3, o.cost)
+			}
+		case opPut:
+			c.PutCost(o.key, o.key*3, o.cost)
+		case opDelete:
+			c.Delete(o.key)
+		}
+	}
+	if err := c.CheckIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func contents(c replayable) map[uint64]uint64 {
+	m := map[uint64]uint64{}
+	c.Range(func(k, v uint64) bool { m[k] = v; return true })
+	return m
+}
+
+// TestSingleShardParity: for every supported policy, a 1-shard
+// ShardedCache driven by one goroutine makes byte-identical eviction
+// decisions to the single-threaded Cache — same eviction sequence,
+// same final contents, same counters. This is the shared-segment
+// pattern's core guarantee: the concurrent wrapper adds a lock, not
+// behaviour.
+func TestSingleShardParity(t *testing.T) {
+	ops := parityOps(60_000)
+	for _, pol := range cache.Supported() {
+		t.Run(pol, func(t *testing.T) {
+			var flatLog, shardLog evictionLog
+			flat, err := cache.New(cache.Options[uint64, uint64]{
+				Capacity: 1024, Ways: 8, Policy: pol, Seed: 7, OnEvict: flatLog.hook,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sharded, err := cache.NewSharded(cache.Options[uint64, uint64]{
+				Capacity: 1024, Ways: 8, Policy: pol, Seed: 7, Shards: 1, OnEvict: shardLog.hook,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			replay(t, flat, ops)
+			replay(t, sharded, ops)
+
+			if len(flatLog.keys) == 0 {
+				t.Fatal("workload produced no evictions; parity test is vacuous")
+			}
+			if !reflect.DeepEqual(flatLog.keys, shardLog.keys) {
+				i := 0
+				for i < len(flatLog.keys) && i < len(shardLog.keys) && flatLog.keys[i] == shardLog.keys[i] {
+					i++
+				}
+				t.Fatalf("eviction sequences diverge at %d (of %d vs %d)", i, len(flatLog.keys), len(shardLog.keys))
+			}
+			if flat.Stats() != sharded.Stats() {
+				t.Fatalf("stats diverge:\nflat:    %+v\nsharded: %+v", flat.Stats(), sharded.Stats())
+			}
+			if flat.Len() != sharded.Len() {
+				t.Fatalf("Len diverges: %d vs %d", flat.Len(), sharded.Len())
+			}
+			if !reflect.DeepEqual(contents(flat), contents(sharded)) {
+				t.Fatal("final contents diverge")
+			}
+		})
+	}
+}
+
+// TestShardedConservation: with any shard count, a single-goroutine
+// replay conserves entries (inserts = evictions + deletes-hit + live)
+// and the per-shard policies stay internally consistent.
+func TestShardedConservation(t *testing.T) {
+	ops := parityOps(30_000)
+	for _, shards := range []int{2, 8} {
+		for _, pol := range []string{"lru", "srrip", "ship++", "care"} {
+			t.Run(fmt.Sprintf("%s/shards=%d", pol, shards), func(t *testing.T) {
+				c, err := cache.NewSharded(cache.Options[uint64, uint64]{
+					Capacity: 1024, Ways: 8, Policy: pol, Seed: 7, Shards: shards,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				replay(t, c, ops)
+				st := c.Stats()
+				if got := st.Inserts - st.Evictions - st.Deletes; got != uint64(c.Len()) {
+					t.Fatalf("conservation: inserts %d - evictions %d - deletes %d = %d, live %d",
+						st.Inserts, st.Evictions, st.Deletes, got, c.Len())
+				}
+			})
+		}
+	}
+}
+
+// TestParityOpsCoverage sanity-checks the generated workload itself:
+// all three op kinds occur, keys repeat (so hits exist).
+func TestParityOpsCoverage(t *testing.T) {
+	ops := parityOps(10_000)
+	var counts [3]int
+	keys := map[uint64]int{}
+	for _, o := range ops {
+		counts[o.kind]++
+		keys[o.key]++
+	}
+	for k, c := range counts {
+		if c == 0 {
+			t.Fatalf("op kind %d never generated", k)
+		}
+	}
+	reused := 0
+	for _, n := range keys {
+		if n > 1 {
+			reused++
+		}
+	}
+	if reused < 64 {
+		t.Fatalf("only %d keys reused", reused)
+	}
+}

@@ -1,0 +1,208 @@
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"care/internal/replacement"
+)
+
+// Stats counts the operations a cache (or one shard of one) has
+// served. Counters are monotonic; read them via Cache.Stats /
+// ShardedCache.Stats, which return a consistent copy.
+type Stats struct {
+	// Hits and Misses count Get outcomes.
+	Hits, Misses uint64
+	// Inserts counts Puts of absent keys; Updates counts Puts that
+	// overwrote a present key in place.
+	Inserts, Updates uint64
+	// Evictions counts entries removed by policy decision to make
+	// room. Deletes counts explicit Delete calls that removed a key.
+	Evictions, Deletes uint64
+}
+
+// HitRatio is Hits / (Hits + Misses), or 0 before any Get.
+func (s Stats) HitRatio() float64 {
+	if t := s.Hits + s.Misses; t > 0 {
+		return float64(s.Hits) / float64(t)
+	}
+	return 0
+}
+
+func (s *Stats) add(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Inserts += o.Inserts
+	s.Updates += o.Updates
+	s.Evictions += o.Evictions
+	s.Deletes += o.Deletes
+}
+
+// segment holds ALL algorithm state and eviction logic for one
+// sets×ways region of the cache: the key index, the slot arrays, and
+// the replacement-policy adapter. It is written once and wrapped
+// twice — zero-overhead by Cache (no locking) and by ShardedCache
+// (N segments behind per-segment mutexes) — the shared-segment
+// pattern, so the two types cannot drift apart in behaviour.
+//
+// A segment is not safe for concurrent use; its wrapper provides
+// whatever exclusion is needed.
+type segment[K comparable, V any] struct {
+	ways    int
+	setMask uint64
+	// waysMask has one bit per way, for the free-way scan.
+	waysMask uint64
+	hash     func(K) uint64
+	ad       *replacement.Adapter
+	// index maps a live key to its flat slot (set*ways + way); keys,
+	// vals and sigs are the slot arrays. sigs caches each slot's key
+	// hash so the hit path never rehashes.
+	index map[K]int32
+	keys  []K
+	vals  []V
+	sigs  []uint64
+	// occ is a per-set occupancy bitmask (bit w = way w live).
+	occ         []uint64
+	onEvict     func(K, V)
+	defaultCost float64
+	stats       Stats
+}
+
+func (s *segment[K, V]) init(sets, ways int, hash func(K) uint64, ad *replacement.Adapter,
+	onEvict func(K, V), defaultCost float64) {
+	s.ways = ways
+	s.setMask = uint64(sets - 1)
+	s.waysMask = 1<<ways - 1
+	s.hash = hash
+	s.ad = ad
+	s.index = make(map[K]int32, sets*ways)
+	s.keys = make([]K, sets*ways)
+	s.vals = make([]V, sets*ways)
+	s.sigs = make([]uint64, sets*ways)
+	s.occ = make([]uint64, sets)
+	s.onEvict = onEvict
+	s.defaultCost = defaultCost
+}
+
+// get looks k up, updating policy recency state on a hit.
+func (s *segment[K, V]) get(k K) (V, bool) {
+	if idx, ok := s.index[k]; ok {
+		set, way := int(idx)/s.ways, int(idx)%s.ways
+		sig := s.sigs[idx]
+		s.ad.OnHit(set, way, replacement.Access{Sig: sig, Block: sig})
+		s.stats.Hits++
+		return s.vals[idx], true
+	}
+	s.stats.Misses++
+	var zero V
+	return zero, false
+}
+
+// put inserts or updates k. h must be s.hash(k) (the wrappers have
+// usually computed it already for shard routing). cost is the miss
+// cost fed to cost-sensitive policies.
+func (s *segment[K, V]) put(k K, h uint64, v V, cost float64) {
+	if idx, ok := s.index[k]; ok {
+		s.vals[idx] = v
+		set, way := int(idx)/s.ways, int(idx)%s.ways
+		sig := s.sigs[idx]
+		s.ad.OnHit(set, way, replacement.Access{Sig: sig, Block: sig, Write: true})
+		s.stats.Updates++
+		return
+	}
+	set := int(h & s.setMask)
+	acc := replacement.Access{Sig: h, Block: h, Write: true, Cost: cost}
+	var way int
+	if free := ^s.occ[set] & s.waysMask; free != 0 {
+		way = bits.TrailingZeros64(free)
+	} else {
+		way = s.ad.Victim(set, acc)
+		vidx := int32(set*s.ways + way)
+		oldK, oldV := s.keys[vidx], s.vals[vidx]
+		s.ad.OnEvict(set, way, acc)
+		delete(s.index, oldK)
+		s.stats.Evictions++
+		if s.onEvict != nil {
+			s.onEvict(oldK, oldV)
+		}
+	}
+	idx := int32(set*s.ways + way)
+	s.keys[idx] = k
+	s.vals[idx] = v
+	s.sigs[idx] = h
+	s.occ[set] |= 1 << way
+	s.index[k] = idx
+	s.ad.OnFill(set, way, acc)
+	s.stats.Inserts++
+}
+
+// del removes k if present. The policy is notified (OnEvict) so its
+// per-slot training state is settled, then the slot is invalidated —
+// a terminal Delete leaves no trace of the key.
+func (s *segment[K, V]) del(k K) bool {
+	idx, ok := s.index[k]
+	if !ok {
+		return false
+	}
+	set, way := int(idx)/s.ways, int(idx)%s.ways
+	sig := s.sigs[idx]
+	s.ad.OnEvict(set, way, replacement.Access{Sig: sig, Block: sig})
+	s.ad.Invalidate(set, way)
+	delete(s.index, k)
+	s.occ[set] &^= 1 << way
+	var zeroK K
+	var zeroV V
+	s.keys[idx] = zeroK // release references held by evicted slots
+	s.vals[idx] = zeroV
+	s.stats.Deletes++
+	return true
+}
+
+func (s *segment[K, V]) len() int { return len(s.index) }
+
+// rangeEntries calls fn for every live entry until fn returns false.
+func (s *segment[K, V]) rangeEntries(fn func(K, V) bool) bool {
+	for set, occ := range s.occ {
+		for m := occ; m != 0; m &= m - 1 {
+			idx := set*s.ways + bits.TrailingZeros64(m)
+			if !fn(s.keys[idx], s.vals[idx]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// checkIntegrity cross-validates the index, occupancy bitmasks, and
+// the adapter's block validity. The stress tests call it under -race;
+// it is exported on both wrappers for embedders to do the same.
+func (s *segment[K, V]) checkIntegrity() error {
+	live := 0
+	for set, occ := range s.occ {
+		if occ&^s.waysMask != 0 {
+			return fmt.Errorf("cache: set %d occupancy %#x exceeds %d ways", set, occ, s.ways)
+		}
+		live += bits.OnesCount64(occ)
+		for w := 0; w < s.ways; w++ {
+			if got, want := s.ad.Valid(set, w), occ&(1<<w) != 0; got != want {
+				return fmt.Errorf("cache: set %d way %d adapter valid=%v but occupancy=%v", set, w, got, want)
+			}
+		}
+	}
+	if live != len(s.index) {
+		return fmt.Errorf("cache: %d occupied slots but %d indexed keys", live, len(s.index))
+	}
+	for k, idx := range s.index {
+		if idx < 0 || int(idx) >= len(s.keys) {
+			return fmt.Errorf("cache: index slot %d out of range", idx)
+		}
+		if s.keys[idx] != k {
+			return fmt.Errorf("cache: slot %d key mismatch", idx)
+		}
+		set, way := int(idx)/s.ways, int(idx)%s.ways
+		if s.occ[set]&(1<<way) == 0 {
+			return fmt.Errorf("cache: indexed slot %d not marked occupied", idx)
+		}
+	}
+	return nil
+}

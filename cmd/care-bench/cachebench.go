@@ -1,0 +1,244 @@
+package main
+
+// The -cache mode benchmarks the care/cache *library* (not the
+// simulator) on service-style traffic: for each policy × workload it
+// replays a deterministic key stream single-threaded for an exactly
+// reproducible hit ratio, then hammers a ShardedCache from N
+// goroutines for concurrent throughput. This is where the paper's
+// concurrency-aware policy meets genuinely contended traffic instead
+// of simulated cores.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"care/cache"
+	"care/internal/synth"
+)
+
+// cacheBenchOptions parameterises the -cache run.
+type cacheBenchOptions struct {
+	Policies  []string
+	Workloads []string // empty = all
+	Ops       int      // single-threaded replay length per cell
+	ConcOps   int      // total concurrent ops per cell (0 = Ops)
+	Capacity  int
+	Ways      int
+	Shards    int
+	Conc      int // goroutines (0 = GOMAXPROCS)
+	Seed      uint64
+	Out       io.Writer
+	Report    string // JSON report path ("" = none)
+}
+
+// CacheBenchRow is one policy × workload result cell.
+type CacheBenchRow struct {
+	Workload       string  `json:"workload"`
+	Policy         string  `json:"policy"`
+	HitRatio       float64 `json:"hit_ratio"`
+	Evictions      uint64  `json:"evictions"`
+	ConcNsPerOp    float64 `json:"conc_ns_per_op"`
+	ConcHitRatio   float64 `json:"conc_hit_ratio"`
+	ConcGoroutines int     `json:"conc_goroutines"`
+}
+
+// CacheBenchReport is the JSON artifact CI uploads.
+type CacheBenchReport struct {
+	GeneratedAt time.Time       `json:"generated_at"`
+	Capacity    int             `json:"capacity"`
+	Ways        int             `json:"ways"`
+	Shards      int             `json:"shards"`
+	Ops         int             `json:"ops"`
+	Rows        []CacheBenchRow `json:"rows"`
+}
+
+// cacheWorkload names a service-traffic pattern and builds per-seed
+// instances of it (concurrent workers each get their own stream).
+type cacheWorkload struct {
+	name string
+	mk   func(seed uint64) synth.ServiceTrace
+}
+
+func cacheWorkloads(capacity int, names []string) ([]cacheWorkload, error) {
+	std := synth.ServiceTraces(capacity, 0)
+	all := make([]cacheWorkload, len(std))
+	for i, tr := range std {
+		i := i
+		all[i] = cacheWorkload{name: tr.Name(), mk: func(seed uint64) synth.ServiceTrace {
+			return synth.ServiceTraces(capacity, seed)[i]
+		}}
+	}
+	if len(names) == 0 {
+		return all, nil
+	}
+	var out []cacheWorkload
+	for _, n := range names {
+		found := false
+		for _, w := range all {
+			if w.name == n {
+				out = append(out, w)
+				found = true
+				break
+			}
+		}
+		if !found {
+			have := make([]string, len(all))
+			for i, w := range all {
+				have[i] = w.name
+			}
+			return nil, fmt.Errorf("unknown cache workload %q (have %v)", n, have)
+		}
+	}
+	return out, nil
+}
+
+// replayHitRatio replays ops operations read-through on a
+// single-threaded Cache and returns its stats — the deterministic
+// policy-quality number.
+func replayHitRatio(opts cacheBenchOptions, pol string, wl cacheWorkload) (cache.Stats, error) {
+	c, err := cache.New(cache.Options[uint64, uint64]{
+		Capacity: opts.Capacity, Ways: opts.Ways, Policy: pol, Seed: opts.Seed,
+	})
+	if err != nil {
+		return cache.Stats{}, err
+	}
+	tr := wl.mk(opts.Seed + 1)
+	for i := 0; i < opts.Ops; i++ {
+		op := tr.Next()
+		if _, ok := c.Get(op.Key); !ok {
+			c.PutCost(op.Key, op.Key, op.Cost)
+		}
+	}
+	return c.Stats(), nil
+}
+
+// replayConcurrent drives a ShardedCache from opts.Conc goroutines,
+// each with its own stream, and returns wall-clock ns/op plus the
+// aggregate stats.
+func replayConcurrent(opts cacheBenchOptions, pol string, wl cacheWorkload) (float64, cache.Stats, int, error) {
+	c, err := cache.NewSharded(cache.Options[uint64, uint64]{
+		Capacity: opts.Capacity, Ways: opts.Ways, Policy: pol,
+		Shards: opts.Shards, Seed: opts.Seed,
+	})
+	if err != nil {
+		return 0, cache.Stats{}, 0, err
+	}
+	workers := opts.Conc
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	total := opts.ConcOps
+	if total <= 0 {
+		total = opts.Ops
+	}
+	per := total / workers
+	if per < 1 {
+		per = 1
+	}
+	traces := make([]synth.ServiceTrace, workers)
+	for w := range traces {
+		traces[w] = wl.mk(opts.Seed + 100 + uint64(w))
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(tr synth.ServiceTrace) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				op := tr.Next()
+				if _, ok := c.Get(op.Key); !ok {
+					c.PutCost(op.Key, op.Key, op.Cost)
+				}
+			}
+		}(traces[w])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	nsPerOp := float64(elapsed.Nanoseconds()) / float64(per*workers)
+	return nsPerOp, c.Stats(), workers, nil
+}
+
+// runCacheBench executes the -cache benchmark matrix and writes the
+// table and (optionally) the JSON report.
+func runCacheBench(opts cacheBenchOptions) error {
+	if opts.Out == nil {
+		opts.Out = os.Stdout
+	}
+	if opts.Capacity <= 0 {
+		opts.Capacity = 1 << 16
+	}
+	if opts.Ops <= 0 {
+		opts.Ops = 2_000_000
+	}
+	if len(opts.Policies) == 0 {
+		opts.Policies = []string{"lru", "srrip", "ship++", "care"}
+	}
+	wls, err := cacheWorkloads(opts.Capacity, opts.Workloads)
+	if err != nil {
+		return err
+	}
+
+	report := CacheBenchReport{
+		GeneratedAt: time.Now(),
+		Capacity:    opts.Capacity,
+		Ways:        opts.Ways,
+		Shards:      opts.Shards,
+		Ops:         opts.Ops,
+	}
+	fmt.Fprintf(opts.Out, "cache library benchmark: capacity=%d ops=%d policies=%v\n\n",
+		opts.Capacity, opts.Ops, opts.Policies)
+	fmt.Fprintf(opts.Out, "%-12s %-8s %8s %12s %12s %10s\n",
+		"workload", "policy", "hit%", "evictions", "conc ns/op", "conc hit%")
+	for _, wl := range wls {
+		var lruHit float64
+		for _, pol := range opts.Policies {
+			st, err := replayHitRatio(opts, pol, wl)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", wl.name, pol, err)
+			}
+			nsPerOp, concSt, workers, err := replayConcurrent(opts, pol, wl)
+			if err != nil {
+				return fmt.Errorf("%s/%s concurrent: %w", wl.name, pol, err)
+			}
+			row := CacheBenchRow{
+				Workload:       wl.name,
+				Policy:         pol,
+				HitRatio:       st.HitRatio(),
+				Evictions:      st.Evictions,
+				ConcNsPerOp:    nsPerOp,
+				ConcHitRatio:   concSt.HitRatio(),
+				ConcGoroutines: workers,
+			}
+			report.Rows = append(report.Rows, row)
+			fmt.Fprintf(opts.Out, "%-12s %-8s %8.2f %12d %12.1f %10.2f\n",
+				row.Workload, row.Policy, 100*row.HitRatio, row.Evictions,
+				row.ConcNsPerOp, 100*row.ConcHitRatio)
+			if pol == "lru" {
+				lruHit = row.HitRatio
+			}
+			if pol == "care" && lruHit > 0 {
+				fmt.Fprintf(opts.Out, "%-12s %-8s %+8.2f   (care vs lru hit-ratio points)\n",
+					wl.name, "Δcare", 100*(row.HitRatio-lruHit))
+			}
+		}
+		fmt.Fprintln(opts.Out)
+	}
+
+	if opts.Report != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(opts.Report, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(opts.Out, "cache report -> %s\n", opts.Report)
+	}
+	return nil
+}

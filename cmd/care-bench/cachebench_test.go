@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCacheBenchReport runs a small -cache matrix end to end and
+// checks the report is complete, sane, and shows CARE's advantage on
+// the contended scan-flood workload (the acceptance criterion for the
+// library: cost-aware scan resistance that plain LRU lacks).
+func TestCacheBenchReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cache bench replay is seconds-long; skipped in -short")
+	}
+	reportPath := filepath.Join(t.TempDir(), "cache-report.json")
+	var out bytes.Buffer
+	opts := cacheBenchOptions{
+		Policies: []string{"lru", "care"},
+		Ops:      300_000,
+		ConcOps:  50_000, // throughput pass can be short; hit ratio is the point
+		Capacity: 8192,
+		Seed:     1,
+		Out:      &out,
+		Report:   reportPath,
+	}
+	if err := runCacheBench(opts); err != nil {
+		t.Fatalf("runCacheBench: %v\n%s", err, out.String())
+	}
+
+	data, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report CacheBenchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+
+	wantWorkloads := []string{"zipfian", "scan-flood", "key-churn"}
+	if want := len(wantWorkloads) * len(opts.Policies); len(report.Rows) != want {
+		t.Fatalf("%d rows, want %d", len(report.Rows), want)
+	}
+	hit := map[string]map[string]float64{} // workload -> policy -> ratio
+	for _, r := range report.Rows {
+		if r.HitRatio <= 0 || r.HitRatio >= 1 {
+			t.Fatalf("%s/%s: hit ratio %v out of (0,1)", r.Workload, r.Policy, r.HitRatio)
+		}
+		if r.ConcNsPerOp <= 0 {
+			t.Fatalf("%s/%s: non-positive concurrent ns/op %v", r.Workload, r.Policy, r.ConcNsPerOp)
+		}
+		if r.ConcHitRatio <= 0 || r.ConcGoroutines < 1 {
+			t.Fatalf("%s/%s: bad concurrent stats %+v", r.Workload, r.Policy, r)
+		}
+		if r.Evictions == 0 {
+			t.Fatalf("%s/%s: no evictions — cell is uncontended, bench is vacuous", r.Workload, r.Policy)
+		}
+		if hit[r.Workload] == nil {
+			hit[r.Workload] = map[string]float64{}
+		}
+		hit[r.Workload][r.Policy] = r.HitRatio
+	}
+	for _, wl := range wantWorkloads {
+		if len(hit[wl]) != len(opts.Policies) {
+			t.Fatalf("workload %s missing rows: %v", wl, hit[wl])
+		}
+	}
+	// CARE must beat plain LRU on the scan-contended workload.
+	if care, lru := hit["scan-flood"]["care"], hit["scan-flood"]["lru"]; care <= lru {
+		t.Fatalf("scan-flood: care hit ratio %.4f does not beat lru %.4f", care, lru)
+	}
+}
+
+// TestCacheWorkloadSelection: named selection works and unknown names
+// fail with the available set listed.
+func TestCacheWorkloadSelection(t *testing.T) {
+	wls, err := cacheWorkloads(4096, []string{"key-churn", "zipfian"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wls) != 2 || wls[0].name != "key-churn" || wls[1].name != "zipfian" {
+		t.Fatalf("selection wrong: %+v", wls)
+	}
+	if _, err := cacheWorkloads(4096, []string{"nope"}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+// TestCacheBenchUnknownPolicy: a policy the library rejects surfaces
+// as an error, not a panic or silent skip.
+func TestCacheBenchUnknownPolicy(t *testing.T) {
+	err := runCacheBench(cacheBenchOptions{
+		Policies: []string{"hawkeye"}, // simulator-only: needs OPTgen state
+		Ops:      1_000,
+		Capacity: 1024,
+		Out:      &bytes.Buffer{},
+	})
+	if err == nil {
+		t.Fatal("simulator-only policy accepted by the library bench")
+	}
+}

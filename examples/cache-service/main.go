@@ -1,0 +1,142 @@
+// Command cache-service is a minimal HTTP key-value service fronted
+// by the care/cache library — the "use it as a library" example from
+// the README, runnable as a real server:
+//
+//	go run ./examples/cache-service -policy care -capacity 65536
+//	curl -X PUT  localhost:8080/kv/user:42 -d '{"name":"x"}' -H 'X-Cost: 180'
+//	curl         localhost:8080/kv/user:42
+//	curl -X DELETE localhost:8080/kv/user:42
+//	curl         localhost:8080/stats
+//
+// The optional X-Cost header on PUT is the recompute cost of the
+// value (backend latency, in whatever units you like); cost-aware
+// policies such as CARE use it to prefer keeping expensive values.
+// -policy lru gives the plain baseline for A/B comparison.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"care/cache"
+)
+
+// maxValueBytes bounds a single stored value; a cache is not a blob
+// store.
+const maxValueBytes = 1 << 20
+
+// server wraps the sharded cache with the HTTP surface.
+type server struct {
+	c      *cache.ShardedCache[string, []byte]
+	policy string
+}
+
+func newServer(policy string, capacity, shards int) (*server, error) {
+	c, err := cache.NewSharded(cache.Options[string, []byte]{
+		Capacity: capacity,
+		Policy:   policy,
+		Shards:   shards,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &server{c: c, policy: policy}, nil
+}
+
+// handler builds the route table. Go 1.22 method+wildcard patterns
+// keep this dependency-free.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /kv/{key}", s.get)
+	mux.HandleFunc("PUT /kv/{key}", s.put)
+	mux.HandleFunc("DELETE /kv/{key}", s.delete)
+	mux.HandleFunc("GET /stats", s.stats)
+	return mux
+}
+
+func (s *server) get(w http.ResponseWriter, r *http.Request) {
+	v, ok := s.c.Get(r.PathValue("key"))
+	if !ok {
+		http.Error(w, "cache miss", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(v)
+}
+
+func (s *server) put(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxValueBytes+1))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body) > maxValueBytes {
+		http.Error(w, fmt.Sprintf("value exceeds %d bytes", maxValueBytes), http.StatusRequestEntityTooLarge)
+		return
+	}
+	key := r.PathValue("key")
+	if h := r.Header.Get("X-Cost"); h != "" {
+		cost, err := strconv.ParseFloat(strings.TrimSpace(h), 64)
+		if err != nil || cost <= 0 {
+			http.Error(w, "X-Cost must be a positive number", http.StatusBadRequest)
+			return
+		}
+		s.c.PutCost(key, body, cost)
+	} else {
+		s.c.Put(key, body)
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *server) delete(w http.ResponseWriter, r *http.Request) {
+	if !s.c.Delete(r.PathValue("key")) {
+		http.Error(w, "not present", http.StatusNotFound)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// statsPayload is the /stats response body.
+type statsPayload struct {
+	Policy   string      `json:"policy"`
+	Shards   int         `json:"shards"`
+	Len      int         `json:"len"`
+	HitRatio float64     `json:"hit_ratio"`
+	Stats    cache.Stats `json:"stats"`
+}
+
+func (s *server) stats(w http.ResponseWriter, r *http.Request) {
+	st := s.c.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(statsPayload{
+		Policy:   s.policy,
+		Shards:   s.c.Shards(),
+		Len:      s.c.Len(),
+		HitRatio: st.HitRatio(),
+		Stats:    st,
+	})
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		policy   = flag.String("policy", "care", "eviction policy ("+strings.Join(cache.Supported(), ", ")+")")
+		capacity = flag.Int("capacity", 1<<16, "cache capacity (entries)")
+		shards   = flag.Int("shards", 0, "shard count (0 = auto)")
+	)
+	flag.Parse()
+
+	srv, err := newServer(*policy, *capacity, *shards)
+	if err != nil {
+		log.Fatalf("cache-service: %v", err)
+	}
+	log.Printf("cache-service: %s policy, %d entries, %d shards, listening on %s",
+		srv.policy, *capacity, srv.c.Shards(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.handler()))
+}

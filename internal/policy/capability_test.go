@@ -1,0 +1,81 @@
+package policy_test
+
+import (
+	"errors"
+	"testing"
+
+	_ "care/internal/core/care" // registers "care" and "m-care"
+	"care/internal/policy"
+	"care/internal/replacement"
+)
+
+// TestCapabilitiesLockstep: every policy in the zoo (and therefore,
+// by TestLockstepWithReplacementRegistry, every registered factory)
+// has capability metadata, and unknown names fail with *ErrUnknown.
+// This is the guarantee care/cache relies on to reject unsupported
+// policies at construction instead of panicking at first access.
+func TestCapabilitiesLockstep(t *testing.T) {
+	for _, p := range policy.All() {
+		if _, err := p.Capabilities(); err != nil {
+			t.Errorf("%q.Capabilities(): %v", p, err)
+		}
+	}
+	for _, name := range replacement.Names() {
+		if _, err := policy.Policy(name).Capabilities(); err != nil {
+			t.Errorf("registered policy %q has no capability metadata: %v", name, err)
+		}
+	}
+	var unknown *policy.ErrUnknown
+	if _, err := policy.Policy("plru").Capabilities(); !errors.As(err, &unknown) {
+		t.Fatalf(`Capabilities("plru"): got %v, want *ErrUnknown`, err)
+	}
+}
+
+// TestCapabilitiesAnchors pins the classifications the rest of the
+// repo depends on: the paper's own policy must be portable (the whole
+// point of the cache library) and the simulator-bound measurements
+// must not be.
+func TestCapabilitiesAnchors(t *testing.T) {
+	mustPortable := []policy.Policy{policy.LRU, policy.SRRIP, policy.SHiPPP, policy.CARE, policy.MCARE}
+	for _, p := range mustPortable {
+		c, err := p.Capabilities()
+		if err != nil || !c.Portable() {
+			t.Errorf("%q: want portable, got caps=%+v err=%v", p, c, err)
+		}
+	}
+	mustReject := []policy.Policy{policy.Hawkeye, policy.Mockingjay, policy.SBAR, policy.LACS}
+	for _, p := range mustReject {
+		c, err := p.Capabilities()
+		if err != nil || c.Portable() {
+			t.Errorf("%q: want simulator-bound, got caps=%+v err=%v", p, c, err)
+		}
+	}
+	// Signature-trained portables must be flagged NeedsPC so the
+	// library knows it is substituting key hashes for PCs.
+	for _, p := range []policy.Policy{policy.SHiP, policy.SHiPPP, policy.CARE} {
+		if c, _ := p.Capabilities(); !c.NeedsPC {
+			t.Errorf("%q: want NeedsPC", p)
+		}
+	}
+}
+
+// TestPortableSubset: Portable() is a sorted, validated subset of
+// All() and contains no simulator-bound policy.
+func TestPortableSubset(t *testing.T) {
+	portable := policy.Portable()
+	if len(portable) == 0 {
+		t.Fatal("no portable policies")
+	}
+	for i, p := range portable {
+		if i > 0 && portable[i-1] >= p {
+			t.Fatalf("Portable() not sorted at %d: %v", i, portable)
+		}
+		c, err := p.Capabilities()
+		if err != nil {
+			t.Fatalf("%q: %v", p, err)
+		}
+		if !c.Portable() {
+			t.Fatalf("%q in Portable() but NeedsSimulatorState", p)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file generates *service-style* traffic — key streams for the
+// care/cache library — alongside the simulator's instruction traces
+// above. The three patterns are the canonical stress shapes of
+// internet-facing caches:
+//
+//   - zipfian:   skewed popularity (the web's default distribution);
+//   - scan-flood: zipfian foreground periodically flooded by large
+//     sequential scans of once-used keys (batch jobs, crawlers,
+//     table scans) — the pattern that destroys plain LRU;
+//   - key-churn: a rotating hot set — keys stay individually popular
+//     for a while, then are replaced by fresh ones (sessions, feeds,
+//     trending content).
+//
+// Streams are deterministic for a seed, so hit-ratio comparisons
+// across policies are exactly reproducible.
+
+// ServiceOp is one operation of a service-style cache trace: access
+// Key; on a miss, recomputing the value costs Cost (arbitrary units —
+// think backend latency). Cost feeds cost-sensitive policies (CARE).
+type ServiceOp struct {
+	Key  uint64
+	Cost float64
+}
+
+// ServiceTrace is a deterministic, unbounded service-traffic stream.
+type ServiceTrace interface {
+	// Name labels the pattern in reports.
+	Name() string
+	// Next returns the next operation.
+	Next() ServiceOp
+	// Reset restarts the deterministic stream.
+	Reset()
+}
+
+// KeyCost is the deterministic per-key miss cost shared by the
+// generators: spread over [25, 425) so it straddles CARE's default
+// DTRM thresholds (50/350) the way real backend latencies straddle
+// cheap point reads and expensive aggregate queries.
+func KeyCost(key uint64) float64 {
+	x := key
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(25 + x%400)
+}
+
+// scanCost is the flat cost of scan traffic: bulk sequential backend
+// reads are cheap per key.
+const scanCost = 30
+
+// key-space offsets keep each generator family's keys disjoint from
+// the others, so mixed reports never alias.
+const (
+	scanKeyBase  = uint64(1) << 40
+	churnKeyBase = uint64(2) << 40
+)
+
+// ZipfTrace emits keys with zipfian popularity.
+type ZipfTrace struct {
+	keys uint64
+	skew float64
+	seed uint64
+	zipf *rand.Zipf
+}
+
+var _ ServiceTrace = (*ZipfTrace)(nil)
+
+// NewZipfTrace builds a zipfian stream over `keys` keys with the
+// given skew (> 1; larger = more head-heavy).
+func NewZipfTrace(keys uint64, skew float64, seed uint64) *ZipfTrace {
+	if keys < 1 {
+		panic("synth: zipf needs >= 1 key")
+	}
+	if skew <= 1 {
+		panic(fmt.Sprintf("synth: zipf skew %v; want > 1", skew))
+	}
+	z := &ZipfTrace{keys: keys, skew: skew, seed: seed}
+	z.Reset()
+	return z
+}
+
+// Name implements ServiceTrace.
+func (z *ZipfTrace) Name() string { return "zipfian" }
+
+// Reset implements ServiceTrace.
+func (z *ZipfTrace) Reset() {
+	z.zipf = rand.NewZipf(rand.New(rand.NewSource(int64(z.seed)+1)), z.skew, 1, z.keys-1)
+}
+
+// Next implements ServiceTrace.
+func (z *ZipfTrace) Next() ServiceOp {
+	k := z.zipf.Uint64()
+	return ServiceOp{Key: k, Cost: KeyCost(k)}
+}
+
+// ScanFloodTrace is zipfian foreground traffic periodically flooded
+// by sequential scans: every ScanEvery foreground ops, ScanLen
+// consecutive keys from a dedicated scan region stream through — each
+// scan advances the region cursor, so scanned keys effectively never
+// repeat while cached.
+type ScanFloodTrace struct {
+	base      *ZipfTrace
+	scanLen   uint64
+	scanEvery uint64
+	scanSpace uint64
+
+	sinceScan uint64
+	inScan    uint64
+	cursor    uint64
+}
+
+var _ ServiceTrace = (*ScanFloodTrace)(nil)
+
+// NewScanFloodTrace builds the scan-flood stream. scanSpace bounds
+// the scan region (cursor wraps); size it well above the cache under
+// test so wrapped keys are long evicted.
+func NewScanFloodTrace(keys uint64, skew float64, scanLen, scanEvery, scanSpace uint64, seed uint64) *ScanFloodTrace {
+	if scanLen < 1 || scanEvery < 1 || scanSpace < scanLen {
+		panic("synth: scan-flood needs scanLen >= 1, scanEvery >= 1, scanSpace >= scanLen")
+	}
+	s := &ScanFloodTrace{
+		base:      NewZipfTrace(keys, skew, seed),
+		scanLen:   scanLen,
+		scanEvery: scanEvery,
+		scanSpace: scanSpace,
+	}
+	s.Reset()
+	return s
+}
+
+// Name implements ServiceTrace.
+func (s *ScanFloodTrace) Name() string { return "scan-flood" }
+
+// Reset implements ServiceTrace.
+func (s *ScanFloodTrace) Reset() {
+	s.base.Reset()
+	s.sinceScan = 0
+	s.inScan = 0
+	s.cursor = 0
+}
+
+// Next implements ServiceTrace.
+func (s *ScanFloodTrace) Next() ServiceOp {
+	if s.inScan > 0 {
+		s.inScan--
+		k := scanKeyBase + s.cursor
+		s.cursor = (s.cursor + 1) % s.scanSpace
+		return ServiceOp{Key: k, Cost: scanCost}
+	}
+	s.sinceScan++
+	if s.sinceScan >= s.scanEvery {
+		s.sinceScan = 0
+		s.inScan = s.scanLen
+	}
+	return s.base.Next()
+}
+
+// KeyChurnTrace emits zipfian traffic over a hot set whose *identity*
+// rotates: every 1/ChurnPerOp operations (via a deterministic
+// accumulator), one hot slot is re-pointed at a brand-new key. Keys
+// are individually popular for a while and then permanently replaced
+// — the session/feed/trending shape that punishes predictors which
+// are slow to retire dead keys.
+type KeyChurnTrace struct {
+	hot       int
+	skew      float64
+	churn     float64
+	seed      uint64
+	slots     []uint64
+	zipf      *rand.Zipf
+	rng       uint64
+	acc       float64
+	nextID    uint64
+	rotations uint64
+}
+
+var _ ServiceTrace = (*KeyChurnTrace)(nil)
+
+// NewKeyChurnTrace builds a churning hot set of `hot` keys with skew
+// (> 1) and churnPerOp expected slot rotations per operation (0 = a
+// static hot set, 1 = a full-slot turnover every `hot` ops at
+// hot=1... i.e. rate is absolute, not per-slot).
+func NewKeyChurnTrace(hot int, skew, churnPerOp float64, seed uint64) *KeyChurnTrace {
+	if hot < 1 {
+		panic("synth: key-churn needs >= 1 hot key")
+	}
+	if churnPerOp < 0 {
+		panic("synth: negative churn rate")
+	}
+	if skew <= 1 {
+		panic(fmt.Sprintf("synth: key-churn skew %v; want > 1", skew))
+	}
+	c := &KeyChurnTrace{hot: hot, skew: skew, churn: churnPerOp, seed: seed}
+	c.slots = make([]uint64, hot)
+	c.Reset()
+	return c
+}
+
+// Name implements ServiceTrace.
+func (c *KeyChurnTrace) Name() string { return "key-churn" }
+
+// Reset implements ServiceTrace.
+func (c *KeyChurnTrace) Reset() {
+	for i := range c.slots {
+		c.slots[i] = churnKeyBase + uint64(i)
+	}
+	c.nextID = uint64(c.hot)
+	c.zipf = rand.NewZipf(rand.New(rand.NewSource(int64(c.seed)+2)), c.skew, 1, uint64(c.hot-1))
+	c.rng = c.seed*2654435761 + 0x9e3779b97f4a7c15
+	c.acc = 0
+	c.rotations = 0
+}
+
+func (c *KeyChurnTrace) next64() uint64 {
+	v := c.rng
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	c.rng = v
+	return v
+}
+
+// Next implements ServiceTrace.
+func (c *KeyChurnTrace) Next() ServiceOp {
+	c.acc += c.churn
+	for c.acc >= 1 {
+		c.acc--
+		slot := int(c.next64() % uint64(c.hot))
+		c.slots[slot] = churnKeyBase + c.nextID
+		c.nextID++
+		c.rotations++
+	}
+	k := c.slots[c.zipf.Uint64()]
+	return ServiceOp{Key: k, Cost: KeyCost(k)}
+}
+
+// Rotations returns the number of hot-slot replacements so far — the
+// realised churn, which the distribution tests pin against the
+// configured rate.
+func (c *KeyChurnTrace) Rotations() uint64 { return c.rotations }
+
+// ServiceTraces builds the standard benchmark set — zipfian,
+// scan-flood, key-churn — sized relative to a cache of `capacity`
+// entries so each pattern actually contends: the zipf universe is 16×
+// capacity, scans are capacity-sized floods every capacity/2 ops, and
+// the churn hot set is 2× capacity rotating ~1 slot per 50 ops.
+func ServiceTraces(capacity int, seed uint64) []ServiceTrace {
+	cap64 := uint64(capacity)
+	if cap64 < 64 {
+		cap64 = 64
+	}
+	return []ServiceTrace{
+		NewZipfTrace(16*cap64, 1.2, seed),
+		NewScanFloodTrace(8*cap64, 1.2, cap64, cap64/2, 64*cap64, seed),
+		NewKeyChurnTrace(2*int(cap64), 1.3, 0.02, seed),
+	}
+}

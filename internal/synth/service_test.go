@@ -1,0 +1,171 @@
+package synth
+
+import (
+	"testing"
+)
+
+// collect draws n ops from a fresh stream.
+func collect(tr ServiceTrace, n int) []ServiceOp {
+	tr.Reset()
+	out := make([]ServiceOp, n)
+	for i := range out {
+		out[i] = tr.Next()
+	}
+	return out
+}
+
+// TestServiceDeterminism: equal seeds reproduce byte-identical
+// streams across Reset and across instances; different seeds diverge.
+func TestServiceDeterminism(t *testing.T) {
+	make1 := func(seed uint64) []ServiceTrace {
+		return []ServiceTrace{
+			NewZipfTrace(10_000, 1.2, seed),
+			NewScanFloodTrace(10_000, 1.2, 500, 2_000, 50_000, seed),
+			NewKeyChurnTrace(1_000, 1.3, 0.05, seed),
+		}
+	}
+	for i, tr := range make1(7) {
+		same := make1(7)[i]
+		diff := make1(8)[i]
+		a, b, d := collect(tr, 5_000), collect(same, 5_000), collect(diff, 5_000)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("%s: same-seed streams diverge at %d", tr.Name(), j)
+			}
+		}
+		// Reset restarts exactly.
+		c := collect(tr, 5_000)
+		for j := range a {
+			if a[j] != c[j] {
+				t.Fatalf("%s: Reset did not restart stream (op %d)", tr.Name(), j)
+			}
+		}
+		differs := false
+		for j := range a {
+			if a[j] != d[j] {
+				differs = true
+				break
+			}
+		}
+		if !differs {
+			t.Fatalf("%s: different seeds produced identical streams", tr.Name())
+		}
+	}
+}
+
+// TestZipfHeadMass: the head of the zipf distribution carries real
+// mass (top-10 of 10k keys well above uniform's 0.1%).
+func TestZipfHeadMass(t *testing.T) {
+	ops := collect(NewZipfTrace(10_000, 1.2, 1), 200_000)
+	counts := map[uint64]int{}
+	for _, o := range ops {
+		counts[o.Key]++
+	}
+	top := 0
+	for k := uint64(0); k < 10; k++ {
+		top += counts[k]
+	}
+	if frac := float64(top) / float64(len(ops)); frac < 0.25 {
+		t.Fatalf("top-10 keys carry %.1f%% of traffic; want >= 25%%", 100*frac)
+	}
+	if len(counts) < 1_000 {
+		t.Fatalf("only %d distinct keys; tail missing", len(counts))
+	}
+}
+
+// TestScanFloodStructure: scans fire at the configured period, emit
+// runs of consecutive scan-region keys of exactly ScanLen, and scan
+// keys do not repeat within a cursor wrap.
+func TestScanFloodStructure(t *testing.T) {
+	const scanLen, scanEvery, space = 100, 400, 100_000
+	tr := NewScanFloodTrace(5_000, 1.2, scanLen, scanEvery, space, 3)
+	ops := collect(tr, 60_000)
+	scanOps, runs, run := 0, 0, 0
+	var prev uint64
+	seen := map[uint64]bool{}
+	for _, o := range ops {
+		if o.Key >= scanKeyBase {
+			scanOps++
+			if o.Cost != scanCost {
+				t.Fatalf("scan key cost %v, want %v", o.Cost, scanCost)
+			}
+			if seen[o.Key] {
+				t.Fatalf("scan key %d repeated before cursor wrap", o.Key)
+			}
+			seen[o.Key] = true
+			if run > 0 && o.Key != prev+1 {
+				t.Fatalf("scan not sequential: %d after %d", o.Key, prev)
+			}
+			run++
+			prev = o.Key
+		} else if run > 0 {
+			if run != scanLen {
+				t.Fatalf("scan run of %d, want %d", run, scanLen)
+			}
+			runs++
+			run = 0
+		}
+	}
+	wantFrac := float64(scanLen) / float64(scanLen+scanEvery)
+	if frac := float64(scanOps) / float64(len(ops)); frac < 0.5*wantFrac || frac > 1.5*wantFrac {
+		t.Fatalf("scan traffic %.1f%%, want ~%.1f%%", 100*frac, 100*wantFrac)
+	}
+	if runs < 100 {
+		t.Fatalf("only %d complete scans in 60k ops", runs)
+	}
+}
+
+// TestKeyChurnRate: the realised rotation count matches the
+// configured churn rate exactly (deterministic accumulator), distinct
+// key growth tracks it, and rate 0 degenerates to a static zipf set.
+func TestKeyChurnRate(t *testing.T) {
+	const n = 100_000
+	for _, rate := range []float64{0, 0.01, 0.1} {
+		tr := NewKeyChurnTrace(1_000, 1.3, rate, 5)
+		ops := collect(tr, n)
+		want := uint64(rate * n)
+		// The accumulator is deterministic but floats round: allow
+		// ±0.1% drift from the nominal count.
+		if got := tr.Rotations(); got+want/1000+1 < want || got > want+want/1000+1 {
+			t.Fatalf("rate %v: %d rotations, want %d±0.1%%", rate, got, want)
+		}
+		distinct := map[uint64]bool{}
+		for _, o := range ops {
+			if o.Key < churnKeyBase {
+				t.Fatalf("churn key %d outside its key space", o.Key)
+			}
+			distinct[o.Key] = true
+		}
+		if rate == 0 {
+			if len(distinct) > 1_000 {
+				t.Fatalf("static hot set emitted %d distinct keys", len(distinct))
+			}
+			continue
+		}
+		// Rotated-in keys may rotate out unseen, so distinct counts
+		// undershoot hot+rotations, but churn must clearly show.
+		if len(distinct) < 1_000+int(want)/4 {
+			t.Fatalf("rate %v: only %d distinct keys for %d rotations", rate, len(distinct), want)
+		}
+	}
+}
+
+// TestServiceTracesStandardSet: the benchmark set is complete,
+// correctly labelled, and usable.
+func TestServiceTracesStandardSet(t *testing.T) {
+	traces := ServiceTraces(4096, 1)
+	want := []string{"zipfian", "scan-flood", "key-churn"}
+	if len(traces) != len(want) {
+		t.Fatalf("%d traces, want %d", len(traces), len(want))
+	}
+	for i, tr := range traces {
+		if tr.Name() != want[i] {
+			t.Fatalf("trace %d named %q, want %q", i, tr.Name(), want[i])
+		}
+		for j := 0; j < 1_000; j++ {
+			if op := tr.Next(); op.Cost <= 0 {
+				t.Fatalf("%s: non-positive cost %v", tr.Name(), op.Cost)
+			}
+		}
+	}
+}
