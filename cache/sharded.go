@@ -19,9 +19,11 @@ type shard[K comparable, V any] struct {
 // the same segment code as the single-threaded Cache — with one
 // shard, decisions are byte-identical to Cache (enforced by tests).
 //
-// Every method is safe for concurrent use. Aggregate views (Len,
-// Stats, Range) lock shards one at a time: they are consistent per
-// shard but not a global snapshot.
+// Every method is safe for concurrent use. Len and Stats hold every
+// shard lock at once and so return a consistent global snapshot:
+// cross-counter identities (Hits+Misses = total Gets, Inserts −
+// Evictions − Deletes = Len) hold even while writers run. Range still
+// locks shards one at a time — it is consistent per shard only.
 type ShardedCache[K comparable, V any] struct {
 	hash       func(K) uint64
 	shards     []*shard[K, V]
@@ -97,24 +99,45 @@ func (s *ShardedCache[K, V]) Delete(k K) bool {
 	return ok
 }
 
-// Len returns the total number of live entries across shards.
-func (s *ShardedCache[K, V]) Len() int {
-	n := 0
+// lockAll acquires every shard lock in index order (the fixed order
+// makes concurrent aggregate calls deadlock-free) and returns the
+// matching unlock. Aggregates summed under it are a single globally
+// consistent snapshot: locking shards one at a time instead would let
+// an in-flight Get on an already-summed shard race ahead of one on a
+// not-yet-summed shard and produce torn sums (transiently
+// Hits+Misses != total Gets), which showed up as flaky conservation
+// checks in monitoring scrapes.
+func (s *ShardedCache[K, V]) lockAll() (unlock func()) {
 	for _, sh := range s.shards {
 		sh.mu.Lock()
+	}
+	return func() {
+		for _, sh := range s.shards {
+			sh.mu.Unlock()
+		}
+	}
+}
+
+// Len returns the total number of live entries across shards, as one
+// consistent snapshot.
+func (s *ShardedCache[K, V]) Len() int {
+	unlock := s.lockAll()
+	defer unlock()
+	n := 0
+	for _, sh := range s.shards {
 		n += sh.seg.len()
-		sh.mu.Unlock()
 	}
 	return n
 }
 
-// Stats returns the operation counters summed over shards.
+// Stats returns the operation counters summed over shards, as one
+// consistent snapshot.
 func (s *ShardedCache[K, V]) Stats() Stats {
+	unlock := s.lockAll()
+	defer unlock()
 	var out Stats
 	for _, sh := range s.shards {
-		sh.mu.Lock()
 		out.add(sh.seg.stats)
-		sh.mu.Unlock()
 	}
 	return out
 }

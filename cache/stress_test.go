@@ -119,6 +119,81 @@ func TestShardedStress(t *testing.T) {
 	}
 }
 
+// TestShardedStatsSnapshotConsistent reads Stats and Len continuously
+// WHILE writers are still running and asserts the cross-shard
+// conservation identities on every observation: get-through traffic
+// means every Get is either a hit or a miss (Hits+Misses never exceeds
+// issued Gets, and the two never tear apart), and live entries always
+// equal Inserts − Evictions − Deletes. With the old one-shard-at-a-time
+// summation both identities failed transiently: a Get racing between
+// an already-summed and a not-yet-summed shard could be double-counted
+// or missed, so monitoring scrapes saw Hits+Misses != Gets.
+func TestShardedStatsSnapshotConsistent(t *testing.T) {
+	c, err := cache.NewSharded(cache.Options[uint64, uint64]{Capacity: 4096, Policy: "care", Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var issuedGets atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := seed*0x9E3779B97F4A7C15 + 1
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				k := rng % 16384
+				switch rng % 4 {
+				case 0:
+					c.Delete(k)
+				default:
+					// issuedGets counts BEFORE the Get so a snapshot can
+					// never see more Hits+Misses than issued Gets.
+					issuedGets.Add(1)
+					if _, ok := c.Get(k); !ok {
+						c.Put(k, k*3)
+					}
+				}
+			}
+		}(uint64(w + 1))
+	}
+	for i := 0; i < 2_000; i++ {
+		st := c.Stats()
+		if got := st.Hits + st.Misses; got > issuedGets.Load() {
+			t.Errorf("observation %d: Hits+Misses = %d exceeds issued Gets (torn sum)", i, got)
+			break
+		}
+		st = c.Stats()
+		n := c.Len()
+		st2 := c.Stats()
+		// Len sits between two Stats snapshots; conservation must hold
+		// against the interval they bound.
+		lo := int64(st.Inserts) - int64(st2.Evictions) - int64(st2.Deletes)
+		hi := int64(st2.Inserts) - int64(st.Evictions) - int64(st.Deletes)
+		if int64(n) < lo || int64(n) > hi {
+			t.Errorf("observation %d: Len %d outside conservation interval [%d, %d]", i, n, lo, hi)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	st := c.Stats()
+	if got := st.Hits + st.Misses; got != issuedGets.Load() {
+		t.Fatalf("quiescent: Hits+Misses = %d, issued Gets = %d", got, issuedGets.Load())
+	}
+	if got := int64(st.Inserts) - int64(st.Evictions) - int64(st.Deletes); got != int64(c.Len()) {
+		t.Fatalf("quiescent conservation: %d live by counters, Len %d", got, c.Len())
+	}
+}
+
 // TestShardedConcurrentMixed runs fully overlapping keys from many
 // goroutines — every key contended — purely to give the race detector
 // surface area on the lock paths (values are all derived from keys,

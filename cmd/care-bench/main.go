@@ -26,6 +26,7 @@ import (
 	"care/internal/faultinject"
 	"care/internal/harness"
 	"care/internal/policy"
+	"care/internal/sim"
 	"care/internal/telemetry"
 )
 
@@ -45,13 +46,14 @@ func main() {
 		maxCycles = flag.Uint64("max-cycles", 0, "abort any single simulation after this many cycles (0 = unlimited)")
 		timeout   = flag.Duration("timeout", 0, "abort any single simulation after this much wall-clock time (0 = unlimited)")
 		checkInv  = flag.Bool("check-invariants", false, "verify runtime invariants in every simulation")
+		engine    = flag.String("engine", "", "cycle engine for every simulation: sequential (default) or parallel; results are byte-identical, only wall clock differs. In -perf mode this restricts the engine axis (default: both)")
 
 		telFormat   = flag.String("telemetry", "", "record per-simulation interval telemetry in this format: "+strings.Join(telemetry.Formats(), ", ")+" (empty = off)")
 		telInterval = flag.Uint64("telemetry-interval", telemetry.DefaultInterval, "telemetry sampling interval in cycles")
 		telOut      = flag.String("telemetry-out", "", "telemetry output file (empty = care-bench-telemetry.<ext>, \"-\" = stdout); experiments append to one stream")
 
 		perf         = flag.Bool("perf", false, "run the performance-regression suite (Fig.7/Fig.9 sweeps at 1/4/8 cores) instead of accuracy experiments")
-		perfOut      = flag.String("perf-out", "", "write the perf report to this JSON file (default BENCH_5.json; \"-\" = stdout only)")
+		perfOut      = flag.String("perf-out", "", "write the perf report to this JSON file (default BENCH_8.json; \"-\" = stdout only)")
 		perfBaseline = flag.String("perf-baseline", "", "compare the perf report against this baseline JSON; exit 1 on regression")
 		perfTol      = flag.Float64("perf-tolerance", 0.10, "fractional ns/op regression tolerated against -perf-baseline")
 
@@ -108,8 +110,14 @@ func main() {
 		return
 	}
 
+	if *engine != "" && !sim.Engine(*engine).Valid() {
+		fmt.Fprintf(os.Stderr, "care-bench: -engine %s: unknown engine (have %s, %s)\n",
+			*engine, sim.EngineSequential, sim.EngineParallel)
+		os.Exit(2)
+	}
+
 	if *perf {
-		if err := runPerf(*perfOut, *perfBaseline, *perfTol, *schemes); err != nil {
+		if err := runPerf(*perfOut, *perfBaseline, *perfTol, *schemes, *engine); err != nil {
 			fmt.Fprintln(os.Stderr, "care-bench:", err)
 			os.Exit(1)
 		}
@@ -138,6 +146,7 @@ func main() {
 		MaxCycles:       *maxCycles,
 		Timeout:         *timeout,
 		CheckInvariants: *checkInv,
+		Engine:          *engine,
 		MaxAttempts:     *retries + 1,
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvery,
@@ -250,8 +259,11 @@ func main() {
 
 // runPerf executes the performance-regression sweep, writes the
 // report, and optionally compares it against a committed baseline.
-func runPerf(outPath, baselinePath string, tol float64, schemes string) error {
+func runPerf(outPath, baselinePath string, tol float64, schemes, engine string) error {
 	opts := harness.PerfOptions{Out: os.Stdout}
+	if engine != "" {
+		opts.Engines = []string{engine}
+	}
 	if schemes != "" {
 		for _, s := range strings.Split(schemes, ",") {
 			p, err := policy.Parse(strings.TrimSpace(s))
@@ -269,7 +281,7 @@ func runPerf(outPath, baselinePath string, tol float64, schemes string) error {
 	case "-":
 	default:
 		if outPath == "" {
-			outPath = "BENCH_5.json"
+			outPath = "BENCH_8.json"
 		}
 		if err := harness.WritePerfReport(outPath, report); err != nil {
 			return err

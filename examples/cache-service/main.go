@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -60,31 +61,63 @@ func (s *server) handler() http.Handler {
 	return mux
 }
 
+// errorPayload is the typed JSON body every error response carries,
+// so clients can match on a stable field instead of parsing prose.
+type errorPayload struct {
+	Error string `json:"error"`
+	// Field names the request element at fault ("X-Cost", "body"),
+	// when one is identifiable.
+	Field string `json:"field,omitempty"`
+}
+
+func writeError(w http.ResponseWriter, status int, field, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorPayload{Error: msg, Field: field})
+}
+
 func (s *server) get(w http.ResponseWriter, r *http.Request) {
 	v, ok := s.c.Get(r.PathValue("key"))
 	if !ok {
-		http.Error(w, "cache miss", http.StatusNotFound)
+		writeError(w, http.StatusNotFound, "", "cache miss")
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Write(v)
 }
 
+// parseCost validates an X-Cost header: it must parse as a finite
+// number greater than zero. strconv.ParseFloat happily accepts "NaN"
+// and "Inf", and NaN fails every ordered comparison, so the obvious
+// `err != nil || cost <= 0` check silently admits both — a NaN cost
+// then poisons every cost comparison inside a cost-aware policy.
+func parseCost(h string) (float64, error) {
+	cost, err := strconv.ParseFloat(strings.TrimSpace(h), 64)
+	if err != nil {
+		return 0, fmt.Errorf("X-Cost %q is not a number", h)
+	}
+	if math.IsNaN(cost) || math.IsInf(cost, 0) || cost <= 0 {
+		return 0, fmt.Errorf("X-Cost must be a positive finite number, got %q", h)
+	}
+	return cost, nil
+}
+
 func (s *server) put(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxValueBytes+1))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, "body", err.Error())
 		return
 	}
 	if len(body) > maxValueBytes {
-		http.Error(w, fmt.Sprintf("value exceeds %d bytes", maxValueBytes), http.StatusRequestEntityTooLarge)
+		writeError(w, http.StatusRequestEntityTooLarge, "body",
+			fmt.Sprintf("value exceeds %d bytes", maxValueBytes))
 		return
 	}
 	key := r.PathValue("key")
 	if h := r.Header.Get("X-Cost"); h != "" {
-		cost, err := strconv.ParseFloat(strings.TrimSpace(h), 64)
-		if err != nil || cost <= 0 {
-			http.Error(w, "X-Cost must be a positive number", http.StatusBadRequest)
+		cost, err := parseCost(h)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "X-Cost", err.Error())
 			return
 		}
 		s.c.PutCost(key, body, cost)
@@ -96,7 +129,7 @@ func (s *server) put(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) delete(w http.ResponseWriter, r *http.Request) {
 	if !s.c.Delete(r.PathValue("key")) {
-		http.Error(w, "not present", http.StatusNotFound)
+		writeError(w, http.StatusNotFound, "", "not present")
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)

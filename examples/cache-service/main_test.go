@@ -63,8 +63,25 @@ func TestServiceBasics(t *testing.T) {
 			if resp, body := c.do("GET", "a", nil, ""); resp.StatusCode != http.StatusOK || string(body) != "hello" {
 				t.Fatalf("GET a: %d %q", resp.StatusCode, body)
 			}
-			if resp, _ := c.do("PUT", "bad", []byte("x"), "not-a-number"); resp.StatusCode != http.StatusBadRequest {
-				t.Fatalf("bad X-Cost: %d, want 400", resp.StatusCode)
+			// Every malformed X-Cost must 400 with the typed error body.
+			// NaN and Inf parse fine and NaN fails every comparison, so
+			// they regress silently without explicit checks.
+			for _, bad := range []string{"not-a-number", "-3", "0", "NaN", "nan", "Inf", "+Inf", "-Inf", "1e999"} {
+				resp, body := c.do("PUT", "bad", []byte("x"), bad)
+				if resp.StatusCode != http.StatusBadRequest {
+					t.Fatalf("X-Cost %q: %d, want 400", bad, resp.StatusCode)
+				}
+				var ep errorPayload
+				if err := json.Unmarshal(body, &ep); err != nil {
+					t.Fatalf("X-Cost %q: error body %q is not JSON: %v", bad, body, err)
+				}
+				if ep.Field != "X-Cost" || ep.Error == "" {
+					t.Fatalf("X-Cost %q: error payload %+v, want field X-Cost and a message", bad, ep)
+				}
+			}
+			// A rejected PUT must not have stored anything.
+			if resp, _ := c.do("GET", "bad", nil, ""); resp.StatusCode != http.StatusNotFound {
+				t.Fatalf("GET after rejected PUT: %d, want 404", resp.StatusCode)
 			}
 			if resp, _ := c.do("DELETE", "a", nil, ""); resp.StatusCode != http.StatusNoContent {
 				t.Fatalf("DELETE: %d, want 204", resp.StatusCode)

@@ -31,6 +31,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"care/internal/cache"
 	"care/internal/mem"
@@ -201,14 +202,22 @@ type Stats struct {
 	WorkerPanics         uint64
 }
 
-// Injector owns the fault state for one simulation. It is not safe
-// for concurrent use; each System gets its own.
+// Injector owns the fault state for one simulation. Each System gets
+// its own. It is not safe for concurrent use except as the parallel
+// engine partitions it: each wrapped trace reader owns a private RNG
+// stream and bumps its Stats counters atomically, so per-core lanes
+// may read their traces concurrently while the injector's own state
+// (OnCycle, ShouldKill, checkpoint hooks) stays coordinator-only.
 type Injector struct {
 	cfg          Config
 	rng          uint64
 	stats        Stats
 	killed       bool
 	ckptsWritten uint64
+	// wrapped counts WrapTrace calls; reader i derives its private RNG
+	// seed from it, so reconstruction (checkpoint restore re-wraps the
+	// traces in the same core order) reproduces every stream.
+	wrapped uint64
 
 	// Server crash-class state (see server.go); lazily allocated so
 	// simulation-only injectors never pay for it.
@@ -247,25 +256,48 @@ func (in *Injector) next() uint64 {
 
 // WrapTrace interposes the configured trace faults on r. Each wrapped
 // reader counts its own records, so multi-core systems corrupt every
-// stream at the same per-stream position.
+// stream at the same per-stream position. Each reader also owns a
+// private RNG stream seeded from the wrap order, so flip positions are
+// a pure function of (seed, reader index, records served): per-core
+// lanes can read concurrently, and a checkpoint restore that replays
+// records through freshly wrapped readers reproduces every stream
+// exactly.
 func (in *Injector) WrapTrace(r trace.Reader) trace.Reader {
 	if in.cfg.TraceCorruptAfter == 0 && in.cfg.TraceFlipEvery == 0 {
 		return r
 	}
-	return &faultReader{in: in, src: r}
+	in.wrapped++
+	return &faultReader{in: in, src: r, rng: in.cfg.Seed ^ (in.wrapped * 0x9e3779b97f4a7c15)}
 }
 
 type faultReader struct {
 	in  *Injector
 	src trace.Reader
 	n   uint64
+	rng uint64
 }
 
-// Next implements trace.Reader.
+// next is the reader-private xorshift step (same generator as the
+// injector's, different stream).
+func (f *faultReader) next() uint64 {
+	v := f.rng
+	if v == 0 {
+		v = 0x9e3779b97f4a7c15
+	}
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	f.rng = v
+	return v
+}
+
+// Next implements trace.Reader. Stats counters are bumped atomically:
+// readers on different lanes share the Stats struct, and totals are
+// order-independent.
 func (f *faultReader) Next() (trace.Record, error) {
 	cfg := &f.in.cfg
 	if cfg.TraceCorruptAfter > 0 && f.n >= cfg.TraceCorruptAfter {
-		f.in.stats.TraceCorruptions++
+		atomic.AddUint64(&f.in.stats.TraceCorruptions, 1)
 		return trace.Record{}, fmt.Errorf("faultinject: injected stream corruption after %d records: %w",
 			f.n, trace.ErrCorrupt)
 	}
@@ -277,10 +309,31 @@ func (f *faultReader) Next() (trace.Record, error) {
 	if cfg.TraceFlipEvery > 0 && f.n%cfg.TraceFlipEvery == 0 {
 		// Flip a bit within a 40-bit address space: garbage addresses
 		// that stay physically plausible.
-		rec.Addr ^= 1 << (f.in.next() % 40)
-		f.in.stats.RecordsFlipped++
+		rec.Addr ^= 1 << (f.next() % 40)
+		atomic.AddUint64(&f.in.stats.RecordsFlipped, 1)
 	}
 	return rec, nil
+}
+
+// RemainingRecords implements trace.Bounded: the source's promise,
+// capped by an impending injected hard corruption (bit flips never
+// fail a read, so they do not shorten the bound).
+func (f *faultReader) RemainingRecords() (uint64, bool) {
+	var rem uint64
+	ok := false
+	if b, srcOK := f.src.(trace.Bounded); srcOK {
+		rem, ok = b.RemainingRecords()
+	}
+	if after := f.in.cfg.TraceCorruptAfter; after > 0 {
+		var left uint64
+		if f.n < after {
+			left = after - f.n
+		}
+		if !ok || left < rem {
+			rem, ok = left, true
+		}
+	}
+	return rem, ok
 }
 
 // ---- DRAM faults ----
@@ -375,6 +428,22 @@ func (m *Memory) Tick(cycle uint64) {
 
 // Held returns the number of responses currently being delayed.
 func (m *Memory) Held() int { return len(m.held) }
+
+// MinHeldAt returns the earliest release cycle among delayed
+// responses and whether any is held; the parallel engine uses it to
+// bound epochs, like dram.MinReady.
+func (m *Memory) MinHeldAt() (uint64, bool) {
+	if len(m.held) == 0 {
+		return 0, false
+	}
+	at := m.held[0].at
+	for _, h := range m.held[1:] {
+		if h.at < at {
+			at = h.at
+		}
+	}
+	return at, true
+}
 
 // ---- structural faults ----
 

@@ -7,6 +7,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"testing"
 
 	"care/internal/policy"
@@ -17,12 +18,18 @@ import (
 // simulator itself — wall-clock per simulation, heap allocations per
 // simulation, and simulated cycles per second — over a fixed sweep of
 // the paper's two headline figures (Fig. 7 SPEC and Fig. 9 GAP) at
-// 1/4/8 cores. The sweep parameters are pinned by DefaultPerfOptions
-// so two invocations on the same machine measure the same work and a
-// committed BENCH_5.json stays comparable across commits.
+// 1/4/8 cores, under both the sequential and the parallel cycle
+// engine. The sweep parameters are pinned by Defaults so two
+// invocations on the same machine measure the same work and a
+// committed BENCH_8.json stays comparable across commits.
 
-// PerfSchema versions the BENCH_5.json layout.
-const PerfSchema = 1
+// PerfSchema versions the BENCH_8.json layout. Schema 2 added the
+// engine axis and the aggregate core_cycles_per_sec column (schema 1
+// reported only sim_cycles_per_sec, which hides per-core throughput:
+// a c8 simulation does eight cores of work per simulated cycle, so
+// comparing raw sim-cycles/sec across core counts understated
+// multi-core configurations by the core count).
+const PerfSchema = 2
 
 // PerfOptions tunes the suite. Zero fields are completed by
 // Defaults; overriding them produces reports that are NOT comparable
@@ -45,6 +52,8 @@ type PerfOptions struct {
 	CoreCounts []int
 	// GAPRecords caps the Fig. 9 kernel trace.
 	GAPRecords int
+	// Engines is the cycle-engine axis ("sequential", "parallel").
+	Engines []string
 }
 
 // Defaults pins the reproducible sweep.
@@ -70,6 +79,9 @@ func (o *PerfOptions) Defaults() {
 	if o.GAPRecords <= 0 {
 		o.GAPRecords = 250_000
 	}
+	if len(o.Engines) == 0 {
+		o.Engines = []string{string(sim.EngineSequential), string(sim.EngineParallel)}
+	}
 }
 
 // PerfParams records the sweep parameters inside the report so a
@@ -80,6 +92,9 @@ type PerfParams struct {
 	Warmup     uint64 `json:"warmup"`
 	Measure    uint64 `json:"measure"`
 	GAPRecords int    `json:"gap_records"`
+	// Engines is the comma-joined engine axis (kept a string so
+	// PerfParams stays comparable with ==).
+	Engines string `json:"engines"`
 }
 
 // PerfRecord is one timed configuration.
@@ -93,14 +108,20 @@ type PerfRecord struct {
 	AllocsPerOp int64 `json:"allocs_per_op"`
 	// BytesPerOp is heap bytes per complete simulation.
 	BytesPerOp int64 `json:"bytes_per_op"`
-	// SimCyclesPerSec is simulated cycles per wall-clock second —
-	// the simulator's throughput figure of merit.
+	// SimCyclesPerSec is simulated cycles per wall-clock second.
+	// It is NOT normalized by core count: a c8 simulation advances
+	// eight cores per cycle, so raw sim-cycles/sec makes multi-core
+	// configurations look slower than they are. Kept for continuity;
+	// compare throughput across core counts with CoreCyclesPerSec.
 	SimCyclesPerSec float64 `json:"sim_cycles_per_sec"`
+	// CoreCyclesPerSec is the aggregate throughput figure of merit:
+	// simulated core-cycles (cycles × cores) per wall-clock second.
+	CoreCyclesPerSec float64 `json:"core_cycles_per_sec"`
 	// Iterations is how many simulations the final timing loop ran.
 	Iterations int `json:"iterations"`
 }
 
-// PerfReport is the BENCH_5.json document.
+// PerfReport is the BENCH_8.json document.
 type PerfReport struct {
 	Schema     int          `json:"schema"`
 	GoVersion  string       `json:"go_version"`
@@ -119,11 +140,14 @@ func perfSweep(o *PerfOptions) []runKey {
 	} {
 		for _, cores := range o.CoreCounts {
 			for _, s := range o.Schemes {
-				keys = append(keys, runKey{
-					kind: wl.kind, workload: wl.workload, scheme: s,
-					cores: cores, prefetch: true, scale: o.Scale,
-					warmup: o.Warmup, measure: o.Measure, gapRecs: o.GAPRecords,
-				})
+				for _, e := range o.Engines {
+					keys = append(keys, runKey{
+						kind: wl.kind, workload: wl.workload, scheme: s,
+						cores: cores, prefetch: true, scale: o.Scale,
+						warmup: o.Warmup, measure: o.Measure, gapRecs: o.GAPRecords,
+						engine: e,
+					})
+				}
 			}
 		}
 	}
@@ -131,12 +155,18 @@ func perfSweep(o *PerfOptions) []runKey {
 }
 
 // perfName labels a sweep entry; the figure name keys comparisons.
+// Sequential entries keep the schema-1 bare name; other engines are
+// suffixed (".../parallel") so the two series gate independently.
 func perfName(k runKey) string {
 	fig := "fig7"
 	if k.kind == "gap" {
 		fig = "fig9"
 	}
-	return fmt.Sprintf("%s/%s/%s/c%d", fig, k.workload, k.scheme, k.cores)
+	name := fmt.Sprintf("%s/%s/%s/c%d", fig, k.workload, k.scheme, k.cores)
+	if k.engine != "" && k.engine != string(sim.EngineSequential) {
+		name += "/" + k.engine
+	}
+	return name
 }
 
 // RunPerf executes the sweep and returns the report. Every scheme
@@ -148,6 +178,11 @@ func RunPerf(o PerfOptions) (PerfReport, error) {
 			return PerfReport{}, err
 		}
 	}
+	for _, e := range o.Engines {
+		if !sim.Engine(e).Valid() {
+			return PerfReport{}, fmt.Errorf("harness: unknown engine %q", e)
+		}
+	}
 	report := PerfReport{
 		Schema:    PerfSchema,
 		GoVersion: runtime.Version(),
@@ -155,7 +190,7 @@ func RunPerf(o PerfOptions) (PerfReport, error) {
 		GOARCH:    runtime.GOARCH,
 		Params: PerfParams{
 			Scale: o.Scale, Warmup: o.Warmup, Measure: o.Measure,
-			GAPRecords: o.GAPRecords,
+			GAPRecords: o.GAPRecords, Engines: strings.Join(o.Engines, ","),
 		},
 	}
 	for _, key := range perfSweep(&o) {
@@ -163,8 +198,8 @@ func RunPerf(o PerfOptions) (PerfReport, error) {
 		if err != nil {
 			return PerfReport{}, fmt.Errorf("%s: %w", perfName(key), err)
 		}
-		fmt.Fprintf(o.Out, "%-28s %12d ns/op %8d allocs/op %14.0f sim-cycles/sec\n",
-			rec.Name, rec.NsPerOp, rec.AllocsPerOp, rec.SimCyclesPerSec)
+		fmt.Fprintf(o.Out, "%-36s %12d ns/op %8d allocs/op %14.0f core-cycles/sec\n",
+			rec.Name, rec.NsPerOp, rec.AllocsPerOp, rec.CoreCyclesPerSec)
 		report.Benchmarks = append(report.Benchmarks, rec)
 	}
 	return report, nil
@@ -218,6 +253,7 @@ func timeRun(key runKey) (PerfRecord, error) {
 			cfg := sim.ScaledConfig(key.cores, key.scale)
 			cfg.LLCPolicy = policy.Policy(key.scheme)
 			cfg.Prefetch = key.prefetch
+			cfg.Engine = sim.Engine(key.engine)
 			r, err := sim.Run(cfg, traces, key.warmup, key.measure)
 			if err != nil {
 				simErr = err
@@ -237,6 +273,7 @@ func timeRun(key runKey) (PerfRecord, error) {
 	}
 	if sec := res.T.Seconds(); sec > 0 {
 		rec.SimCyclesPerSec = float64(cycles) / sec
+		rec.CoreCyclesPerSec = rec.SimCyclesPerSec * float64(key.cores)
 	}
 	return rec, nil
 }

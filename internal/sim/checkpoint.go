@@ -591,21 +591,8 @@ func (s *System) runUntilRetired(targets []uint64) error {
 		}
 	}
 	maxCycles := s.cycle + remaining*400 + 1_000_000
-	for s.cycle < maxCycles {
-		done := true
-		for i, c := range s.cores {
-			if c.Retired() < targets[i] && !c.Exhausted() {
-				done = false
-				break
-			}
-		}
-		if done {
-			break
-		}
-		s.step()
-		if err := s.guard(); err != nil {
-			return err
-		}
+	if err := s.runTargets(targets, maxCycles); err != nil {
+		return err
 	}
 	return s.componentErr()
 }

@@ -1,0 +1,365 @@
+// Deterministic parallel cycle engine.
+//
+// The sequential loop in step() ticks every component of every core in
+// a fixed order. The engine here exploits the structural independence
+// of the per-core "lanes" — core i's ROB, L1, L2, prefetchers, and TLB
+// never touch core j's — to tick lanes on worker goroutines, while
+// keeping results byte-identical to the sequential loop.
+//
+// The scheme is epoch-batched two-phase execution (DESIGN.md §12):
+//
+//   - Phase A (parallel): each lane ticks cycles [E, H) on its own.
+//     Accesses an L2 sends toward the shared LLC are staged into that
+//     lane's llcPort instead of entering the LLC immediately.
+//   - Phase B (coordinator): the shared components replay the same
+//     cycles one at a time: injector, staged-port flush (in core-index
+//     order), LLC, DRAM, fault memory, telemetry, guard — exactly the
+//     sequential order.
+//
+// Byte-identity rests on the epoch horizon H: an epoch may only extend
+// as far as the shared components are provably silent toward the
+// lanes. Every "up-call" (LLC hit/merge responses, DRAM fills,
+// inclusive-LLC back-invalidations) is bounded below by queue-latency
+// and bank-timing state inspectable at the barrier, so planEpoch picks
+// H such that no up-call can occur before cycle H-1 — and a mutation
+// at H-1 is only observable from cycle H onward, which is the next
+// epoch. When the bound collapses (a blocked queue head, an imminent
+// DRAM delivery), the engine degrades to single sequential steps; it
+// is never wrong, only slower.
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"care/internal/cache"
+	"care/internal/mem"
+)
+
+// Engine selects the cycle-execution engine.
+type Engine string
+
+const (
+	// EngineSequential is the default single-threaded loop. The empty
+	// string means the same thing, so zero-value Configs are unchanged.
+	EngineSequential Engine = "sequential"
+	// EngineParallel ticks per-core lanes on worker goroutines,
+	// synchronizing at the shared-LLC/DRAM boundary. Results are
+	// byte-identical to EngineSequential (enforced by tests and the
+	// checkpoint differ); wall-clock improves with GOMAXPROCS.
+	EngineParallel Engine = "parallel"
+)
+
+// Valid reports whether e names a known engine.
+func (e Engine) Valid() bool {
+	switch e {
+	case "", EngineSequential, EngineParallel:
+		return true
+	}
+	return false
+}
+
+// stagedAccess is one lane→LLC access captured during phase A.
+type stagedAccess struct {
+	req   *mem.Request
+	cycle uint64
+}
+
+// llcPort sits between each private L2 and the shared LLC. During
+// phase A it stages accesses (per-lane, so no locking); during phase B
+// and all sequential stepping it forwards directly. Staged entries
+// carry their issue cycle, and each port is a FIFO with nondecreasing
+// cycles, so flushing ports in core-index order per cycle reproduces
+// the exact sequential arrival order at the LLC.
+type llcPort struct {
+	llc    *cache.Cache
+	staged bool
+	buf    []stagedAccess
+	head   int
+}
+
+// Access implements cache.Level.
+func (p *llcPort) Access(req *mem.Request, cycle uint64) {
+	if p.staged {
+		p.buf = append(p.buf, stagedAccess{req: req, cycle: cycle})
+		return
+	}
+	p.llc.Access(req, cycle)
+}
+
+// epochSpan is one phase-A work order: tick your lanes for [from, to).
+type epochSpan struct{ from, to uint64 }
+
+// parEngine drives the two-phase execution for one System.
+type parEngine struct {
+	s     *System
+	ports []*llcPort
+	// workers is the phase-A goroutine count; lanes are sharded
+	// core-index mod workers. With one worker, lanes tick inline on
+	// the coordinator goroutine (same engine, no handoff cost).
+	workers int
+	// maxEpoch is the structural horizon: min(LLC latency, DRAM
+	// CAS+burst) + 1 cycles. No access staged inside an epoch can
+	// produce an up-call earlier than that.
+	maxEpoch uint64
+
+	ch []chan epochSpan
+	wg sync.WaitGroup
+}
+
+func newParEngine(s *System, workers int) *parEngine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(s.cores) {
+		workers = len(s.cores)
+	}
+	span := s.cfg.LLC.Latency
+	if dramMin := s.mem.TCAS + s.mem.BurstCycles; dramMin < span {
+		span = dramMin
+	}
+	e := &parEngine{s: s, workers: workers, maxEpoch: span + 1}
+	e.ports = make([]*llcPort, len(s.l2s))
+	for i, l2 := range s.l2s {
+		p := &llcPort{llc: s.llc}
+		l2.SetLower(p)
+		e.ports[i] = p
+	}
+	return e
+}
+
+// start spawns the persistent phase-A workers for one run call.
+func (e *parEngine) start() {
+	if e.workers <= 1 || e.ch != nil {
+		return
+	}
+	e.ch = make([]chan epochSpan, e.workers)
+	for w := range e.ch {
+		e.ch[w] = make(chan epochSpan, 1)
+		go e.worker(w, e.ch[w])
+	}
+}
+
+// stop terminates the workers; the engine restarts them on the next
+// run call, so a System is never left holding goroutines between runs.
+func (e *parEngine) stop() {
+	for _, ch := range e.ch {
+		close(ch)
+	}
+	e.ch = nil
+}
+
+func (e *parEngine) worker(w int, ch <-chan epochSpan) {
+	for sp := range ch {
+		for i := w; i < len(e.s.cores); i += e.workers {
+			e.tickLane(i, sp.from, sp.to)
+		}
+		e.wg.Done()
+	}
+}
+
+// tickLane runs one lane through the epoch: the same per-cycle
+// component order the sequential loop uses within a lane (core, then
+// L1, then L2; TLB walks travel through the L1 and need no tick).
+func (e *parEngine) tickLane(i int, from, to uint64) {
+	core, l1, l2 := e.s.cores[i], e.s.l1s[i], e.s.l2s[i]
+	for c := from; c < to; c++ {
+		core.Tick(c)
+		l1.Tick(c)
+		l2.Tick(c)
+	}
+}
+
+// runLanes executes phase A for [from, to) across all lanes.
+func (e *parEngine) runLanes(from, to uint64) {
+	for _, p := range e.ports {
+		p.staged = true
+	}
+	if e.ch == nil {
+		for i := range e.s.cores {
+			e.tickLane(i, from, to)
+		}
+	} else {
+		e.wg.Add(len(e.ch))
+		for _, ch := range e.ch {
+			ch <- epochSpan{from: from, to: to}
+		}
+		e.wg.Wait()
+	}
+	for _, p := range e.ports {
+		p.staged = false
+	}
+}
+
+// flush replays the accesses staged for cycle c into the LLC in
+// core-index order — the merge-order contract that makes tracker
+// events, queue order, and MSHR allocation byte-identical to the
+// sequential loop.
+func (e *parEngine) flush(c uint64) {
+	for _, p := range e.ports {
+		for p.head < len(p.buf) {
+			a := p.buf[p.head]
+			if a.cycle > c {
+				break
+			}
+			p.buf[p.head] = stagedAccess{}
+			p.head++
+			p.llc.Access(a.req, a.cycle)
+		}
+	}
+}
+
+// drainPorts forwards anything still staged (possible only if a guard
+// aborted the epoch early) and resets the buffers for the next epoch.
+func (e *parEngine) drainPorts() {
+	for _, p := range e.ports {
+		for p.head < len(p.buf) {
+			a := p.buf[p.head]
+			p.buf[p.head] = stagedAccess{}
+			p.head++
+			p.llc.Access(a.req, a.cycle)
+		}
+		p.buf = p.buf[:0]
+		p.head = 0
+	}
+}
+
+// runShared executes phase B: the shared components replay cycles
+// [from, to) in exactly the sequential per-cycle order, including the
+// guard, whose stride-gated checks land only on epoch boundaries by
+// construction (planEpoch aligns every epoch end to the watchdog
+// stride).
+func (e *parEngine) runShared(from, to uint64) error {
+	s := e.s
+	var ferr error
+	for c := from; c < to; c++ {
+		if s.injector != nil {
+			s.injector.OnCycle(c, s.llc)
+		}
+		e.flush(c)
+		s.llc.Tick(c)
+		s.mem.Tick(c)
+		if s.faultMem != nil {
+			s.faultMem.Tick(c)
+		}
+		s.cycle++
+		if s.tele != nil {
+			s.tele.Tick(s.cycle)
+		}
+		if err := s.guard(); err != nil {
+			ferr = err
+			break
+		}
+	}
+	e.drainPorts()
+	return ferr
+}
+
+// doneBound returns 0 when every core has met its target (or
+// exhausted its trace), else a lower bound on the cycles until the
+// last pending core can possibly finish. Overall completion requires
+// every core, so the max of per-core lower bounds is itself a lower
+// bound — no epoch capped by it can overshoot the exact cycle at
+// which the sequential loop would have stopped.
+func (e *parEngine) doneBound(targets []uint64) uint64 {
+	var bound uint64
+	for i, c := range e.s.cores {
+		if b := c.DoneLowerBound(targets[i]); b > bound {
+			bound = b
+		}
+	}
+	return bound
+}
+
+// planEpoch picks the exclusive epoch end H > s.cycle such that no
+// shared-component up-call can reach a lane before cycle H-1 and no
+// guard- or telemetry-visible boundary falls inside the epoch.
+func (e *parEngine) planEpoch(doneBound, maxCycles uint64) uint64 {
+	s := e.s
+	from := s.cycle
+	end := from + e.maxEpoch
+	if doneBound < e.maxEpoch {
+		end = from + doneBound
+	}
+	// The oldest queued LLC access processes at max(ready, from) and
+	// may respond (hit/merge/prefetch-drop) that same cycle. An
+	// overdue head (ready <= from) is a miss blocked on a full MSHR
+	// file, which can act the moment capacity frees: degrade to
+	// single-cycle stepping.
+	if ready, ok := s.llc.NextQueuedReady(); ok {
+		b := ready + 1
+		if ready <= from {
+			b = from + 1
+		}
+		if b < end {
+			end = b
+		}
+	}
+	// In-flight DRAM reads deliver (fill + waiter responses) at
+	// minReady at the earliest.
+	if ready, ok := s.mem.MinReady(); ok {
+		if b := ready + 1; b < end {
+			end = b
+		}
+	}
+	// Delayed fault responses deliver at their hold cycle.
+	if s.faultMem != nil {
+		if at, ok := s.faultMem.MinHeldAt(); ok {
+			if b := at + 1; b < end {
+				end = b
+			}
+		}
+	}
+	// Every stride-gated guard action (watchdog, interrupts, injected
+	// kills, component-error propagation, invariant sweeps, wall-clock
+	// checks) fires only when the post-increment cycle is a multiple
+	// of watchdogStride; ending epochs there makes the guard observe
+	// lane state at exactly the cycles the sequential loop does.
+	if b := (from/watchdogStride + 1) * watchdogStride; b < end {
+		end = b
+	}
+	// Interval snapshots read per-core counters; land the boundary on
+	// them.
+	if s.tele != nil {
+		if b := s.tele.NextSnapshot(); b > from && b < end {
+			end = b
+		}
+	}
+	// The cycle-cap guard check is not stride-gated.
+	if s.cfg.MaxCycles > 0 && s.cfg.MaxCycles < end {
+		end = s.cfg.MaxCycles
+	}
+	if maxCycles < end {
+		end = maxCycles
+	}
+	return end
+}
+
+// run is the parallel counterpart of the sequential target loop in
+// runTargets: advance until every core reaches its absolute
+// retirement target or exhausts its trace, bounded by maxCycles.
+func (e *parEngine) run(targets []uint64, maxCycles uint64) error {
+	s := e.s
+	e.start()
+	defer e.stop()
+	for s.cycle < maxCycles {
+		bound := e.doneBound(targets)
+		if bound == 0 {
+			break
+		}
+		end := e.planEpoch(bound, maxCycles)
+		if end <= s.cycle+1 {
+			// Horizon collapsed: one exact sequential step.
+			s.step()
+			if err := s.guard(); err != nil {
+				return err
+			}
+			continue
+		}
+		e.runLanes(s.cycle, end)
+		if err := e.runShared(s.cycle, end); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,293 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"care/internal/faultinject"
+	"care/internal/policy"
+	"care/internal/telemetry"
+	"care/internal/trace"
+)
+
+// runEngine builds a system for cfg with fresh mcf traces, attaches a
+// retain-only telemetry collector, and runs warmup+measure, returning
+// the Result, the completed telemetry intervals, and the run error.
+func runEngine(t *testing.T, cfg Config, warmup, measure uint64) (Result, []telemetry.Interval, error) {
+	t.Helper()
+	col := telemetry.NewCollector(telemetry.Options{Interval: 700, Capacity: 64})
+	cfg.Telemetry = col
+	res, err := Run(cfg, mcfTraces(cfg.Cores), warmup, measure)
+	series := make([]telemetry.Interval, col.Count())
+	copy(series, col.Series())
+	return res, series, err
+}
+
+// parallelCfg flips cfg to the parallel engine with enough workers to
+// force real goroutine concurrency even on single-CPU machines.
+func parallelCfg(cfg Config) Config {
+	cfg.Engine = EngineParallel
+	cfg.EngineWorkers = 4
+	return cfg
+}
+
+// TestParallelEngineMatchesSequentialZoo is the tentpole's contract:
+// for every policy in the zoo, at one, four, and eight cores, the
+// parallel engine's Result and telemetry interval ring are
+// byte-identical to the sequential loop's.
+func TestParallelEngineMatchesSequentialZoo(t *testing.T) {
+	for _, cores := range []int{1, 4, 8} {
+		for _, p := range policy.All() {
+			p, cores := p, cores
+			t.Run(fmt.Sprintf("%s/c%d", p, cores), func(t *testing.T) {
+				cfg := ScaledConfig(cores, 16)
+				cfg.LLCPolicy = p
+				cfg.Prefetch = true
+				seqRes, seqSeries, err := runEngine(t, cfg, 1500, 4000)
+				if err != nil {
+					t.Fatalf("sequential: %v", err)
+				}
+				parRes, parSeries, err := runEngine(t, parallelCfg(cfg), 1500, 4000)
+				if err != nil {
+					t.Fatalf("parallel: %v", err)
+				}
+				if !reflect.DeepEqual(seqRes, parRes) {
+					t.Fatalf("results diverge:\nseq: %+v\npar: %+v", seqRes, parRes)
+				}
+				if !reflect.DeepEqual(seqSeries, parSeries) {
+					t.Fatalf("telemetry diverges: %d vs %d intervals\nseq: %+v\npar: %+v",
+						len(seqSeries), len(parSeries), seqSeries, parSeries)
+				}
+			})
+		}
+	}
+}
+
+// TestParallelEngineMatchesSequentialFeatureMatrix covers the
+// structural options the zoo sweep leaves at defaults: TLBs,
+// inclusive LLC back-invalidation, and the invariant sweep.
+func TestParallelEngineMatchesSequentialFeatureMatrix(t *testing.T) {
+	base := ScaledConfig(4, 16)
+	base.LLCPolicy = policy.CARE
+	for _, tc := range []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"tlb", func(c *Config) { c.TLB = true }},
+		{"inclusive", func(c *Config) { c.InclusiveLLC = true }},
+		{"invariants", func(c *Config) { c.CheckInvariants = true; c.InvariantEvery = 512 }},
+		{"stream-prefetch", func(c *Config) { c.L1Prefetcher = "stream"; c.L2Prefetcher = "stream" }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mut(&cfg)
+			seqRes, seqSeries, err := runEngine(t, cfg, 2000, 6000)
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			parRes, parSeries, err := runEngine(t, parallelCfg(cfg), 2000, 6000)
+			if err != nil {
+				t.Fatalf("parallel: %v", err)
+			}
+			if !reflect.DeepEqual(seqRes, parRes) {
+				t.Fatalf("results diverge:\nseq: %+v\npar: %+v", seqRes, parRes)
+			}
+			if !reflect.DeepEqual(seqSeries, parSeries) {
+				t.Fatalf("telemetry diverges:\nseq: %+v\npar: %+v", seqSeries, parSeries)
+			}
+		})
+	}
+}
+
+// TestParallelEngineFaultChaos stress-runs the parallel engine under
+// the injector's chaos classes (this is the -race target: concurrent
+// lane reads of fault-wrapped traces, delayed DRAM responses crossing
+// epoch boundaries, saturated MSHRs collapsing the horizon) and
+// requires the outcome — Result, fault counters, and any failure — to
+// match the sequential engine exactly.
+func TestParallelEngineFaultChaos(t *testing.T) {
+	for _, spec := range []string{
+		"seed=7,trace-flip=64",
+		"seed=11,dram-delay=40,dram-delay-cycles=97",
+		"seed=3,trace-flip=96,dram-delay=150",
+		"seed=5,mshr-saturate=9000",
+		"seed=9,trace-corrupt=2500",
+	} {
+		spec := spec
+		t.Run(spec, func(t *testing.T) {
+			fcfg, err := faultinject.ParseSpec(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func(parallel bool) (Result, string) {
+				cfg := ScaledConfig(4, 16)
+				cfg.LLCPolicy = policy.CARE
+				cfg.Prefetch = true
+				f := fcfg
+				cfg.Faults = &f
+				// Chaos that wedges the hierarchy must abort identically
+				// too; keep the watchdog armed but bounded.
+				cfg.MaxCycles = 60_000
+				if parallel {
+					cfg = parallelCfg(cfg)
+				}
+				res, err := Run(cfg, mcfTraces(cfg.Cores), 1500, 6000)
+				msg := ""
+				if err != nil {
+					msg = err.Error()
+				}
+				return res, msg
+			}
+			seqRes, seqErr := run(false)
+			parRes, parErr := run(true)
+			if seqErr != parErr {
+				t.Fatalf("errors diverge:\nseq: %s\npar: %s", seqErr, parErr)
+			}
+			if !reflect.DeepEqual(seqRes, parRes) {
+				t.Fatalf("results diverge under %q:\nseq: %+v\npar: %+v", spec, seqRes, parRes)
+			}
+		})
+	}
+}
+
+// TestParallelEngineCheckpointDiff runs the checkpointed schedule
+// under both engines and requires the retained checkpoint files to be
+// byte-identical — the engine is a scheduling strategy, not simulator
+// state, so it must leave no fingerprint on disk. It then crosses the
+// engines over a restore boundary: a run checkpointed sequentially
+// must resume under the parallel engine (and vice versa) to the same
+// final Result as the uninterrupted run.
+func TestParallelEngineCheckpointDiff(t *testing.T) {
+	for _, cores := range []int{1, 4, 8} {
+		t.Run(fmt.Sprintf("c%d", cores), func(t *testing.T) {
+			cfgFor := func(parallel bool) Config {
+				cfg := ScaledConfig(cores, 16)
+				cfg.LLCPolicy = policy.CARE
+				if parallel {
+					cfg = parallelCfg(cfg)
+				}
+				return cfg
+			}
+			run := func(parallel bool, path string) Result {
+				r, err := RunCheckpointed(cfgFor(parallel), mcfTraces(cores),
+					ckptWarmup, ckptMeasure, CheckpointOptions{Path: path, Every: ckptEvery})
+				if err != nil {
+					t.Fatalf("parallel=%v: %v", parallel, err)
+				}
+				return r
+			}
+			dir := t.TempDir()
+			seqPath := filepath.Join(dir, "seq.ckpt")
+			parPath := filepath.Join(dir, "par.ckpt")
+			seqRes := run(false, seqPath)
+			parRes := run(true, parPath)
+			if !reflect.DeepEqual(seqRes, parRes) {
+				t.Fatalf("checkpointed results diverge:\nseq: %+v\npar: %+v", seqRes, parRes)
+			}
+			for _, name := range []string{seqPath, RotatedPath(seqPath)} {
+				other := filepath.Join(dir, "par"+strings.TrimPrefix(filepath.Base(name), "seq"))
+				a, err := os.ReadFile(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := os.ReadFile(other)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(a, b) {
+					t.Fatalf("checkpoint %s differs between engines (%d vs %d bytes)",
+						filepath.Base(name), len(a), len(b))
+				}
+			}
+			resume := func(parallel bool, from string) Result {
+				r, err := Resume(cfgFor(parallel), mcfTraces(cores),
+					ckptWarmup, ckptMeasure, CheckpointOptions{Every: ckptEvery}, from)
+				if err != nil {
+					t.Fatalf("resume parallel=%v: %v", parallel, err)
+				}
+				return r
+			}
+			if got := resume(true, seqPath); !reflect.DeepEqual(got, seqRes) {
+				t.Fatalf("parallel resume of sequential checkpoint diverged:\ngot:  %+v\nwant: %+v", got, seqRes)
+			}
+			if got := resume(false, parPath); !reflect.DeepEqual(got, seqRes) {
+				t.Fatalf("sequential resume of parallel checkpoint diverged:\ngot:  %+v\nwant: %+v", got, seqRes)
+			}
+		})
+	}
+}
+
+// TestParallelEngineRejectsUnknownName pins the config validation.
+func TestParallelEngineRejectsUnknownName(t *testing.T) {
+	cfg := ScaledConfig(1, 16)
+	cfg.Engine = "turbo"
+	if _, err := New(cfg, mcfTraces(1)); err == nil {
+		t.Fatal("unknown engine name should fail New")
+	}
+}
+
+// TestParallelEngineInterrupt verifies the interrupt lands on the
+// same stride boundary under both engines (the guard only observes it
+// at epoch ends, which planEpoch aligns to the watchdog stride).
+func TestParallelEngineInterrupt(t *testing.T) {
+	run := func(parallel bool) (uint64, error) {
+		cfg := ScaledConfig(2, 16)
+		if parallel {
+			cfg = parallelCfg(cfg)
+		}
+		s, err := New(cfg, mcfTraces(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.RunInstructions(2000); err != nil {
+			t.Fatal(err)
+		}
+		s.Interrupt()
+		_, err = s.RunInstructions(50_000)
+		return s.Cycle(), err
+	}
+	seqCycle, seqErr := run(false)
+	parCycle, parErr := run(true)
+	if !errors.Is(seqErr, ErrInterrupted) || !errors.Is(parErr, ErrInterrupted) {
+		t.Fatalf("both engines must surface ErrInterrupted, got seq=%v par=%v", seqErr, parErr)
+	}
+	if seqCycle != parCycle {
+		t.Fatalf("interrupt observed at different cycles: seq=%d par=%d", seqCycle, parCycle)
+	}
+}
+
+// trickleReader yields records with no lookahead promise: it does not
+// implement trace.Bounded, forcing the engine onto its single-cycle
+// fallback path, which must still agree with the sequential loop.
+type trickleReader struct{ src trace.Reader }
+
+func (r *trickleReader) Next() (trace.Record, error) { return r.src.Next() }
+
+func TestParallelEngineUnboundedSourceFallback(t *testing.T) {
+	run := func(parallel bool) Result {
+		cfg := ScaledConfig(2, 16)
+		if parallel {
+			cfg = parallelCfg(cfg)
+		}
+		base := mcfTraces(2)
+		traces := []trace.Reader{&trickleReader{src: base[0]}, &trickleReader{src: base[1]}}
+		s, err := New(cfg, traces)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.RunInstructions(3000); err != nil {
+			t.Fatal(err)
+		}
+		return s.Snapshot()
+	}
+	seq, par := run(false), run(true)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("fallback path diverges:\nseq: %+v\npar: %+v", seq, par)
+	}
+}

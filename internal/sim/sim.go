@@ -66,6 +66,18 @@ type Config struct {
 	// the private L1/L2 copies. The paper's ChampSim hierarchy is
 	// non-inclusive (the default here).
 	InclusiveLLC bool
+	// Engine selects the cycle engine: "" or EngineSequential for the
+	// single-threaded loop, EngineParallel for the deterministic
+	// lane/barrier engine (see DESIGN.md §12). Results are
+	// byte-identical either way; the parallel engine trades per-epoch
+	// coordination for multi-core wall-clock scaling. The CLIs expose
+	// it as -engine.
+	Engine Engine
+	// EngineWorkers caps the parallel engine's phase-A worker
+	// goroutines (0 = min(Cores, GOMAXPROCS)). Values above Cores are
+	// clamped; the sequential engine ignores it. Tests use it to force
+	// real goroutine concurrency on single-CPU machines.
+	EngineWorkers int
 
 	// ---- simulation integrity (all off-by-default or passive) ----
 
@@ -161,6 +173,9 @@ type System struct {
 	// Interval telemetry (nil unless cfg.Telemetry is set).
 	tele *telemetry.Collector
 
+	// Parallel engine state (nil unless cfg.Engine is EngineParallel).
+	par *parEngine
+
 	// Forward-progress watchdog state.
 	watchSig  uint64
 	watchLast uint64
@@ -190,6 +205,10 @@ func New(cfg Config, traces []trace.Reader) (*System, error) {
 
 	if err := cfg.LLCPolicy.Validate(); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if !cfg.Engine.Valid() {
+		return nil, fmt.Errorf("sim: unknown engine %q (want %q or %q)",
+			cfg.Engine, EngineSequential, EngineParallel)
 	}
 
 	var llcPolicy cache.Policy
@@ -297,6 +316,12 @@ func New(cfg Config, traces []trace.Reader) (*System, error) {
 			return nil, err
 		}
 		s.tele = cfg.Telemetry
+	}
+	if cfg.Engine == EngineParallel {
+		// Interpose the staging ports between each L2 and the LLC and
+		// arm the epoch planner. The sequential engine never reaches
+		// this code, so its hot path keeps the direct L2→LLC edge.
+		s.par = newParEngine(s, cfg.EngineWorkers)
 	}
 	return s, nil
 }
@@ -432,6 +457,23 @@ func (s *System) RunInstructions(n uint64) (uint64, error) {
 	}
 	// Worst case: every instruction is an isolated DRAM row miss.
 	maxCycles := s.cycle + n*400 + 1_000_000
+	if err := s.runTargets(targets, maxCycles); err != nil {
+		return s.cycle - start, err
+	}
+	// A core whose trace died is "exhausted" and would otherwise
+	// satisfy the retirement targets silently.
+	return s.cycle - start, s.componentErr()
+}
+
+// runTargets advances until every core reaches its absolute
+// retirement target or exhausts its trace, bounded by maxCycles. Both
+// run loops (RunInstructions and the checkpoint schedule's
+// runUntilRetired) funnel through here, which is also where the
+// parallel engine takes over when configured.
+func (s *System) runTargets(targets []uint64, maxCycles uint64) error {
+	if s.par != nil {
+		return s.par.run(targets, maxCycles)
+	}
 	for s.cycle < maxCycles {
 		done := true
 		for i, c := range s.cores {
@@ -445,12 +487,10 @@ func (s *System) RunInstructions(n uint64) (uint64, error) {
 		}
 		s.step()
 		if err := s.guard(); err != nil {
-			return s.cycle - start, err
+			return err
 		}
 	}
-	// A core whose trace died is "exhausted" and would otherwise
-	// satisfy the retirement targets silently.
-	return s.cycle - start, s.componentErr()
+	return nil
 }
 
 // Drain runs until all queues empty (after traces end), bounded. It
