@@ -44,18 +44,23 @@ func run() int {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:7077", "HTTP listen address")
 		dataDir  = flag.String("data", "care-server-data", "data directory (journal, checkpoints, telemetry)")
-		workers  = flag.Int("workers", 2, "worker-pool size")
+		workers  = flag.Int("workers", 2, "local worker-pool size (0 = no local workers; jobs run only on remote care-worker processes)")
 		drainFor = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for in-flight jobs to reach their next checkpoint")
+		leaseChk = flag.Duration("lease-check-every", time.Second, "remote-lease expiry sweep period")
+		compact  = flag.Int("compact-min-events", 512, "compact the journal at startup once it holds this many records (negative disables)")
 		faults   = flag.String("faults", "", "deterministic fault-injection spec; server classes (server-kill-append, journal-tear, worker-panic) act on this process, simulation classes are passed into every job")
 		addrFile = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts that use -addr :0)")
 	)
 	flag.Parse()
 
 	cfg := server.Config{
-		Addr:         *addr,
-		DataDir:      *dataDir,
-		Workers:      *workers,
-		DrainTimeout: *drainFor,
+		Addr:             *addr,
+		DataDir:          *dataDir,
+		Workers:          *workers,
+		NoLocalWorkers:   *workers == 0,
+		DrainTimeout:     *drainFor,
+		LeaseCheckEvery:  *leaseChk,
+		CompactMinEvents: *compact,
 	}
 	if *faults != "" {
 		fc, err := faultinject.ParseSpec(*faults)

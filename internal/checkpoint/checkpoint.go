@@ -184,6 +184,9 @@ func NewReader(r io.Reader) (*Reader, error) {
 // mismatch, or truncation all yield an error wrapping ErrCorrupt.
 func (r *Reader) Frame(name string) (any, error) {
 	gotName, payload, err := r.next()
+	if errors.Is(err, errEndMarker) {
+		return nil, corruptf(r.path, "unexpected end marker (want frame %q)", name)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -197,6 +200,11 @@ func (r *Reader) Frame(name string) (any, error) {
 	return fv.V, nil
 }
 
+// errEndMarker signals the frame walker reached the trailer; Frame
+// surfaces it as corruption (the caller expected another frame) while
+// Verify treats it as the file's clean end.
+var errEndMarker = errors.New("checkpoint: end marker")
+
 // next reads one raw frame.
 func (r *Reader) next() (name string, payload []byte, err error) {
 	var hdr [2]byte
@@ -205,7 +213,7 @@ func (r *Reader) next() (name string, payload []byte, err error) {
 	}
 	nameLen := binary.LittleEndian.Uint16(hdr[:])
 	if nameLen == endMarker {
-		return "", nil, corruptf(r.path, "unexpected end marker")
+		return "", nil, errEndMarker
 	}
 	if nameLen >= maxFrameName {
 		return "", nil, corruptf(r.path, "frame name length %d out of range", nameLen)
@@ -244,6 +252,29 @@ func (r *Reader) End() error {
 		return corruptf(r.path, "trailing frame where end marker expected")
 	}
 	return nil
+}
+
+// Verify walks an entire checkpoint container structurally — header,
+// every frame's name/length/CRC, and the end marker — without gob-
+// decoding any payload. It is how untrusted checkpoint bytes (e.g.
+// artifacts uploaded by remote workers) are validated before being
+// stored: damage anywhere surfaces as ErrCorrupt/ErrVersion, and a
+// verified container is guaranteed to at least parse on restore.
+// It returns the number of frames seen.
+func Verify(r io.Reader) (frames int, err error) {
+	cr, err := NewReader(r)
+	if err != nil {
+		return 0, err
+	}
+	for {
+		if _, _, err := cr.next(); err != nil {
+			if errors.Is(err, errEndMarker) {
+				return frames, nil
+			}
+			return frames, err
+		}
+		frames++
+	}
 }
 
 // corruptf builds an ErrCorrupt-wrapping error with context.

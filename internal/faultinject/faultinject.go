@@ -91,6 +91,36 @@ type Config struct {
 	// server starts, 1-based (0 = off). The pool must contain the
 	// panic, requeue the job, and complete it on a later attempt.
 	ServerWorkerPanicNth uint64
+	// ServerAppendErrNth makes the Nth journal append attempt fail with
+	// an error instead of committing, 1-based (0 = off). Unlike the
+	// kill classes the process survives: this exercises the paths that
+	// must stay atomic when a commit is refused (e.g. sweep submission).
+	ServerAppendErrNth uint64
+
+	// ---- network fault classes (care-worker transport chaos) ----
+
+	// NetDropRequestEvery drops every Nth outbound worker HTTP request
+	// before it is sent — the server never sees it (0 = off).
+	NetDropRequestEvery uint64
+	// NetDropReplyEvery delivers every Nth request but discards its
+	// response — the server acted, the client saw a network error, and
+	// the retry must be idempotent (0 = off).
+	NetDropReplyEvery uint64
+	// NetDupEvery sends every Nth request twice; the server must
+	// tolerate the duplicate (idempotency keys, fencing) (0 = off).
+	NetDupEvery uint64
+	// NetDelayEvery delays every Nth request by NetDelayMS milliseconds
+	// (default 250) before sending (0 = off).
+	NetDelayEvery uint64
+	// NetDelayMS is the added latency for delayed requests.
+	NetDelayMS uint64
+	// NetPartitionAfter cuts the worker off after its Nth request: that
+	// request and everything for the next NetPartitionMS milliseconds
+	// (default 2000) fail, modelling a network partition long enough
+	// for the worker's lease to expire (0 = off; fires once).
+	NetPartitionAfter uint64
+	// NetPartitionMS is the partition window length.
+	NetPartitionMS uint64
 }
 
 // Enabled reports whether any fault is configured.
@@ -102,7 +132,7 @@ func (c *Config) Enabled() bool {
 		c.DRAMDropEvery > 0 || c.DRAMDelayEvery > 0 ||
 		c.MSHRSaturateAt > 0 || c.MetaFlipAt > 0 ||
 		c.KillAtCycle > 0 || c.CkptCorruptNth > 0 ||
-		c.ServerEnabled()
+		c.ServerEnabled() || c.NetEnabled()
 }
 
 // ServerEnabled reports whether any server-level crash class is
@@ -112,12 +142,14 @@ func (c *Config) ServerEnabled() bool {
 	if c == nil {
 		return false
 	}
-	return c.ServerKillAppendNth > 0 || c.ServerTearAppendNth > 0 || c.ServerWorkerPanicNth > 0
+	return c.ServerKillAppendNth > 0 || c.ServerTearAppendNth > 0 ||
+		c.ServerWorkerPanicNth > 0 || c.ServerAppendErrNth > 0
 }
 
 // SimOnly returns the configuration with the server-level crash
-// classes cleared: what care-server passes down into each job's
-// simulation (nil when nothing simulation-level remains).
+// classes and the network transport classes cleared: what care-server
+// and care-worker pass down into each job's simulation (nil when
+// nothing simulation-level remains).
 func (c *Config) SimOnly() *Config {
 	if c == nil {
 		return nil
@@ -126,6 +158,14 @@ func (c *Config) SimOnly() *Config {
 	sim.ServerKillAppendNth = 0
 	sim.ServerTearAppendNth = 0
 	sim.ServerWorkerPanicNth = 0
+	sim.ServerAppendErrNth = 0
+	sim.NetDropRequestEvery = 0
+	sim.NetDropReplyEvery = 0
+	sim.NetDupEvery = 0
+	sim.NetDelayEvery = 0
+	sim.NetDelayMS = 0
+	sim.NetPartitionAfter = 0
+	sim.NetPartitionMS = 0
 	if !sim.Enabled() {
 		return nil
 	}
@@ -181,6 +221,22 @@ func ParseSpec(spec string) (Config, error) {
 			cfg.ServerTearAppendNth = n
 		case "worker-panic":
 			cfg.ServerWorkerPanicNth = n
+		case "append-err":
+			cfg.ServerAppendErrNth = n
+		case "net-drop-req":
+			cfg.NetDropRequestEvery = n
+		case "net-drop-reply":
+			cfg.NetDropReplyEvery = n
+		case "net-dup":
+			cfg.NetDupEvery = n
+		case "net-delay":
+			cfg.NetDelayEvery = n
+		case "net-delay-ms":
+			cfg.NetDelayMS = n
+		case "net-partition-after":
+			cfg.NetPartitionAfter = n
+		case "net-partition-ms":
+			cfg.NetPartitionMS = n
 		default:
 			return Config{}, fmt.Errorf("faultinject: unknown fault %q", key)
 		}
@@ -200,6 +256,12 @@ type Stats struct {
 	KillsFired           uint64
 	CheckpointsCorrupted uint64
 	WorkerPanics         uint64
+	AppendErrors         uint64
+	RequestsDropped      uint64
+	RepliesDropped       uint64
+	RequestsDuplicated   uint64
+	RequestsDelayed      uint64
+	PartitionDrops       uint64
 }
 
 // Injector owns the fault state for one simulation. Each System gets
@@ -223,6 +285,10 @@ type Injector struct {
 	// simulation-only injectors never pay for it.
 	srvOnce sync.Once
 	srv     *serverState
+
+	// Network transport fault state (see net.go), same deal.
+	netOnce sync.Once
+	netSt   *netState
 }
 
 // New builds an injector for cfg.

@@ -1,0 +1,187 @@
+// Network fault classes: deterministic drop/duplicate/delay/partition
+// faults injected into a remote worker's HTTP transport. They model a
+// flaky network between care-worker and care-server — requests that
+// never arrive, responses that are lost after the server acted on
+// them, duplicated sends, slow links, and a partition that cuts one
+// worker off long enough for its lease to expire. The worker's client
+// wraps its transport with Transport(), so every fault exercises the
+// real retry/backoff/idempotency machinery rather than a mock.
+//
+// Like the server crash classes, these hooks are called from multiple
+// goroutines (the claim loop and the heartbeater share a client), so
+// their counters are mutex-guarded.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ErrInjectedNetFault marks transport failures manufactured by the
+// injector; the worker client treats them like any other network
+// error (retry with backoff), which is exactly the point.
+var ErrInjectedNetFault = errors.New("faultinject: injected network fault")
+
+// NetEnabled reports whether any network fault class is configured.
+func (c *Config) NetEnabled() bool {
+	if c == nil {
+		return false
+	}
+	return c.NetDropRequestEvery > 0 || c.NetDropReplyEvery > 0 ||
+		c.NetDupEvery > 0 || c.NetDelayEvery > 0 || c.NetPartitionAfter > 0
+}
+
+// netState holds the concurrency-guarded transport fault counters.
+type netState struct {
+	mu        sync.Mutex
+	requests  uint64
+	partFired bool
+	partUntil time.Time
+}
+
+// net lazily allocates the guarded state.
+func (in *Injector) net() *netState {
+	in.netOnce.Do(func() { in.netSt = &netState{} })
+	return in.netSt
+}
+
+// Transport wraps base (nil = http.DefaultTransport) with the
+// configured network fault classes. Requests are counted across all
+// goroutines sharing the client; every class fires at deterministic
+// positions in that request sequence, so a given (spec, request
+// schedule) produces the same fault pattern on every run.
+func (in *Injector) Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if !in.cfg.NetEnabled() {
+		return base
+	}
+	return &faultTransport{in: in, base: base}
+}
+
+type faultTransport struct {
+	in   *Injector
+	base http.RoundTripper
+}
+
+// netPlan is the set of faults chosen for one request while the lock
+// was held; the actions themselves run unlocked.
+type netPlan struct {
+	partition bool
+	dropReq   bool
+	dropReply bool
+	dup       bool
+	delay     time.Duration
+}
+
+func (t *faultTransport) plan() netPlan {
+	cfg := &t.in.cfg
+	st := t.in.net()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.requests++
+	n := st.requests
+	var p netPlan
+	// An open partition window swallows everything, including the
+	// request that opens it: the worker is simply unreachable.
+	if cfg.NetPartitionAfter > 0 && !st.partFired && n >= cfg.NetPartitionAfter {
+		st.partFired = true
+		ms := cfg.NetPartitionMS
+		if ms == 0 {
+			ms = 2000
+		}
+		st.partUntil = time.Now().Add(time.Duration(ms) * time.Millisecond)
+	}
+	if st.partFired && time.Now().Before(st.partUntil) {
+		p.partition = true
+		t.in.stats.bumpNet(&t.in.stats.PartitionDrops)
+		return p
+	}
+	if cfg.NetDropRequestEvery > 0 && n%cfg.NetDropRequestEvery == 0 {
+		p.dropReq = true
+		t.in.stats.bumpNet(&t.in.stats.RequestsDropped)
+		return p
+	}
+	if cfg.NetDelayEvery > 0 && n%cfg.NetDelayEvery == 0 {
+		ms := cfg.NetDelayMS
+		if ms == 0 {
+			ms = 250
+		}
+		p.delay = time.Duration(ms) * time.Millisecond
+		t.in.stats.bumpNet(&t.in.stats.RequestsDelayed)
+	}
+	if cfg.NetDupEvery > 0 && n%cfg.NetDupEvery == 0 {
+		p.dup = true
+		t.in.stats.bumpNet(&t.in.stats.RequestsDuplicated)
+	}
+	if cfg.NetDropReplyEvery > 0 && n%cfg.NetDropReplyEvery == 0 {
+		p.dropReply = true
+		t.in.stats.bumpNet(&t.in.stats.RepliesDropped)
+	}
+	return p
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	p := t.plan()
+	switch {
+	case p.partition:
+		return nil, fmt.Errorf("%w: partitioned from %s", ErrInjectedNetFault, req.URL.Host)
+	case p.dropReq:
+		return nil, fmt.Errorf("%w: request dropped before send", ErrInjectedNetFault)
+	}
+	if p.delay > 0 {
+		select {
+		case <-time.After(p.delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if p.dup {
+		// Deliver the request twice: the server sees a duplicate, the
+		// client sees only the second response. Idempotency keys (and
+		// fencing tokens) must make the replay harmless. Only requests
+		// with a replayable body can be duplicated.
+		if req.Body == nil || req.GetBody != nil {
+			first := req.Clone(req.Context())
+			if req.GetBody != nil {
+				body, err := req.GetBody()
+				if err != nil {
+					return nil, err
+				}
+				first.Body = body
+			}
+			if resp, err := t.base.RoundTrip(first); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			if req.GetBody != nil {
+				body, err := req.GetBody()
+				if err != nil {
+					return nil, err
+				}
+				req.Body = body
+			}
+		}
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if p.dropReply {
+		// The server processed the request; the client never learns.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("%w: response dropped", ErrInjectedNetFault)
+	}
+	return resp, nil
+}
+
+// bumpNet increments a network-fault stats counter under the net lock
+// (the caller already holds it via plan).
+func (s *Stats) bumpNet(ctr *uint64) { *ctr++ }

@@ -1,0 +1,188 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// countingServer records how many requests actually arrived, so tests
+// can distinguish "dropped before send" from "reply lost after the
+// server acted".
+func countingServer(t *testing.T) (*httptest.Server, *atomic.Uint64) {
+	t.Helper()
+	var hits atomic.Uint64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.WriteString(w, "ok")
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &hits
+}
+
+func netClient(cfg Config) (*http.Client, *Injector) {
+	in := New(cfg)
+	return &http.Client{Transport: in.Transport(nil)}, in
+}
+
+func post(t *testing.T, hc *http.Client, url string) (string, error) {
+	t.Helper()
+	resp, err := hc.Post(url, "text/plain", strings.NewReader("payload"))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return string(body), nil
+}
+
+func TestNetDropRequestNeverReachesServer(t *testing.T) {
+	srv, hits := countingServer(t)
+	hc, in := netClient(Config{NetDropRequestEvery: 2})
+	for i := 1; i <= 4; i++ {
+		_, err := post(t, hc, srv.URL)
+		if i%2 == 0 {
+			if !errors.Is(err, ErrInjectedNetFault) {
+				t.Fatalf("request %d: err = %v, want injected fault", i, err)
+			}
+		} else if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if got := hits.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2 (dropped requests must never arrive)", got)
+	}
+	if s := in.Stats(); s.RequestsDropped != 2 {
+		t.Fatalf("RequestsDropped = %d, want 2", s.RequestsDropped)
+	}
+}
+
+func TestNetDropReplyArrivesButClientNeverLearns(t *testing.T) {
+	srv, hits := countingServer(t)
+	hc, in := netClient(Config{NetDropReplyEvery: 3})
+	for i := 1; i <= 3; i++ {
+		_, err := post(t, hc, srv.URL)
+		if i == 3 {
+			if !errors.Is(err, ErrInjectedNetFault) {
+				t.Fatalf("request %d: err = %v, want injected fault", i, err)
+			}
+		} else if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	// The crucial asymmetry vs drop-req: the server DID act on all 3.
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (reply drops happen after delivery)", got)
+	}
+	if s := in.Stats(); s.RepliesDropped != 1 {
+		t.Fatalf("RepliesDropped = %d, want 1", s.RepliesDropped)
+	}
+}
+
+func TestNetDupDeliversTwice(t *testing.T) {
+	srv, hits := countingServer(t)
+	hc, in := netClient(Config{NetDupEvery: 2})
+	for i := 1; i <= 4; i++ {
+		if _, err := post(t, hc, srv.URL); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	// Requests 2 and 4 each hit the server twice.
+	if got := hits.Load(); got != 6 {
+		t.Fatalf("server saw %d requests, want 6 (2 duplicated)", got)
+	}
+	if s := in.Stats(); s.RequestsDuplicated != 2 {
+		t.Fatalf("RequestsDuplicated = %d, want 2", s.RequestsDuplicated)
+	}
+}
+
+func TestNetDelaySlowsButDelivers(t *testing.T) {
+	srv, hits := countingServer(t)
+	hc, in := netClient(Config{NetDelayEvery: 2, NetDelayMS: 50})
+	start := time.Now()
+	for i := 1; i <= 2; i++ {
+		if _, err := post(t, hc, srv.URL); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("2 requests with one 50ms delay took %v", elapsed)
+	}
+	if got := hits.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2 (delay must not drop)", got)
+	}
+	if s := in.Stats(); s.RequestsDelayed != 1 {
+		t.Fatalf("RequestsDelayed = %d, want 1", s.RequestsDelayed)
+	}
+}
+
+func TestNetPartitionWindowSwallowsEverythingThenHeals(t *testing.T) {
+	srv, hits := countingServer(t)
+	hc, in := netClient(Config{NetPartitionAfter: 2, NetPartitionMS: 150})
+	if _, err := post(t, hc, srv.URL); err != nil {
+		t.Fatalf("pre-partition request: %v", err)
+	}
+	// Requests 2..n during the window all fail without reaching the
+	// server — including the one that opens the partition.
+	for i := 0; i < 3; i++ {
+		if _, err := post(t, hc, srv.URL); !errors.Is(err, ErrInjectedNetFault) {
+			t.Fatalf("in-partition request %d: err = %v, want injected fault", i, err)
+		}
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d requests during partition, want 1", got)
+	}
+	time.Sleep(200 * time.Millisecond)
+	if _, err := post(t, hc, srv.URL); err != nil {
+		t.Fatalf("post-heal request: %v", err)
+	}
+	if got := hits.Load(); got != 2 {
+		t.Fatalf("server saw %d requests after heal, want 2", got)
+	}
+	if s := in.Stats(); s.PartitionDrops != 3 {
+		t.Fatalf("PartitionDrops = %d, want 3", s.PartitionDrops)
+	}
+}
+
+func TestParseSpecNetClasses(t *testing.T) {
+	cfg, err := ParseSpec("net-drop-req=7,net-drop-reply=5,net-dup=3,net-delay=2,net-delay-ms=40,net-partition-after=9,net-partition-ms=1200,append-err=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{
+		NetDropRequestEvery: 7,
+		NetDropReplyEvery:   5,
+		NetDupEvery:         3,
+		NetDelayEvery:       2,
+		NetDelayMS:          40,
+		NetPartitionAfter:   9,
+		NetPartitionMS:      1200,
+		ServerAppendErrNth:  4,
+	}
+	if cfg != want {
+		t.Fatalf("ParseSpec = %+v, want %+v", cfg, want)
+	}
+	if !cfg.NetEnabled() {
+		t.Fatal("NetEnabled() = false for a net spec")
+	}
+	sim := cfg.SimOnly()
+	if sim.NetEnabled() || sim.ServerEnabled() {
+		t.Fatal("SimOnly must strip net and server classes")
+	}
+	if _, err := ParseSpec("net-drop-req=nope"); err == nil {
+		t.Fatal("bad value accepted")
+	}
+}
+
+func TestTransportPassthroughWhenNoNetFaults(t *testing.T) {
+	in := New(Config{DRAMDropEvery: 3}) // sim-only config
+	base := http.DefaultTransport
+	if got := in.Transport(base); got != base {
+		t.Fatal("Transport must be a passthrough when no net classes are set")
+	}
+}

@@ -6,10 +6,15 @@
 package faultinject
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"sync"
 )
+
+// ErrInjectedAppend is the failure returned by the append-err class:
+// the journal append was refused before any bytes were written.
+var ErrInjectedAppend = errors.New("faultinject: injected journal append failure")
 
 // exitProcess is the process-kill primitive, stubbed in unit tests.
 // Exit code 137 mirrors a SIGKILL death, which is what these faults
@@ -24,6 +29,7 @@ var exitProcess = func() {
 type serverState struct {
 	mu       sync.Mutex
 	appends  uint64
+	attempts uint64
 	jobs     uint64
 	panicked bool
 }
@@ -61,6 +67,30 @@ func (in *Injector) OnJournalAppend(f *os.File, recStart, recLen int64) {
 		fmt.Fprintf(os.Stderr, "faultinject: killing process after journal append %d (before ack)\n", n)
 		exitProcess()
 	}
+}
+
+// OnJournalAppendAttempt fires the append-err class: the Nth append
+// *attempt* (counted before any bytes are written, unlike the
+// post-durability counter OnJournalAppend uses) returns an injected
+// error and the journal stays untouched. Callers must treat the
+// refused commit as if it never happened — which is exactly what the
+// atomic-submission paths are tested on.
+func (in *Injector) OnJournalAppendAttempt() error {
+	if in.cfg.ServerAppendErrNth == 0 {
+		return nil
+	}
+	st := in.server()
+	st.mu.Lock()
+	st.attempts++
+	fire := st.attempts == in.cfg.ServerAppendErrNth
+	if fire {
+		in.stats.AppendErrors++
+	}
+	st.mu.Unlock()
+	if fire {
+		return fmt.Errorf("%w (append attempt %d)", ErrInjectedAppend, in.cfg.ServerAppendErrNth)
+	}
+	return nil
 }
 
 // BeginServerJob counts job executions and panics the worker running

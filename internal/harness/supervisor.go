@@ -79,6 +79,13 @@ func (r *RunSpec) Validate() error {
 // telemetry series and checkpoint file names.
 func (r *RunSpec) Tag() string { return r.key().tag() }
 
+// CheckpointFile returns the file name Supervise uses for this run's
+// checkpoint inside Options.CheckpointDir. Remote workers use it to
+// seed a downloaded artifact where the supervisor will look for it.
+func (r *RunSpec) CheckpointFile() string {
+	return strings.ReplaceAll(r.key().tag(), "/", "_") + ".ckpt"
+}
+
 // key converts the public spec to the internal run key.
 func (r *RunSpec) key() runKey {
 	scale := r.Scale

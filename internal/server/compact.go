@@ -1,0 +1,231 @@
+// Journal compaction. The journal is append-only, so a long-lived
+// server accretes start/renew/requeue history without bound. On a
+// clean startup the queue can rewrite it as a *snapshot* journal: one
+// record per job carrying its entire replayed state (terminal jobs
+// collapse from dozens of events to one; renew chatter disappears).
+// Fencing survives compaction because the snapshot preserves each
+// job's attempt counter — tokens never regress.
+//
+// The rewrite is crash-safe by ordering:
+//
+//  1. write journal.compact (fsync)        — live journal untouched
+//  2. rename journal      → journal.rotated (fsync dir)
+//  3. rename journal.compact → journal      (fsync dir)
+//  4. remove journal.rotated
+//
+// A crash at any point leaves a recoverable state, resolved by
+// openJournalWithFallback: the live journal wins when it is intact; a
+// missing or damaged live journal falls back to a fully-intact
+// journal.compact (crash between 2 and 3), then to journal.rotated
+// (the pre-compaction history), then to a fresh journal.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"care/internal/faultinject"
+)
+
+// rotatedSuffix and compactSuffix name the compaction side files.
+const (
+	rotatedSuffix = ".rotated"
+	compactSuffix = ".compact"
+)
+
+// openJournalWithFallback opens the journal at path, recovering from
+// a compaction crash if one is in evidence. Mid-file corruption with
+// no fallback available still refuses to start, exactly as before.
+func openJournalWithFallback(path string, inj *faultinject.Injector) (*Journal, []Event, error) {
+	rotated := path + rotatedSuffix
+	compact := path + compactSuffix
+	if _, err := os.Stat(path); errors.Is(err, fs.ErrNotExist) {
+		// No live journal. Either this is a genuinely fresh data dir, or
+		// a compaction crashed between its two renames. Adopt the newest
+		// usable side file; fall through to fresh if neither exists.
+		switch {
+		case journalIntact(compact):
+			if err := os.Rename(compact, path); err != nil {
+				return nil, nil, fmt.Errorf("server: adopt compacted journal: %w", err)
+			}
+		case journalIntact(rotated):
+			if err := os.Rename(rotated, path); err != nil {
+				return nil, nil, fmt.Errorf("server: restore rotated journal: %w", err)
+			}
+		}
+		os.Remove(compact)
+		os.Remove(rotated)
+		return OpenJournal(path, inj)
+	}
+	jnl, events, err := OpenJournal(path, inj)
+	if err == nil {
+		// Live journal wins; drop compaction leftovers (a stale .compact
+		// from a crash mid-step-1, or a .rotated from a crash mid-step-4).
+		os.Remove(compact)
+		os.Remove(rotated)
+		return jnl, events, nil
+	}
+	if !errors.Is(err, ErrJournalCorrupt) {
+		return nil, nil, err
+	}
+	// The live journal is damaged mid-file. Only a compaction crash
+	// leaves fallbacks around; without one, refuse to start as before
+	// (silently skipping records could revive completed work).
+	for _, alt := range []string{compact, rotated} {
+		if !journalIntact(alt) {
+			continue
+		}
+		if rerr := os.Rename(alt, path); rerr != nil {
+			return nil, nil, fmt.Errorf("server: recover journal from %s: %w", alt, rerr)
+		}
+		os.Remove(compact)
+		os.Remove(rotated)
+		return OpenJournal(path, inj)
+	}
+	return nil, nil, err
+}
+
+// journalIntact reports whether path holds a journal that replays
+// completely — every record parses and there is no torn tail. (The
+// bar is higher than OpenJournal's: a fallback candidate with a torn
+// tail is itself suspect, so it is skipped rather than trimmed.)
+func journalIntact(path string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil || len(data) == 0 {
+		return false
+	}
+	_, good, err := replay(data)
+	return err == nil && good == int64(len(data))
+}
+
+// CompactIfWorthwhile compacts the journal when the replayed history
+// is at least minEvents records and at least twice the size of the
+// snapshot that would replace it. minEvents <= 0 disables compaction.
+func (q *Queue) CompactIfWorthwhile(minEvents int) error {
+	if minEvents <= 0 {
+		return nil
+	}
+	q.mu.Lock()
+	worthwhile := q.replayedEvents >= minEvents && q.replayedEvents >= 2*len(q.jobs)
+	q.mu.Unlock()
+	if !worthwhile {
+		return nil
+	}
+	return q.Compact()
+}
+
+// Compact rewrites the journal as a snapshot of live state: one
+// snapshot record per job, in submission order. Call on startup,
+// after replay and before the queue is shared with workers.
+func (q *Queue) Compact() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.jnl == nil {
+		return errors.New("server: compact on closed queue")
+	}
+	path := q.jnl.path
+	compact := path + compactSuffix
+	rotated := path + rotatedSuffix
+
+	// Step 1: write the snapshot journal beside the live one.
+	f, err := os.OpenFile(compact, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("server: compact: %w", err)
+	}
+	var seq uint64
+	var size int64
+	for _, id := range q.order {
+		jb := q.jobs[id]
+		seq++
+		ev := Event{
+			Seq: seq, Op: opSnapshot, Job: id, Spec: &jb.Spec,
+			State: jb.State, Attempt: jb.Attempts, Worker: jb.Worker,
+			TTLMS: jb.LeaseTTLMS, Result: jb.Result, Error: jb.Error,
+			Idem: q.idemByJob[id],
+		}
+		line, err := frameEvent(&ev)
+		if err != nil {
+			f.Close()
+			os.Remove(compact)
+			return err
+		}
+		if _, err := f.WriteString(line); err != nil {
+			f.Close()
+			os.Remove(compact)
+			return fmt.Errorf("server: compact write: %w", err)
+		}
+		size += int64(len(line))
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(compact)
+		return fmt.Errorf("server: compact sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(compact)
+		return fmt.Errorf("server: compact close: %w", err)
+	}
+
+	// Steps 2+3: swap the snapshot into place, keeping the history as
+	// the fallback until the swap is fully durable.
+	if err := os.Rename(path, rotated); err != nil {
+		os.Remove(compact)
+		return fmt.Errorf("server: compact rotate: %w", err)
+	}
+	if err := fsyncDir(filepath.Dir(path)); err != nil {
+		return err
+	}
+	if err := os.Rename(compact, path); err != nil {
+		// The live journal is gone but rotated holds everything; the
+		// fallback path recovers it on the next open. Surface the error.
+		return fmt.Errorf("server: compact swap: %w", err)
+	}
+	if err := fsyncDir(filepath.Dir(path)); err != nil {
+		return err
+	}
+
+	// Re-point the queue's journal handle at the snapshot file.
+	nf, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("server: compact reopen: %w", err)
+	}
+	if _, err := nf.Seek(size, 0); err != nil {
+		nf.Close()
+		return fmt.Errorf("server: compact seek: %w", err)
+	}
+	old := q.jnl
+	q.jnl = &Journal{f: nf, path: path, seq: seq, size: size, nosync: old.nosync, inj: old.inj}
+	old.f.Close()
+
+	// Step 4: the snapshot is durable; the history can go.
+	os.Remove(rotated)
+	q.replayedEvents = int(seq)
+	return nil
+}
+
+// frameEvent renders one journal line exactly as Append would.
+func frameEvent(ev *Event) (string, error) {
+	body, err := json.Marshal(ev)
+	if err != nil {
+		return "", fmt.Errorf("server: encode journal event: %w", err)
+	}
+	return fmt.Sprintf("%s %d %08x %s\n", journalMagic, ev.Seq, crc32.ChecksumIEEE(body), body), nil
+}
+
+// fsyncDir makes a just-renamed directory entry durable. Sync errors
+// are swallowed: some filesystems refuse fsync on directories, and
+// the renames themselves already happened.
+func fsyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}

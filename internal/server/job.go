@@ -119,9 +119,24 @@ type Job struct {
 	// State is one of the State* constants.
 	State string `json:"state"`
 	// Attempts counts server-level executions: how many times a worker
-	// claimed this job (crash/requeue increments it; in-worker harness
-	// retries do not).
+	// (local or remote) claimed this job. For remote claims the attempt
+	// number doubles as the lease's **fencing token**: a worker may only
+	// heartbeat, upload artifacts for, or complete the job while quoting
+	// the attempt number of its own claim, so a worker whose lease
+	// expired (and whose job was re-claimed at a higher attempt) is
+	// rejected no matter how late its requests arrive.
 	Attempts int `json:"attempts"`
+	// Worker names the remote worker holding (or, on a done job, the
+	// one that completed) the lease; "" for local executions.
+	Worker string `json:"worker,omitempty"`
+	// LeaseTTLMS is the lease duration granted at claim/renew time.
+	LeaseTTLMS int64 `json:"lease_ttl_ms,omitempty"`
+	// LeaseMSLeft is how much of the lease remains, computed when the
+	// job is copied out for the API (0 when no lease is active).
+	LeaseMSLeft int64 `json:"lease_ms_left,omitempty"`
+	// CancelRequested is set when a cancel arrived for a leased job;
+	// the holder learns on its next heartbeat and unwinds.
+	CancelRequested bool `json:"cancel_requested,omitempty"`
 	// Result is the canonical result JSON (terminal done state only).
 	Result json.RawMessage `json:"result,omitempty"`
 	// Error is the failure reason (terminal failed state, and the last
@@ -129,6 +144,17 @@ type Job struct {
 	Error string `json:"error,omitempty"`
 	// Seq is the journal sequence of the job's latest transition.
 	Seq uint64 `json:"seq"`
+
+	// leaseDeadline is the wall-clock lease expiry, maintained at
+	// runtime (never journaled: after a restart the replayed lease is
+	// re-armed at now+TTL, giving a surviving worker one full TTL to
+	// re-appear before the lease manager expires it).
+	leaseDeadline time.Time
+}
+
+// Leased reports whether the job is running under a remote lease.
+func (jb *Job) Leased() bool {
+	return jb.State == StateRunning && jb.Worker != ""
 }
 
 // Terminal reports whether the job has reached a final state.
@@ -144,39 +170,75 @@ func (jb *Job) Terminal() bool {
 // once invariant: a terminal job never transitions again.
 func (jb *Job) apply(ev Event) error {
 	if jb.Terminal() {
-		return fmt.Errorf("server: job %s is %s; event %q violates exactly-once", jb.ID, jb.State, ev.Op)
+		return fmt.Errorf("%w: job %s is %s; event %q violates exactly-once", ErrDuplicateTerminal, jb.ID, jb.State, ev.Op)
 	}
 	switch ev.Op {
 	case opStart:
 		jb.State = StateRunning
 		jb.Attempts = ev.Attempt
+		jb.Worker = ""
+		jb.LeaseTTLMS = 0
+	case opClaim:
+		jb.State = StateRunning
+		jb.Attempts = ev.Attempt
+		jb.Worker = ev.Worker
+		jb.LeaseTTLMS = ev.TTLMS
+	case opRenew:
+		// The renewed deadline is runtime state; the record exists so
+		// the journal narrates lease custody (and so replay can prove a
+		// partitioned worker stopped renewing before its expire event).
+	case opExpire:
+		jb.State = StatePending
+		jb.Worker = ""
+		jb.LeaseTTLMS = 0
+		jb.Error = ev.Error
 	case opRequeue:
 		jb.State = StatePending
+		jb.Worker = ""
+		jb.LeaseTTLMS = 0
 		jb.Error = ev.Error
 	case opComplete:
 		jb.State = StateDone
 		jb.Result = ev.Result
 		jb.Error = ""
+		// Worker and Attempts survive: they identify the completing
+		// lease, which is what makes a retried complete idempotent and
+		// a stale one provably rejected.
 	case opFail:
 		jb.State = StateFailed
 		jb.Error = ev.Error
 	case opCancel:
 		jb.State = StateCancelled
+	case opSnapshot:
+		// Compaction record: the job's entire replayed state in one
+		// event (see compact.go). Only ever the first event for its ID.
+		jb.State = ev.State
+		jb.Attempts = ev.Attempt
+		jb.Worker = ev.Worker
+		jb.LeaseTTLMS = ev.TTLMS
+		jb.Result = ev.Result
+		jb.Error = ev.Error
 	default:
 		return fmt.Errorf("server: unknown journal op %q", ev.Op)
 	}
 	jb.Seq = ev.Seq
+	jb.leaseDeadline = time.Time{}
 	return nil
 }
 
 // Journal ops (Event.Op values).
 const (
 	opSubmit   = "submit"
+	opSweep    = "sweep"
 	opStart    = "start"
+	opClaim    = "claim"
+	opRenew    = "renew"
+	opExpire   = "expire"
 	opRequeue  = "requeue"
 	opComplete = "complete"
 	opFail     = "fail"
 	opCancel   = "cancel"
+	opSnapshot = "snapshot"
 )
 
 // ErrUnknownJob is returned for lookups and transitions on job IDs
@@ -186,3 +248,14 @@ var ErrUnknownJob = errors.New("server: unknown job")
 // ErrBadTransition is returned when an API call asks for a transition
 // the job's current state does not allow (e.g. cancelling a done job).
 var ErrBadTransition = errors.New("server: invalid job transition")
+
+// ErrDuplicateTerminal marks a journal (or call sequence) that tries
+// to transition a job that already reached a terminal state — the
+// exactly-once invariant caught a violation.
+var ErrDuplicateTerminal = errors.New("server: duplicate terminal transition")
+
+// ErrStaleLease is the fencing rejection: a worker quoted a lease
+// token (job attempt number) that is no longer the job's current
+// lease — its lease expired, the job was re-claimed, or it already
+// ended. The operation was NOT applied.
+var ErrStaleLease = errors.New("server: stale lease")

@@ -38,19 +38,37 @@ type Event struct {
 	// It lives in the line framing, not the JSON body; Append and
 	// replay fill it in.
 	Seq uint64 `json:"-"`
-	// Op is the transition: submit, start, requeue, complete, fail, or
-	// cancel.
+	// Op is the transition: submit, sweep, start, claim, renew,
+	// expire, requeue, complete, fail, cancel, or snapshot.
 	Op string `json:"op"`
-	// Job is the job ID the event applies to.
-	Job string `json:"job"`
-	// Spec rides on submit events only.
+	// Job is the job ID the event applies to ("" on sweep events,
+	// which carry IDs instead).
+	Job string `json:"job,omitempty"`
+	// Spec rides on submit and snapshot events.
 	Spec *JobSpec `json:"spec,omitempty"`
-	// Attempt is the server-level execution count, on start events.
+	// Specs and IDs ride on sweep events: the whole cross product,
+	// committed as one atomic record (IDs[i] is Specs[i]'s job).
+	Specs []JobSpec `json:"specs,omitempty"`
+	// IDs are the job IDs assigned to Specs, pairwise.
+	IDs []string `json:"ids,omitempty"`
+	// Attempt is the server-level execution count on start events and
+	// the lease fencing token on claim/renew/expire/complete events.
 	Attempt int `json:"attempt,omitempty"`
+	// Worker names the remote worker, on claim/renew/expire/complete
+	// events (and snapshot records of leased jobs).
+	Worker string `json:"worker,omitempty"`
+	// TTLMS is the granted lease duration, on claim events.
+	TTLMS int64 `json:"ttl_ms,omitempty"`
+	// Idem is the claim's idempotency key: a duplicate or retried
+	// claim quoting the same key is answered with the same lease
+	// instead of a second job.
+	Idem string `json:"idem,omitempty"`
 	// Result is the canonical result JSON, on complete events.
 	Result json.RawMessage `json:"result,omitempty"`
-	// Error rides on fail and requeue events.
+	// Error rides on fail, requeue, and expire events.
 	Error string `json:"error,omitempty"`
+	// State is the full job state, on snapshot (compaction) records.
+	State string `json:"state,omitempty"`
 }
 
 // Journal is the append-only write-ahead log. Append is the commit
@@ -169,10 +187,17 @@ func parseRecord(line []byte, wantSeq uint64) (Event, error) {
 // Append commits one event: assigns the next sequence number, writes
 // the framed record, and fsyncs before returning. Once Append returns
 // the transition is durable; callers apply it to in-memory state only
-// after this returns (write-ahead ordering).
+// after this returns (write-ahead ordering). A failed append leaves
+// the journal exactly as it was — the sequence number is not consumed
+// and any partial bytes are truncated away — so the queue stays
+// usable after a refused commit.
 func (j *Journal) Append(ev *Event) error {
-	j.seq++
-	ev.Seq = j.seq
+	if j.inj != nil {
+		if err := j.inj.OnJournalAppendAttempt(); err != nil {
+			return err
+		}
+	}
+	ev.Seq = j.seq + 1
 	body, err := json.Marshal(ev)
 	if err != nil {
 		return fmt.Errorf("server: encode journal event: %w", err)
@@ -180,8 +205,13 @@ func (j *Journal) Append(ev *Event) error {
 	line := fmt.Sprintf("%s %d %08x %s\n", journalMagic, ev.Seq, crc32.ChecksumIEEE(body), body)
 	start := j.size
 	if _, err := j.f.WriteString(line); err != nil {
+		// Roll the file back to the last committed boundary; best
+		// effort — replay truncates a torn tail anyway.
+		j.f.Truncate(j.size)
+		j.f.Seek(j.size, 0)
 		return fmt.Errorf("server: append journal: %w", err)
 	}
+	j.seq++
 	j.size += int64(len(line))
 	if !j.nosync {
 		if err := j.f.Sync(); err != nil {

@@ -1,0 +1,124 @@
+// Lease manager: the server-side half of remote job ownership. A
+// background sweep expires leases whose holders stopped heartbeating
+// (journalling the expiry — the durable moment a worker loses
+// custody), retires artifacts of terminal jobs, and tracks when each
+// worker was last heard from for the fleet gauges on /healthz and
+// /metrics.
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// defaultLeaseCheckEvery is the expiry sweep period.
+const defaultLeaseCheckEvery = time.Second
+
+// WorkerFleet is one remote worker's row in /healthz: when it last
+// contacted the server, over any worker API call.
+type WorkerFleet struct {
+	Name        string  `json:"name"`
+	LastSeenSec float64 `json:"last_seen_sec"`
+}
+
+// leaseManager runs the expiry sweep and owns the fleet bookkeeping.
+type leaseManager struct {
+	q     *Queue
+	store *ArtifactStore
+	every time.Duration
+	stop  chan struct{}
+	done  chan struct{}
+
+	mu      sync.Mutex
+	running bool
+	fleet   map[string]time.Time // worker name → last contact
+	cleaned map[string]bool      // terminal jobs whose artifact is gone
+}
+
+func newLeaseManager(q *Queue, store *ArtifactStore, every time.Duration) *leaseManager {
+	if every <= 0 {
+		every = defaultLeaseCheckEvery
+	}
+	return &leaseManager{
+		q:       q,
+		store:   store,
+		every:   every,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		fleet:   make(map[string]time.Time),
+		cleaned: make(map[string]bool),
+	}
+}
+
+// start launches the sweep loop.
+func (lm *leaseManager) start() {
+	lm.mu.Lock()
+	lm.running = true
+	lm.mu.Unlock()
+	go func() {
+		defer close(lm.done)
+		tick := time.NewTicker(lm.every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-lm.stop:
+				return
+			case now := <-tick.C:
+				lm.sweep(now)
+			}
+		}
+	}()
+}
+
+// Stop ends the sweep loop and waits for it to exit. Stopping a
+// manager that never started is a no-op (New without Start).
+func (lm *leaseManager) Stop() {
+	lm.mu.Lock()
+	wasRunning := lm.running
+	lm.running = false
+	lm.mu.Unlock()
+	if !wasRunning {
+		return
+	}
+	close(lm.stop)
+	<-lm.done
+}
+
+// sweep is one pass: expire overdue leases, then drop artifacts that
+// terminal jobs no longer need.
+func (lm *leaseManager) sweep(now time.Time) {
+	lm.q.ExpireLeases(now)
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for _, jb := range lm.q.Jobs() {
+		if jb.Terminal() && !lm.cleaned[jb.ID] {
+			if lm.store.Remove(jb.ID) == nil {
+				lm.cleaned[jb.ID] = true
+			}
+		}
+	}
+}
+
+// Touch records a sign of life from worker (any worker API call).
+func (lm *leaseManager) Touch(worker string) {
+	if worker == "" {
+		return
+	}
+	lm.mu.Lock()
+	lm.fleet[worker] = time.Now()
+	lm.mu.Unlock()
+}
+
+// Fleet returns per-worker last-contact ages, sorted by name.
+func (lm *leaseManager) Fleet() []WorkerFleet {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	now := time.Now()
+	out := make([]WorkerFleet, 0, len(lm.fleet))
+	for name, last := range lm.fleet {
+		out = append(out, WorkerFleet{Name: name, LastSeenSec: now.Sub(last).Seconds()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,10 +1,12 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"care/internal/faultinject"
 )
@@ -24,57 +26,125 @@ type Queue struct {
 	ready  []string // FIFO of claimable pending job IDs
 	nextID uint64
 	closed bool
+	// idem maps a claim idempotency key to the job it leased, for as
+	// long as that claim is the job's current lease: a duplicated or
+	// retried claim gets the same lease back instead of a second job.
+	idem map[string]string
+	// idemByJob is the reverse index so lease turnover can drop keys.
+	idemByJob map[string]string
+	// expirations counts leases the manager expired (a monotonic
+	// /metrics counter, reset only by process restart).
+	expirations uint64
+	// replayedEvents is how many journal records the open replayed
+	// (compaction uses it to decide whether rewriting pays off).
+	replayedEvents int
 }
 
+// defaultLeaseTTL re-arms replayed leases whose events predate the
+// TTL field, and bounds claim requests that ask for no (or an
+// outlandish) TTL.
+const (
+	defaultLeaseTTL = 30 * time.Second
+	maxLeaseTTL     = 10 * time.Minute
+)
+
 // OpenQueue opens the journal at path and replays it into a queue.
-// Jobs that were running when the previous process died have a start
-// event with no terminal event after it; replay moves them back to
-// pending (an implicit requeue) so a worker re-claims them and
-// resumes from their checkpoints. inj may be nil; when set, its
-// server crash classes fire inside journal appends.
+// Jobs that were running under a *local* worker when the previous
+// process died have a start event with no terminal event after it;
+// replay moves them back to pending (an implicit requeue — the local
+// pool died with the process). Jobs running under a *remote* lease
+// stay running: the worker may well have survived the server restart,
+// so its lease is re-armed at now+TTL and the lease manager expires
+// it only if the worker never heartbeats again. inj may be nil; when
+// set, its server crash classes fire inside journal appends.
 func OpenQueue(journalPath string, inj *faultinject.Injector) (*Queue, error) {
-	jnl, events, err := OpenJournal(journalPath, inj)
+	jnl, events, err := openJournalWithFallback(journalPath, inj)
 	if err != nil {
 		return nil, err
 	}
-	q := &Queue{jnl: jnl, jobs: make(map[string]*Job)}
+	q := &Queue{
+		jnl:            jnl,
+		jobs:           make(map[string]*Job),
+		idem:           make(map[string]string),
+		idemByJob:      make(map[string]string),
+		replayedEvents: len(events),
+	}
 	q.cond = sync.NewCond(&q.mu)
 	for _, ev := range events {
-		if ev.Op == opSubmit {
-			if ev.Spec == nil {
-				jnl.Close()
-				return nil, fmt.Errorf("%w: submit event %d has no spec", ErrJournalCorrupt, ev.Seq)
-			}
-			q.jobs[ev.Job] = &Job{ID: ev.Job, Spec: *ev.Spec, State: StatePending, Seq: ev.Seq}
-			q.order = append(q.order, ev.Job)
-			if n := parseJobID(ev.Job); n > q.nextID {
-				q.nextID = n
-			}
-			continue
-		}
-		jb, ok := q.jobs[ev.Job]
-		if !ok {
-			jnl.Close()
-			return nil, fmt.Errorf("%w: event %d for unsubmitted job %s", ErrJournalCorrupt, ev.Seq, ev.Job)
-		}
-		if err := jb.apply(ev); err != nil {
+		if err := q.replayEvent(ev); err != nil {
 			jnl.Close()
 			return nil, err
 		}
 	}
-	// Crash recovery: re-pend interrupted jobs and rebuild the ready
-	// FIFO in submission order.
+	// Crash recovery: re-pend locally interrupted jobs, re-arm remote
+	// leases, and rebuild the ready FIFO in submission order.
+	now := time.Now()
 	for _, id := range q.order {
 		jb := q.jobs[id]
-		if jb.State == StateRunning {
+		switch {
+		case jb.State == StateRunning && jb.Worker == "":
 			jb.State = StatePending
 			jb.Error = "requeued: server restarted mid-run"
+		case jb.Leased():
+			ttl := time.Duration(jb.LeaseTTLMS) * time.Millisecond
+			if ttl <= 0 {
+				ttl = defaultLeaseTTL
+			}
+			jb.leaseDeadline = now.Add(ttl)
 		}
 		if jb.State == StatePending {
 			q.ready = append(q.ready, id)
 		}
 	}
 	return q, nil
+}
+
+// replayEvent folds one journal record into the rebuilding queue.
+func (q *Queue) replayEvent(ev Event) error {
+	switch ev.Op {
+	case opSubmit:
+		if ev.Spec == nil {
+			return fmt.Errorf("%w: submit event %d has no spec", ErrJournalCorrupt, ev.Seq)
+		}
+		q.addJob(&Job{ID: ev.Job, Spec: *ev.Spec, State: StatePending, Seq: ev.Seq})
+		return nil
+	case opSweep:
+		if len(ev.Specs) == 0 || len(ev.Specs) != len(ev.IDs) {
+			return fmt.Errorf("%w: sweep event %d has %d specs for %d ids",
+				ErrJournalCorrupt, ev.Seq, len(ev.Specs), len(ev.IDs))
+		}
+		for i := range ev.Specs {
+			q.addJob(&Job{ID: ev.IDs[i], Spec: ev.Specs[i], State: StatePending, Seq: ev.Seq})
+		}
+		return nil
+	case opSnapshot:
+		if ev.Spec == nil {
+			return fmt.Errorf("%w: snapshot event %d has no spec", ErrJournalCorrupt, ev.Seq)
+		}
+		jb := &Job{ID: ev.Job, Spec: *ev.Spec}
+		if err := jb.apply(ev); err != nil {
+			return err
+		}
+		q.addJob(jb)
+		return nil
+	}
+	jb, ok := q.jobs[ev.Job]
+	if !ok {
+		return fmt.Errorf("%w: event %d for unsubmitted job %s", ErrJournalCorrupt, ev.Seq, ev.Job)
+	}
+	if err := q.applyIndexed(jb, ev); err != nil {
+		return err
+	}
+	return nil
+}
+
+// addJob registers a freshly created job and advances the ID counter.
+func (q *Queue) addJob(jb *Job) {
+	q.jobs[jb.ID] = jb
+	q.order = append(q.order, jb.ID)
+	if n := parseJobID(jb.ID); n > q.nextID {
+		q.nextID = n
+	}
 }
 
 // parseJobID extracts the numeric part of a "jNNNNNN" job ID (0 if it
@@ -91,7 +161,37 @@ func (q *Queue) commit(jb *Job, ev Event) error {
 	if err := q.jnl.Append(&ev); err != nil {
 		return err
 	}
-	return jb.apply(ev)
+	return q.applyIndexed(jb, ev)
+}
+
+// applyIndexed applies ev to jb and keeps the idempotency-key index
+// in lockstep: a claim registers its key, and any event that ends
+// that lease's custody (a new claim, expiry, requeue, or a terminal
+// transition) retires it. Callers hold q.mu (or are replaying before
+// the queue is shared).
+func (q *Queue) applyIndexed(jb *Job, ev Event) error {
+	if err := jb.apply(ev); err != nil {
+		return err
+	}
+	switch ev.Op {
+	case opClaim:
+		q.dropIdem(jb.ID)
+		if ev.Idem != "" {
+			q.idem[ev.Idem] = jb.ID
+			q.idemByJob[jb.ID] = ev.Idem
+		}
+	case opStart, opExpire, opRequeue, opComplete, opFail, opCancel:
+		q.dropIdem(jb.ID)
+	}
+	return nil
+}
+
+// dropIdem retires the idempotency key registered for jb's lease.
+func (q *Queue) dropIdem(job string) {
+	if key, ok := q.idemByJob[job]; ok {
+		delete(q.idem, key)
+		delete(q.idemByJob, job)
+	}
 }
 
 // Submit validates the spec, assigns an ID, commits the submission,
@@ -118,6 +218,43 @@ func (q *Queue) Submit(spec JobSpec) (Job, error) {
 	q.ready = append(q.ready, id)
 	q.cond.Broadcast()
 	return *jb, nil
+}
+
+// SubmitSweep validates every spec, assigns IDs, and commits the
+// whole batch as ONE journal record, so a sweep is atomic by
+// construction: either every cell of the cross product is durable or
+// none is. (The old per-spec loop could crash — or hit an append
+// error — half way and leave a partial sweep behind.)
+func (q *Queue) SubmitSweep(specs []JobSpec) ([]Job, error) {
+	if len(specs) == 0 {
+		return nil, errors.New("server: empty sweep")
+	}
+	for i := range specs {
+		if err := specs[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, fmt.Errorf("server: queue is shut down")
+	}
+	ev := Event{Op: opSweep, Specs: specs, IDs: make([]string, len(specs))}
+	for i := range specs {
+		ev.IDs[i] = fmt.Sprintf("j%06d", q.nextID+uint64(i)+1)
+	}
+	if err := q.jnl.Append(&ev); err != nil {
+		return nil, err
+	}
+	jobs := make([]Job, 0, len(specs))
+	for i := range specs {
+		jb := &Job{ID: ev.IDs[i], Spec: specs[i], State: StatePending, Seq: ev.Seq}
+		q.addJob(jb)
+		q.ready = append(q.ready, jb.ID)
+		jobs = append(jobs, *jb)
+	}
+	q.cond.Broadcast()
+	return jobs, nil
 }
 
 // Claim blocks until a pending job is available (or the queue is
@@ -155,6 +292,254 @@ func (q *Queue) Claim() (Job, bool) {
 		}
 		q.cond.Wait()
 	}
+}
+
+// ---- remote leases ----
+//
+// A remote worker's custody of a job is a time-bounded lease,
+// identified by the pair (worker, token) where the token is the
+// attempt number journaled in the claim event. Every lease operation
+// is fenced: it succeeds only while that pair is the job's *current*
+// lease. The decisive comparisons all happen under q.mu, so a lease
+// expiry racing a complete is settled deterministically by whichever
+// commit wins the lock — and the loser is rejected with ErrStaleLease
+// rather than applied twice.
+
+// clampTTL normalises a requested lease TTL.
+func clampTTL(ttlMS int64) time.Duration {
+	ttl := time.Duration(ttlMS) * time.Millisecond
+	if ttl <= 0 {
+		ttl = defaultLeaseTTL
+	}
+	if ttl > maxLeaseTTL {
+		ttl = maxLeaseTTL
+	}
+	return ttl
+}
+
+// ClaimRemote hands the next pending job to a remote worker under a
+// fresh lease. It does not block: ok is false when nothing is
+// claimable. A non-empty idem key makes the claim idempotent — if the
+// key already maps to a lease this worker still holds (the response
+// to an earlier identical claim was lost in the network), the same
+// job and token are returned without a second journal event.
+func (q *Queue) ClaimRemote(worker string, ttlMS int64, idem string) (Job, bool, error) {
+	if worker == "" {
+		return Job{}, false, errors.New("server: claim needs a worker name")
+	}
+	ttl := clampTTL(ttlMS)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return Job{}, false, nil
+	}
+	if idem != "" {
+		if id, ok := q.idem[idem]; ok {
+			jb := q.jobs[id]
+			if jb.Leased() && jb.Worker == worker {
+				return q.view(jb), true, nil
+			}
+		}
+	}
+	for len(q.ready) > 0 {
+		id := q.ready[0]
+		q.ready = q.ready[1:]
+		jb := q.jobs[id]
+		if jb.State != StatePending {
+			continue // cancelled while queued
+		}
+		ev := Event{
+			Op: opClaim, Job: id, Attempt: jb.Attempts + 1,
+			Worker: worker, TTLMS: ttl.Milliseconds(), Idem: idem,
+		}
+		if err := q.commit(jb, ev); err != nil {
+			q.ready = append([]string{id}, q.ready...)
+			return Job{}, false, err
+		}
+		jb.leaseDeadline = time.Now().Add(ttl)
+		return q.view(jb), true, nil
+	}
+	return Job{}, false, nil
+}
+
+// checkLease validates that (worker, token) is id's current lease.
+// Callers hold q.mu. The error spells out which fencing rule fired.
+func (q *Queue) checkLease(id, worker string, token int) (*Job, error) {
+	jb, ok := q.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	switch {
+	case jb.Terminal():
+		return nil, fmt.Errorf("%w: job %s is already %s (token %d, holder %q)",
+			ErrStaleLease, id, jb.State, jb.Attempts, jb.Worker)
+	case !jb.Leased():
+		return nil, fmt.Errorf("%w: job %s has no active lease (state %s)", ErrStaleLease, id, jb.State)
+	case jb.Worker != worker || jb.Attempts != token:
+		return nil, fmt.Errorf("%w: job %s is held by %q with token %d, not %q/%d",
+			ErrStaleLease, id, jb.Worker, jb.Attempts, worker, token)
+	}
+	return jb, nil
+}
+
+// CheckLease validates a lease without renewing it (artifact up/down-
+// loads use it so a partitioned worker cannot overwrite a checkpoint
+// it no longer owns).
+func (q *Queue) CheckLease(id, worker string, token int) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	_, err := q.checkLease(id, worker, token)
+	return err
+}
+
+// Renew extends a held lease by its TTL (a heartbeat). The returned
+// job copy carries the CancelRequested flag so the holder learns it
+// should unwind.
+func (q *Queue) Renew(id, worker string, token int) (Job, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	jb, err := q.checkLease(id, worker, token)
+	if err != nil {
+		return Job{}, err
+	}
+	if err := q.commit(jb, Event{Op: opRenew, Job: id, Attempt: token, Worker: worker}); err != nil {
+		return Job{}, err
+	}
+	jb.leaseDeadline = time.Now().Add(clampTTL(jb.LeaseTTLMS))
+	return q.view(jb), nil
+}
+
+// CompleteRemote commits a leased job's canonical result under its
+// fencing token. A retried complete (the first response was lost) is
+// idempotent: if the job is already done *by this exact lease*, it
+// reports success without a second event. Any other mismatch is a
+// fenced rejection.
+func (q *Queue) CompleteRemote(id, worker string, token int, result []byte) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if jb, ok := q.jobs[id]; ok &&
+		jb.State == StateDone && jb.Worker == worker && jb.Attempts == token {
+		return nil // duplicate of the winning complete
+	}
+	jb, err := q.checkLease(id, worker, token)
+	if err != nil {
+		return err
+	}
+	return q.commit(jb, Event{Op: opComplete, Job: id, Attempt: token, Worker: worker, Result: result})
+}
+
+// FailRemote ends a leased job under its fencing token. kind selects
+// the transition: "requeue" (transient worker-side trouble — drain,
+// resource exhaustion — the job becomes claimable again), "fail"
+// (permanent), or "cancel" (acknowledging a server-requested cancel;
+// rejected if no cancel is pending).
+func (q *Queue) FailRemote(id, worker string, token int, kind, reason string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	jb, err := q.checkLease(id, worker, token)
+	if err != nil {
+		return err
+	}
+	switch kind {
+	case "requeue":
+		if err := q.commit(jb, Event{Op: opRequeue, Job: id, Attempt: token, Worker: worker, Error: reason}); err != nil {
+			return err
+		}
+		q.ready = append(q.ready, id)
+		q.cond.Broadcast()
+		return nil
+	case "fail":
+		return q.commit(jb, Event{Op: opFail, Job: id, Attempt: token, Worker: worker, Error: reason})
+	case "cancel":
+		if !jb.CancelRequested {
+			return fmt.Errorf("%w: cancel ack for job %s with no cancel pending", ErrBadTransition, id)
+		}
+		return q.commit(jb, Event{Op: opCancel, Job: id, Attempt: token, Worker: worker})
+	default:
+		return fmt.Errorf("server: unknown fail kind %q (want requeue, fail, or cancel)", kind)
+	}
+}
+
+// RequestCancelLeased marks a leased job for cancellation: the holder
+// learns on its next heartbeat and acknowledges with FailRemote
+// kind=cancel; if the holder never comes back, the lease manager
+// converts the expiry into the cancel. Returns false when the job is
+// not currently leased.
+func (q *Queue) RequestCancelLeased(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	jb, ok := q.jobs[id]
+	if !ok || !jb.Leased() {
+		return false
+	}
+	jb.CancelRequested = true
+	return true
+}
+
+// ExpireLeases commits an expire event for every lease whose deadline
+// has passed: the fencing moment where a partitioned or dead worker
+// durably loses custody. Expired jobs return to pending (or straight
+// to cancelled when a cancel was waiting on the holder). Journal
+// failures leave the lease in place for the next sweep. It returns
+// the IDs expired this call.
+func (q *Queue) ExpireLeases(now time.Time) []string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var expired []string
+	for _, id := range q.order {
+		jb := q.jobs[id]
+		if !jb.Leased() || jb.leaseDeadline.IsZero() || now.Before(jb.leaseDeadline) {
+			continue
+		}
+		token, holder := jb.Attempts, jb.Worker
+		if jb.CancelRequested {
+			if err := q.commit(jb, Event{Op: opCancel, Job: id, Attempt: token, Worker: holder}); err != nil {
+				continue
+			}
+		} else {
+			reason := fmt.Sprintf("lease expired: worker %q (token %d) stopped heartbeating", holder, token)
+			if err := q.commit(jb, Event{Op: opExpire, Job: id, Attempt: token, Worker: holder, Error: reason}); err != nil {
+				continue
+			}
+			q.ready = append(q.ready, id)
+			q.cond.Broadcast()
+		}
+		q.expirations++
+		expired = append(expired, id)
+	}
+	return expired
+}
+
+// Expirations returns the total number of leases expired so far.
+func (q *Queue) Expirations() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.expirations
+}
+
+// ActiveLeases counts jobs currently running under a remote lease.
+func (q *Queue) ActiveLeases() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, jb := range q.jobs {
+		if jb.Leased() {
+			n++
+		}
+	}
+	return n
+}
+
+// view copies a job for the API, computing the remaining lease time.
+// Callers hold q.mu.
+func (q *Queue) view(jb *Job) Job {
+	cp := *jb
+	if jb.Leased() && !jb.leaseDeadline.IsZero() {
+		if left := time.Until(jb.leaseDeadline); left > 0 {
+			cp.LeaseMSLeft = left.Milliseconds()
+		}
+	}
+	return cp
 }
 
 // Complete commits the job's canonical result. This append is THE
@@ -226,7 +611,7 @@ func (q *Queue) Get(id string) (Job, error) {
 	if !ok {
 		return Job{}, fmt.Errorf("%w: %s", ErrUnknownJob, id)
 	}
-	return *jb, nil
+	return q.view(jb), nil
 }
 
 // Jobs returns copies of every job in submission order.
@@ -235,7 +620,7 @@ func (q *Queue) Jobs() []Job {
 	defer q.mu.Unlock()
 	out := make([]Job, 0, len(q.order))
 	for _, id := range q.order {
-		out = append(out, *q.jobs[id])
+		out = append(out, q.view(q.jobs[id]))
 	}
 	return out
 }

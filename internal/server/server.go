@@ -25,8 +25,17 @@ type Config struct {
 	// DataDir holds the journal, per-job checkpoint directories, and
 	// the telemetry stream. It is created if absent.
 	DataDir string
-	// Workers is the worker-pool size (0 = 2).
+	// Workers is the local worker-pool size (0 = 2).
 	Workers int
+	// NoLocalWorkers runs the server queue-only: jobs execute solely on
+	// remote care-worker processes over the worker API.
+	NoLocalWorkers bool
+	// LeaseCheckEvery is the lease-expiry sweep period (0 = 1s).
+	LeaseCheckEvery time.Duration
+	// CompactMinEvents triggers a startup journal compaction once the
+	// replayed history reaches this many records (0 = 512 default,
+	// negative disables compaction).
+	CompactMinEvents int
 	// Faults configures fault injection: the server-level crash
 	// classes act on this process (chaos testing); the simulation
 	// classes are passed into every job.
@@ -41,17 +50,19 @@ type Config struct {
 // Server is the care-server daemon: an HTTP API over a durable job
 // queue and a checkpoint-supervised worker pool.
 type Server struct {
-	cfg      Config
-	q        *Queue
-	pool     *pool
-	inj      *faultinject.Injector
-	registry *telemetry.Registry
-	report   *harness.Report
-	http     *http.Server
-	ln       net.Listener
-	started  time.Time
-	draining atomic.Bool
-	serveErr chan error
+	cfg       Config
+	q         *Queue
+	pool      *pool
+	artifacts *ArtifactStore
+	leases    *leaseManager
+	inj       *faultinject.Injector
+	registry  *telemetry.Registry
+	report    *harness.Report
+	http      *http.Server
+	ln        net.Listener
+	started   time.Time
+	draining  atomic.Bool
+	serveErr  chan error
 }
 
 // New creates the server: it ensures DataDir, opens and replays the
@@ -78,20 +89,39 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Compact on clean startup, before the queue is shared: a long
+	// campaign's journal collapses to one snapshot record per job.
+	minEvents := cfg.CompactMinEvents
+	if minEvents == 0 {
+		minEvents = 512
+	}
+	if err := q.CompactIfWorthwhile(minEvents); err != nil {
+		q.Close()
+		return nil, err
+	}
 	if cfg.NoSync {
 		q.jnl.nosync = true
+	}
+	artifacts, err := NewArtifactStore(filepath.Join(cfg.DataDir, "artifacts"))
+	if err != nil {
+		q.Close()
+		return nil, err
 	}
 	registry := telemetry.NewRegistry()
 	report := harness.NewReport()
 	s := &Server{
-		cfg:      cfg,
-		q:        q,
-		inj:      inj,
-		registry: registry,
-		report:   report,
-		serveErr: make(chan error, 1),
+		cfg:       cfg,
+		q:         q,
+		artifacts: artifacts,
+		inj:       inj,
+		registry:  registry,
+		report:    report,
+		serveErr:  make(chan error, 1),
 	}
-	s.pool = newPool(q, cfg.DataDir, cfg.Workers, inj, cfg.Faults.SimOnly(), registry, report)
+	s.leases = newLeaseManager(q, artifacts, cfg.LeaseCheckEvery)
+	if !cfg.NoLocalWorkers {
+		s.pool = newPool(q, cfg.DataDir, cfg.Workers, inj, cfg.Faults.SimOnly(), registry, report)
+	}
 	s.http = &http.Server{Handler: s.routes()}
 	return s, nil
 }
@@ -104,6 +134,12 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /api/v1/report", s.handleReport)
+	mux.HandleFunc("POST /api/v1/worker/claim", s.handleWorkerClaim)
+	mux.HandleFunc("POST /api/v1/worker/heartbeat", s.handleWorkerHeartbeat)
+	mux.HandleFunc("POST /api/v1/worker/complete", s.handleWorkerComplete)
+	mux.HandleFunc("POST /api/v1/worker/fail", s.handleWorkerFail)
+	mux.HandleFunc("PUT /api/v1/worker/jobs/{id}/artifact", s.handleArtifactPut)
+	mux.HandleFunc("GET /api/v1/worker/jobs/{id}/artifact", s.handleArtifactGet)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -119,7 +155,10 @@ func (s *Server) Start() error {
 	}
 	s.ln = ln
 	s.started = time.Now()
-	s.pool.start()
+	s.leases.start()
+	if s.pool != nil {
+		s.pool.start()
+	}
 	go func() {
 		if err := s.http.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			s.serveErr <- err
@@ -148,11 +187,14 @@ func (s *Server) ServeErr() <-chan error { return s.serveErr }
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	s.q.Stop()
+	s.leases.Stop()
 	drainCtx, cancel := context.WithTimeout(ctx, s.cfg.DrainTimeout)
 	defer cancel()
 	var errs []error
-	if err := s.pool.Drain(drainCtx); err != nil {
-		errs = append(errs, err)
+	if s.pool != nil {
+		if err := s.pool.Drain(drainCtx); err != nil {
+			errs = append(errs, err)
+		}
 	}
 	if err := s.http.Shutdown(ctx); err != nil {
 		errs = append(errs, err)
@@ -230,6 +272,15 @@ type Health struct {
 	Workers    []WorkerStatus `json:"workers"`
 	JournalSeq uint64         `json:"journal_seq"`
 	UptimeSec  float64        `json:"uptime_sec"`
+	// Remote-fleet view: jobs currently leased to remote workers, how
+	// many leases the manager has expired this process lifetime, each
+	// known worker's last-contact age, and the checkpoint artifact
+	// store's footprint.
+	ActiveLeases     int           `json:"active_leases"`
+	LeaseExpirations uint64        `json:"lease_expirations"`
+	Fleet            []WorkerFleet `json:"fleet,omitempty"`
+	ArtifactCount    int           `json:"artifact_count"`
+	ArtifactBytes    int64         `json:"artifact_bytes"`
 }
 
 // DegradationReport is the /api/v1/report body: what the campaign
@@ -279,14 +330,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	jobs := make([]Job, 0, len(specs))
-	for _, spec := range specs {
-		jb, err := s.q.Submit(spec)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
-		jobs = append(jobs, jb)
+	// The whole sweep commits as ONE journal record, so a crash — or a
+	// refused append — mid-submission can never leave a partial cross
+	// product behind: either every cell is durable and acknowledged,
+	// or none is.
+	jobs, err := s.q.SubmitSweep(specs)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]any{"jobs": jobs})
 }
@@ -318,9 +369,21 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	case StateRunning:
-		// Interrupt the worker; it commits the cancel event when the
-		// simulation unwinds. Report accepted, not yet terminal.
-		if !s.pool.CancelJob(id) {
+		if jb.Worker != "" {
+			// Remotely leased: flag the lease; the holder learns on its
+			// next heartbeat and acknowledges, or the lease expires into
+			// the cancel if the holder never comes back.
+			if !s.q.RequestCancelLeased(id) {
+				jb, _ = s.q.Get(id)
+				writeJSON(w, http.StatusConflict, jb)
+				return
+			}
+			w.WriteHeader(http.StatusAccepted)
+			return
+		}
+		// Interrupt the local worker; it commits the cancel event when
+		// the simulation unwinds. Report accepted, not yet terminal.
+		if s.pool == nil || !s.pool.CancelJob(id) {
 			// Raced with completion: report the terminal state.
 			jb, _ = s.q.Get(id)
 			writeJSON(w, http.StatusConflict, jb)
@@ -339,13 +402,20 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	h := Health{
-		Status:     "ok",
-		Draining:   s.draining.Load(),
-		QueueDepth: s.q.Depth(),
-		Jobs:       s.q.Counts(),
-		Workers:    s.pool.Status(),
-		JournalSeq: s.q.Seq(),
-		UptimeSec:  time.Since(s.started).Seconds(),
+		Status:           "ok",
+		Draining:         s.draining.Load(),
+		QueueDepth:       s.q.Depth(),
+		Jobs:             s.q.Counts(),
+		JournalSeq:       s.q.Seq(),
+		UptimeSec:        time.Since(s.started).Seconds(),
+		ActiveLeases:     s.q.ActiveLeases(),
+		LeaseExpirations: s.q.Expirations(),
+		Fleet:            s.leases.Fleet(),
+		ArtifactCount:    s.artifacts.Count(),
+		ArtifactBytes:    s.artifacts.Bytes(),
+	}
+	if s.pool != nil {
+		h.Workers = s.pool.Status()
 	}
 	writeJSON(w, http.StatusOK, h)
 }
@@ -386,6 +456,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "care_server_journal_seq %d\n", s.q.Seq())
 	fmt.Fprintf(w, "care_server_workers %d\n", s.cfg.Workers)
 	fmt.Fprintf(w, "care_server_uptime_seconds %f\n", time.Since(s.started).Seconds())
+	fmt.Fprintf(w, "care_server_active_leases %d\n", s.q.ActiveLeases())
+	fmt.Fprintf(w, "care_server_lease_expirations_total %d\n", s.q.Expirations())
+	fmt.Fprintf(w, "care_server_artifact_store_files %d\n", s.artifacts.Count())
+	fmt.Fprintf(w, "care_server_artifact_store_bytes %d\n", s.artifacts.Bytes())
+	for _, wf := range s.leases.Fleet() {
+		fmt.Fprintf(w, "care_server_worker_last_heartbeat_age_seconds{worker=%q} %f\n", wf.Name, wf.LastSeenSec)
+	}
 	if s.registry.Len() > 0 {
 		s.registry.WriteTo(telemetry.NewProm(w))
 	}

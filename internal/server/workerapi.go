@@ -1,0 +1,266 @@
+// Worker API: the HTTP surface remote care-worker processes drive.
+// Claim hands out a job under a time-bounded lease; heartbeat renews
+// it; complete/fail end it; the artifact endpoints move checkpoint
+// files so a job can migrate between machines. Every mutating call
+// quotes the lease's fencing token (the job's attempt number,
+// journaled in the claim event) and is rejected with a typed
+// stale_lease error the moment the caller is no longer the current
+// holder — no matter how delayed, duplicated, or reordered the
+// request was by the network.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// API error codes, machine-readable in every worker API error body.
+const (
+	CodeStaleLease        = "stale_lease"
+	CodeUnknownJob        = "unknown_job"
+	CodeBadRequest        = "bad_request"
+	CodeBadTransition     = "bad_transition"
+	CodeDuplicateTerminal = "duplicate_terminal"
+	CodeDraining          = "draining"
+	CodeInternal          = "internal"
+	CodeArtifactRejected  = "artifact_rejected"
+	CodeArtifactNotFound  = "artifact_not_found"
+)
+
+// APIError is the JSON error body every worker API failure carries.
+// Code is stable for programmatic dispatch; Error is for humans.
+type APIError struct {
+	Code  string `json:"code"`
+	Error string `json:"error"`
+}
+
+// writeAPIError renders err with a machine-readable code derived from
+// the queue's typed errors.
+func writeAPIError(w http.ResponseWriter, err error) {
+	status, code := http.StatusInternalServerError, CodeInternal
+	switch {
+	case errors.Is(err, ErrStaleLease):
+		status, code = http.StatusConflict, CodeStaleLease
+	case errors.Is(err, ErrDuplicateTerminal):
+		status, code = http.StatusConflict, CodeDuplicateTerminal
+	case errors.Is(err, ErrUnknownJob):
+		status, code = http.StatusNotFound, CodeUnknownJob
+	case errors.Is(err, ErrBadTransition):
+		status, code = http.StatusConflict, CodeBadTransition
+	}
+	writeJSON(w, status, APIError{Code: code, Error: err.Error()})
+}
+
+// ---- request/response shapes (shared with the worker client) ----
+
+// ClaimRequest asks for the next pending job under a fresh lease.
+type ClaimRequest struct {
+	// Worker is the caller's stable name (fencing identifies a lease by
+	// worker + token).
+	Worker string `json:"worker"`
+	// TTLMS is the requested lease duration (0 = server default; the
+	// server clamps outlandish values).
+	TTLMS int64 `json:"ttl_ms,omitempty"`
+	// Idem makes the claim idempotent: a retry quoting the same key
+	// gets the original lease back instead of a second job.
+	Idem string `json:"idem,omitempty"`
+}
+
+// ClaimResponse carries the leased job. The lease token is
+// Job.Attempts; the worker quotes it on every subsequent call.
+type ClaimResponse struct {
+	Job Job `json:"job"`
+	// HasArtifact tells the worker a checkpoint artifact exists to
+	// download before starting (a previous holder got part way).
+	HasArtifact bool `json:"has_artifact"`
+}
+
+// HeartbeatRequest renews a lease.
+type HeartbeatRequest struct {
+	Worker string `json:"worker"`
+	Job    string `json:"job"`
+	Token  int    `json:"token"`
+}
+
+// HeartbeatResponse reports the renewed lease and any server-side
+// cancel waiting for the holder to unwind.
+type HeartbeatResponse struct {
+	LeaseMSLeft     int64 `json:"lease_ms_left"`
+	CancelRequested bool  `json:"cancel_requested"`
+}
+
+// CompleteRequest commits a job's canonical result under its lease.
+type CompleteRequest struct {
+	Worker string          `json:"worker"`
+	Job    string          `json:"job"`
+	Token  int             `json:"token"`
+	Result json.RawMessage `json:"result"`
+}
+
+// FailRequest ends a lease without a result. Kind selects the
+// transition: "requeue" (transient; job becomes claimable again),
+// "fail" (permanent), or "cancel" (acknowledging a requested cancel).
+type FailRequest struct {
+	Worker string `json:"worker"`
+	Job    string `json:"job"`
+	Token  int    `json:"token"`
+	Kind   string `json:"kind"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// ---- handlers ----
+
+func decodeInto(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, APIError{Code: CodeBadRequest, Error: err.Error()})
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleWorkerClaim(w http.ResponseWriter, r *http.Request) {
+	var req ClaimRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	s.leases.Touch(req.Worker)
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, APIError{Code: CodeDraining, Error: "server is draining"})
+		return
+	}
+	jb, ok, err := s.q.ClaimRemote(req.Worker, req.TTLMS, req.Idem)
+	if err != nil {
+		writeAPIError(w, err)
+		return
+	}
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	resp := ClaimResponse{Job: jb}
+	if f, _, err := s.artifacts.Open(jb.ID); err == nil {
+		f.Close()
+		resp.HasArtifact = true
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleWorkerHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	s.leases.Touch(req.Worker)
+	jb, err := s.q.Renew(req.Job, req.Worker, req.Token)
+	if err != nil {
+		writeAPIError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, HeartbeatResponse{
+		LeaseMSLeft:     jb.LeaseMSLeft,
+		CancelRequested: jb.CancelRequested,
+	})
+}
+
+func (s *Server) handleWorkerComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	s.leases.Touch(req.Worker)
+	if len(req.Result) == 0 {
+		writeJSON(w, http.StatusBadRequest, APIError{Code: CodeBadRequest, Error: "complete needs a result"})
+		return
+	}
+	if err := s.q.CompleteRemote(req.Job, req.Worker, req.Token, req.Result); err != nil {
+		writeAPIError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "done"})
+}
+
+func (s *Server) handleWorkerFail(w http.ResponseWriter, r *http.Request) {
+	var req FailRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	s.leases.Touch(req.Worker)
+	if err := s.q.FailRemote(req.Job, req.Worker, req.Token, req.Kind, req.Reason); err != nil {
+		writeAPIError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": req.Kind})
+}
+
+// leaseParams pulls the worker/token query parameters the artifact
+// endpoints fence on.
+func leaseParams(r *http.Request) (worker string, token int, err error) {
+	worker = r.URL.Query().Get("worker")
+	if worker == "" {
+		return "", 0, errors.New("missing worker parameter")
+	}
+	if _, err := fmt.Sscanf(r.URL.Query().Get("token"), "%d", &token); err != nil {
+		return "", 0, fmt.Errorf("bad token parameter: %v", err)
+	}
+	return worker, token, nil
+}
+
+// handleArtifactPut accepts a checkpoint upload from the job's
+// current lease holder. The body must be a structurally complete
+// checkpoint container; anything torn or damaged is rejected before
+// it can shadow the previous artifact. (If the lease expires during
+// a slow upload the artifact may still land — that is harmless: every
+// uploaded checkpoint sits on the job's deterministic checkpoint
+// schedule, so the worst case is redone work, never wrong bytes. The
+// fencing that matters — complete — is strict.)
+func (s *Server) handleArtifactPut(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	worker, token, err := leaseParams(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, APIError{Code: CodeBadRequest, Error: err.Error()})
+		return
+	}
+	s.leases.Touch(worker)
+	if err := s.q.CheckLease(id, worker, token); err != nil {
+		writeAPIError(w, err)
+		return
+	}
+	n, err := s.artifacts.Put(id, r.Body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, APIError{Code: CodeArtifactRejected, Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "stored", "bytes": n})
+}
+
+// handleArtifactGet streams the job's checkpoint artifact to its
+// current lease holder (the resume path after a job migrates).
+func (s *Server) handleArtifactGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	worker, token, err := leaseParams(r)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, APIError{Code: CodeBadRequest, Error: err.Error()})
+		return
+	}
+	s.leases.Touch(worker)
+	if err := s.q.CheckLease(id, worker, token); err != nil {
+		writeAPIError(w, err)
+		return
+	}
+	f, size, err := s.artifacts.Open(id)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, APIError{Code: CodeArtifactNotFound, Error: err.Error()})
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(size))
+	// A mid-stream failure here tears the download; the client's CRC
+	// verification catches it and the claim is retried.
+	io.Copy(w, f)
+}
