@@ -1,0 +1,137 @@
+package careapi
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestErrorEnvelope(t *testing.T) {
+	e := Err(CodeStaleLease, "token %d beaten by %d", 1, 2)
+	b, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	// The human message must stay under the "error" key: shell
+	// pipelines in CI parse it with jq '.error'.
+	if m["error"] != "token 1 beaten by 2" {
+		t.Fatalf("message key: %v", m)
+	}
+	if m["code"] != CodeStaleLease || m["v"] != float64(APIVersion) {
+		t.Fatalf("envelope: %v", m)
+	}
+	if e.Error() == "" {
+		t.Fatal("Error() empty")
+	}
+}
+
+func TestConstraintsSatisfiedBy(t *testing.T) {
+	caps := &WorkerCaps{Cores: 8, MemMB: 16384, Labels: []string{"ssd", "numa"}}
+	cases := []struct {
+		name string
+		c    *Constraints
+		w    *WorkerCaps
+		want bool
+	}{
+		{"nil constraints any worker", nil, nil, true},
+		{"zero constraints nil caps", &Constraints{}, nil, true},
+		{"cores ok", &Constraints{MinCores: 8}, caps, true},
+		{"cores too few", &Constraints{MinCores: 9}, caps, false},
+		{"mem ok", &Constraints{MinMemMB: 16384}, caps, true},
+		{"mem too small", &Constraints{MinMemMB: 16385}, caps, false},
+		{"labels subset", &Constraints{Labels: []string{"ssd"}}, caps, true},
+		{"labels missing", &Constraints{Labels: []string{"gpu"}}, caps, false},
+		{"constrained vs nil caps", &Constraints{MinCores: 1}, nil, false},
+		{"mem-constrained vs unknown mem", &Constraints{MinMemMB: 1}, &WorkerCaps{Cores: 4}, false},
+		{"combined", &Constraints{MinCores: 4, MinMemMB: 1024, Labels: []string{"numa", "ssd"}}, caps, true},
+	}
+	for _, tc := range cases {
+		if got := tc.c.SatisfiedBy(tc.w); got != tc.want {
+			t.Errorf("%s: got %v want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestConstraintsDemand(t *testing.T) {
+	var nilC *Constraints
+	if nilC.Demand() != 0 || !nilC.Zero() {
+		t.Fatal("nil constraints should be zero-demand")
+	}
+	c := &Constraints{MinCores: 8, MinMemMB: 1024, Labels: []string{"a", "b"}}
+	if c.Demand() != 11 {
+		t.Fatalf("demand = %d", c.Demand())
+	}
+	if (&Constraints{MinCores: 2}).Demand() >= c.Demand() {
+		t.Fatal("demand ordering broken")
+	}
+}
+
+func TestEventIDRoundTrip(t *testing.T) {
+	single := &JobEvent{Seq: 42}
+	if single.EventID() != "42" {
+		t.Fatalf("single id: %s", single.EventID())
+	}
+	sub := &JobEvent{Seq: 42, Sub: 3}
+	if sub.EventID() != "42.3" {
+		t.Fatalf("sub id: %s", sub.EventID())
+	}
+
+	// Resuming from a bare id means the entire record was consumed:
+	// later sub-events of the same seq are NOT after it.
+	c, err := ParseEventID("42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (&JobEvent{Seq: 42, Sub: 7}).After(c) {
+		t.Fatal("sub-event of consumed record replayed")
+	}
+	if !(&JobEvent{Seq: 43}).After(c) {
+		t.Fatal("next record not after cursor")
+	}
+
+	// Resuming from a dotted id continues inside the sweep record.
+	c, err = ParseEventID("42.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (&JobEvent{Seq: 42, Sub: 2}).After(c) {
+		t.Fatal("already-seen sub-event replayed")
+	}
+	if !(&JobEvent{Seq: 42, Sub: 3}).After(c) {
+		t.Fatal("later sub-event skipped")
+	}
+	if !(&JobEvent{Seq: 43}).After(c) {
+		t.Fatal("later record skipped")
+	}
+
+	for _, bad := range []string{"", "x", "1.x", "1.-2", "-1"} {
+		if _, err := ParseEventID(bad); err == nil {
+			t.Errorf("ParseEventID(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSubmitSpecsCarryScheduling(t *testing.T) {
+	req := SubmitRequest{
+		JobSpec: JobSpec{
+			Kind: "spec", Measure: 1000,
+			Campaign: "night", Priority: 7,
+			Constraints: &Constraints{MinCores: 4},
+		},
+		Workloads:  []string{"a", "b"},
+		Policies:   []string{"lru"},
+		CoreCounts: []int{1, 2},
+	}
+	specs := req.Specs()
+	if len(specs) != 4 {
+		t.Fatalf("specs = %d", len(specs))
+	}
+	for _, s := range specs {
+		if s.Campaign != "night" || s.Priority != 7 || s.Constraints == nil || s.Constraints.MinCores != 4 {
+			t.Fatalf("sweep cell dropped scheduling fields: %+v", s)
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -42,6 +43,10 @@ func run() int {
 		leaseTTL  = flag.Duration("lease-ttl", 30*time.Second, "lease duration requested on claims")
 		heartbeat = flag.Duration("heartbeat", 0, "lease renew period (0 = lease-ttl/3)")
 		poll      = flag.Duration("poll", 500*time.Millisecond, "idle claim retry period")
+		slots     = flag.Int("slots", 1, "concurrent job slots (each claims, runs, and heartbeats independently)")
+		cores     = flag.Int("cores", 0, "declared core count for constraint matching (0 = undeclared)")
+		memMB     = flag.Int64("mem-mb", 0, "declared memory in MiB for constraint matching (0 = undeclared)")
+		labels    = flag.String("labels", "", "comma-separated placement labels (e.g. ssd,numa)")
 		faults    = flag.String("faults", "", "deterministic fault-injection spec; net-* classes act on this worker's HTTP transport, simulation classes run inside every job")
 	)
 	flag.Parse()
@@ -60,6 +65,16 @@ func run() int {
 		LeaseTTL:  *leaseTTL,
 		Heartbeat: *heartbeat,
 		Poll:      *poll,
+		Slots:     *slots,
+		Cores:     *cores,
+		MemMB:     *memMB,
+	}
+	if *labels != "" {
+		for _, l := range strings.Split(*labels, ",") {
+			if l = strings.TrimSpace(l); l != "" {
+				cfg.Labels = append(cfg.Labels, l)
+			}
+		}
 	}
 	if *faults != "" {
 		fc, err := faultinject.ParseSpec(*faults)

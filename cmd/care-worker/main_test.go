@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -12,11 +13,13 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
 
 	"care"
+	"care/careapi"
 	"care/internal/policy"
 	"care/internal/server"
 )
@@ -175,6 +178,9 @@ func (cr *chaosRig) addr() string {
 
 // startWorker boots a real care-worker process with a short lease and
 // fast heartbeat, so chaos consequences land within test timescales.
+// Every chaos worker runs 2 slots and declares the capability envelope
+// the constrained sweep below requires, so concurrency and constraint
+// matching are exercised under every fault in the chain.
 func (cr *chaosRig) startWorker(name, faults string) *proc {
 	cr.t.Helper()
 	cr.nworkers++
@@ -185,11 +191,134 @@ func (cr *chaosRig) startWorker(name, faults string) *proc {
 		"-lease-ttl", "1s",
 		"-heartbeat", "30ms",
 		"-poll", "25ms",
+		"-slots", "2",
+		"-cores", "8",
+		"-labels", "chaos",
 	}
 	if faults != "" {
 		args = append(args, "-faults", faults)
 	}
 	return startProc(cr.t, []string{"CARE_WORKER_REEXEC=1"}, args...)
+}
+
+// chaosSSE tails the server's event stream across server deaths: each
+// broken connection is reconnected with the last seen event id, so
+// across the whole campaign every journaled transition must be
+// observed exactly once — the streaming analogue of the journal's
+// exactly-once property.
+type chaosSSE struct {
+	mu         sync.Mutex
+	ids        map[string]careapi.JobEvent // event id → transition
+	dups       []string
+	completes  map[string]int // job → done transitions seen
+	progress   int
+	reconnects int
+	cancel     context.CancelFunc
+	done       chan struct{}
+}
+
+func (cr *chaosRig) startSSE() *chaosSSE {
+	addr := cr.addr() // pinned across server incarnations
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &chaosSSE{
+		ids:       map[string]careapi.JobEvent{},
+		completes: map[string]int{},
+		cancel:    cancel,
+		done:      make(chan struct{}),
+	}
+	go func() {
+		defer close(c.done)
+		last, first := "", true
+		for ctx.Err() == nil {
+			url := "http://" + addr + "/api/v1/jobs/events"
+			if first {
+				url += "?after=0"
+			}
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+			if err != nil {
+				return
+			}
+			if !first && last != "" {
+				req.Header.Set("Last-Event-ID", last)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil || resp.StatusCode != http.StatusOK {
+				if resp != nil {
+					resp.Body.Close()
+				}
+				time.Sleep(50 * time.Millisecond) // server down or restarting
+				continue
+			}
+			if !first {
+				c.mu.Lock()
+				c.reconnects++
+				c.mu.Unlock()
+			}
+			first = false
+			sc := bufio.NewScanner(resp.Body)
+			var name, id, data string
+			for sc.Scan() {
+				line := sc.Text()
+				switch {
+				case line == "":
+					if data != "" {
+						var ev careapi.JobEvent
+						if json.Unmarshal([]byte(data), &ev) == nil {
+							c.record(name, id, ev)
+							if id != "" {
+								last = id
+							}
+						}
+					}
+					name, id, data = "", "", ""
+				case strings.HasPrefix(line, "event: "):
+					name = strings.TrimPrefix(line, "event: ")
+				case strings.HasPrefix(line, "id: "):
+					id = strings.TrimPrefix(line, "id: ")
+				case strings.HasPrefix(line, "data: "):
+					data = strings.TrimPrefix(line, "data: ")
+				}
+			}
+			resp.Body.Close()
+		}
+	}()
+	return c
+}
+
+func (c *chaosSSE) record(name, id string, ev careapi.JobEvent) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if name == "progress" {
+		c.progress++
+		return
+	}
+	if id == "" {
+		return
+	}
+	if _, dup := c.ids[id]; dup {
+		c.dups = append(c.dups, id)
+		return
+	}
+	c.ids[id] = ev
+	if ev.State == server.StateDone {
+		c.completes[ev.Job]++
+	}
+}
+
+// snapshot copies the collector's counters for assertions.
+func (c *chaosSSE) snapshot() (completes map[string]int, dups []string, progress, reconnects int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	completes = make(map[string]int, len(c.completes))
+	for k, v := range c.completes {
+		completes[k] = v
+	}
+	return completes, append([]string(nil), c.dups...), c.progress, c.reconnects
+}
+
+func (c *chaosSSE) stop() {
+	c.cancel()
+	<-c.done
 }
 
 func (cr *chaosRig) jobs() ([]server.Job, error) {
@@ -198,7 +327,7 @@ func (cr *chaosRig) jobs() ([]server.Job, error) {
 		return nil, err
 	}
 	defer resp.Body.Close()
-	var list struct{ Jobs []server.Job }
+	var list careapi.ListResponse
 	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
 		return nil, err
 	}
@@ -298,7 +427,13 @@ func TestWorkerChaosExactlyOnce(t *testing.T) {
 	cr.startServer()
 	addr := cr.addr()
 
-	// One atomic sweep submission: 2 workloads x 2 policies.
+	// The stream witness rides along for the whole campaign,
+	// reconnecting with Last-Event-ID over every server death.
+	sse := cr.startSSE()
+
+	// One atomic sweep submission: 2 workloads x 2 policies, every cell
+	// capability-constrained so only workers that registered the chaos
+	// fleet's envelope may claim it.
 	sweep, _ := json.Marshal(map[string]any{
 		"kind":      "spec",
 		"workloads": []string{"429.mcf", "470.lbm"},
@@ -306,12 +441,14 @@ func TestWorkerChaosExactlyOnce(t *testing.T) {
 		"cores":     1, "scale": wChaosScale,
 		"warmup": wChaosWarmup, "measure": wChaosMeasure,
 		"checkpoint_every": wChaosEvery,
+		"campaign":         "chaos",
+		"constraints":      map[string]any{"min_cores": 4, "labels": []string{"chaos"}},
 	})
 	resp, err := http.Post("http://"+addr+"/api/v1/jobs", "application/json", bytes.NewReader(sweep))
 	if err != nil {
 		t.Fatal(err)
 	}
-	var created struct{ Jobs []server.Job }
+	var created careapi.SubmitResponse
 	json.NewDecoder(resp.Body).Decode(&created)
 	resp.Body.Close()
 	if len(created.Jobs) != 4 {
@@ -420,6 +557,21 @@ func TestWorkerChaosExactlyOnce(t *testing.T) {
 		time.Sleep(25 * time.Millisecond)
 	}
 
+	// Let the stream witness observe the final completes, then detach
+	// it before teardown.
+	sseDeadline := time.Now().Add(10 * time.Second)
+	for {
+		completes, _, _, _ := sse.snapshot()
+		if len(completes) == 4 {
+			break
+		}
+		if time.Now().After(sseDeadline) {
+			break // asserted (and failed) below with full context
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	sse.stop()
+
 	// Graceful teardown: worker drains idle, server drains clean.
 	w3.drain(15 * time.Second)
 	cr.server.drain(20 * time.Second)
@@ -456,6 +608,33 @@ func TestWorkerChaosExactlyOnce(t *testing.T) {
 	}
 	if drainRequeues == 0 {
 		t.Fatal("no drain requeue in the journal; the migration phase proved nothing")
+	}
+
+	// The stream witness saw the same exactly-once story the journal
+	// tells: every done transition once, nothing delivered twice across
+	// its forced reconnects, progress watermarks flowing, and at least
+	// one resume actually exercised by the server's death.
+	sseCompletes, sseDups, sseProgress, sseReconnects := sse.snapshot()
+	if len(sseDups) > 0 {
+		t.Fatalf("SSE delivered duplicate event ids across resume: %v", sseDups)
+	}
+	for _, jb := range finished {
+		if sseCompletes[jb.ID] != 1 {
+			t.Fatalf("SSE observed %d done transitions for %s, want exactly 1 (all: %v)",
+				sseCompletes[jb.ID], jb.ID, sseCompletes)
+		}
+		if jb.Spec.Constraints == nil || len(jb.Spec.Constraints.Labels) == 0 {
+			t.Fatalf("job %s lost its constraints across the campaign: %+v", jb.ID, jb.Spec)
+		}
+		if jb.Spec.Campaign != "chaos" {
+			t.Fatalf("job %s lost its campaign label: %+v", jb.ID, jb.Spec)
+		}
+	}
+	if sseProgress == 0 {
+		t.Fatal("no progress watermark ever reached the event stream")
+	}
+	if sseReconnects == 0 {
+		t.Fatal("the stream never had to resume; the server-death phase proved nothing for SSE")
 	}
 
 	// Byte-identity: each job's journaled result equals an

@@ -4,62 +4,42 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"time"
 
+	"care/careapi"
 	"care/internal/faultinject"
 	"care/internal/harness"
 	"care/internal/sim"
 )
 
-// Job states. A job is born pending, moves to running when a worker
-// claims it, and ends in exactly one terminal state. requeue (crash,
-// drain, or worker panic) moves running back to pending.
-const (
-	StatePending   = "pending"
-	StateRunning   = "running"
-	StateDone      = "done"
-	StateFailed    = "failed"
-	StateCancelled = "cancelled"
+// The wire types are defined once, in package careapi, so server,
+// worker client, dashboards, and tests all speak the same structs.
+// The server aliases them under their historical names; everything
+// journaled (JobSpec inside events) is a careapi type, which is what
+// keeps the journal format and the API surface from drifting apart.
+type (
+	Job         = careapi.Job
+	JobSpec     = careapi.JobSpec
+	Constraints = careapi.Constraints
+	WorkerCaps  = careapi.WorkerCaps
+	Progress    = careapi.Progress
 )
 
-// JobSpec describes one simulation job as submitted over the API. It
-// maps one-to-one onto harness.RunSpec plus the per-job supervision
-// knobs (retries, timeout, checkpoint period, fault spec).
-type JobSpec struct {
-	// Kind is "spec" or "gap".
-	Kind string `json:"kind"`
-	// Workload names the trace source (e.g. "429.mcf", "bfs-or").
-	Workload string `json:"workload"`
-	// Policy is the LLC replacement policy name (e.g. "care", "lru").
-	Policy string `json:"policy"`
-	// Cores is the simulated core count.
-	Cores int `json:"cores"`
-	// Prefetch enables the paper's prefetcher pairing.
-	Prefetch bool `json:"prefetch,omitempty"`
-	// Scale divides the hierarchy (0 = 1, the paper-size caches).
-	Scale int `json:"scale,omitempty"`
-	// Warmup and Measure are per-core instruction budgets.
-	Warmup  uint64 `json:"warmup,omitempty"`
-	Measure uint64 `json:"measure"`
-	// GAPRecords caps GAP kernel traces (0 = harness default).
-	GAPRecords int `json:"gap_records,omitempty"`
-	// CheckpointEvery is the measured-instruction checkpoint period
-	// (0 = a quarter of Measure). The result of a job depends on this
-	// schedule, so reproducing a job's bytes requires the same value.
-	CheckpointEvery uint64 `json:"checkpoint_every,omitempty"`
-	// Retries is the in-worker retry budget per execution
-	// (harness MaxAttempts = Retries+1).
-	Retries int `json:"retries,omitempty"`
-	// TimeoutSec bounds one execution's wall clock (0 = unlimited).
-	TimeoutSec int `json:"timeout_sec,omitempty"`
-	// Faults is a faultinject spec applied inside the job's
-	// simulation (chaos testing; "" = none).
-	Faults string `json:"faults,omitempty"`
-}
+// Job states (re-exported from careapi).
+const (
+	StatePending   = careapi.StatePending
+	StateRunning   = careapi.StateRunning
+	StateDone      = careapi.StateDone
+	StateFailed    = careapi.StateFailed
+	StateCancelled = careapi.StateCancelled
+)
 
-// Validate rejects malformed specs at the API boundary.
-func (s *JobSpec) Validate() error {
-	rs := s.RunSpec()
+// maxPriority bounds the priority knob; the range is part of the API
+// contract (careapi.JobSpec.Priority).
+const maxPriority = 100
+
+// ValidateSpec rejects malformed specs at the API boundary.
+func ValidateSpec(s *JobSpec) error {
+	rs := RunSpecOf(s)
 	if err := rs.Validate(); err != nil {
 		return err
 	}
@@ -69,6 +49,19 @@ func (s *JobSpec) Validate() error {
 	if s.TimeoutSec < 0 {
 		return fmt.Errorf("server: negative timeout %d", s.TimeoutSec)
 	}
+	if s.Priority < -maxPriority || s.Priority > maxPriority {
+		return fmt.Errorf("server: priority %d outside [%d, %d]", s.Priority, -maxPriority, maxPriority)
+	}
+	if c := s.Constraints; c != nil {
+		if c.MinCores < 0 || c.MinMemMB < 0 {
+			return fmt.Errorf("server: negative constraint (min_cores %d, min_mem_mb %d)", c.MinCores, c.MinMemMB)
+		}
+		for _, l := range c.Labels {
+			if l == "" {
+				return errors.New("server: empty constraint label")
+			}
+		}
+	}
 	if s.Faults != "" {
 		if _, err := faultinject.ParseSpec(s.Faults); err != nil {
 			return err
@@ -77,8 +70,8 @@ func (s *JobSpec) Validate() error {
 	return nil
 }
 
-// RunSpec converts the job spec to the harness's public run identity.
-func (s *JobSpec) RunSpec() harness.RunSpec {
+// RunSpecOf converts the job spec to the harness's public run identity.
+func RunSpecOf(s *JobSpec) harness.RunSpec {
 	return harness.RunSpec{
 		Kind:       s.Kind,
 		Workload:   s.Workload,
@@ -90,11 +83,6 @@ func (s *JobSpec) RunSpec() harness.RunSpec {
 		Measure:    s.Measure,
 		GAPRecords: s.GAPRecords,
 	}
-}
-
-// Timeout returns the per-execution deadline, or 0 for none.
-func (s *JobSpec) Timeout() time.Duration {
-	return time.Duration(s.TimeoutSec) * time.Second
 }
 
 // MarshalResult renders a simulation result as the canonical bytes
@@ -109,66 +97,11 @@ func MarshalResult(r sim.Result) (json.RawMessage, error) {
 	return b, nil
 }
 
-// Job is the in-memory view of one submitted job: pure replayed
-// journal state plus scheduling bookkeeping.
-type Job struct {
-	// ID is the server-assigned job identifier ("j000001", ...).
-	ID string `json:"id"`
-	// Spec is the submitted job description.
-	Spec JobSpec `json:"spec"`
-	// State is one of the State* constants.
-	State string `json:"state"`
-	// Attempts counts server-level executions: how many times a worker
-	// (local or remote) claimed this job. For remote claims the attempt
-	// number doubles as the lease's **fencing token**: a worker may only
-	// heartbeat, upload artifacts for, or complete the job while quoting
-	// the attempt number of its own claim, so a worker whose lease
-	// expired (and whose job was re-claimed at a higher attempt) is
-	// rejected no matter how late its requests arrive.
-	Attempts int `json:"attempts"`
-	// Worker names the remote worker holding (or, on a done job, the
-	// one that completed) the lease; "" for local executions.
-	Worker string `json:"worker,omitempty"`
-	// LeaseTTLMS is the lease duration granted at claim/renew time.
-	LeaseTTLMS int64 `json:"lease_ttl_ms,omitempty"`
-	// LeaseMSLeft is how much of the lease remains, computed when the
-	// job is copied out for the API (0 when no lease is active).
-	LeaseMSLeft int64 `json:"lease_ms_left,omitempty"`
-	// CancelRequested is set when a cancel arrived for a leased job;
-	// the holder learns on its next heartbeat and unwinds.
-	CancelRequested bool `json:"cancel_requested,omitempty"`
-	// Result is the canonical result JSON (terminal done state only).
-	Result json.RawMessage `json:"result,omitempty"`
-	// Error is the failure reason (terminal failed state, and the last
-	// requeue reason while pending again).
-	Error string `json:"error,omitempty"`
-	// Seq is the journal sequence of the job's latest transition.
-	Seq uint64 `json:"seq"`
-
-	// leaseDeadline is the wall-clock lease expiry, maintained at
-	// runtime (never journaled: after a restart the replayed lease is
-	// re-armed at now+TTL, giving a surviving worker one full TTL to
-	// re-appear before the lease manager expires it).
-	leaseDeadline time.Time
-}
-
-// Leased reports whether the job is running under a remote lease.
-func (jb *Job) Leased() bool {
-	return jb.State == StateRunning && jb.Worker != ""
-}
-
-// Terminal reports whether the job has reached a final state.
-func (jb *Job) Terminal() bool {
-	switch jb.State {
-	case StateDone, StateFailed, StateCancelled:
-		return true
-	}
-	return false
-}
-
-// apply folds one journal event into the job, enforcing the exactly-
-// once invariant: a terminal job never transitions again.
-func (jb *Job) apply(ev Event) error {
+// applyEvent folds one journal event into the job, enforcing the
+// exactly-once invariant: a terminal job never transitions again.
+// Lease deadlines and progress watermarks are runtime state owned by
+// the queue, not touched here.
+func applyEvent(jb *Job, ev Event) error {
 	if jb.Terminal() {
 		return fmt.Errorf("%w: job %s is %s; event %q violates exactly-once", ErrDuplicateTerminal, jb.ID, jb.State, ev.Op)
 	}
@@ -222,11 +155,12 @@ func (jb *Job) apply(ev Event) error {
 		return fmt.Errorf("server: unknown journal op %q", ev.Op)
 	}
 	jb.Seq = ev.Seq
-	jb.leaseDeadline = time.Time{}
 	return nil
 }
 
-// Journal ops (Event.Op values).
+// Journal ops (Event.Op values). opProgress is NOT a journal op: it
+// appears only on the event stream (heartbeat watermarks are runtime
+// state, never journaled).
 const (
 	opSubmit   = "submit"
 	opSweep    = "sweep"
@@ -239,6 +173,7 @@ const (
 	opFail     = "fail"
 	opCancel   = "cancel"
 	opSnapshot = "snapshot"
+	opProgress = "progress"
 )
 
 // ErrUnknownJob is returned for lookups and transitions on job IDs

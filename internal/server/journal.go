@@ -59,6 +59,12 @@ type Event struct {
 	Worker string `json:"worker,omitempty"`
 	// TTLMS is the granted lease duration, on claim events.
 	TTLMS int64 `json:"ttl_ms,omitempty"`
+	// Caps is the claiming worker's registered capability envelope, on
+	// claim events. Pure narration: replay derives no state from it,
+	// which is also why old journals (no caps field) and new ones
+	// replay identically. The scheduling decision it influenced is
+	// already fixed by which job the claim record names.
+	Caps *WorkerCaps `json:"caps,omitempty"`
 	// Idem is the claim's idempotency key: a duplicate or retried
 	// claim quoting the same key is answered with the same lease
 	// instead of a second job.

@@ -10,16 +10,22 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"care/careapi"
 )
 
 // defaultLeaseCheckEvery is the expiry sweep period.
 const defaultLeaseCheckEvery = time.Second
 
-// WorkerFleet is one remote worker's row in /healthz: when it last
-// contacted the server, over any worker API call.
-type WorkerFleet struct {
-	Name        string  `json:"name"`
-	LastSeenSec float64 `json:"last_seen_sec"`
+// WorkerFleet is one remote worker's row in /healthz (careapi type):
+// when it last contacted the server, over any worker API call, and
+// the capability envelope it registered on its most recent claim.
+type WorkerFleet = careapi.WorkerFleet
+
+// fleetEntry is the per-worker bookkeeping behind a WorkerFleet row.
+type fleetEntry struct {
+	last time.Time
+	caps *WorkerCaps
 }
 
 // leaseManager runs the expiry sweep and owns the fleet bookkeeping.
@@ -32,8 +38,8 @@ type leaseManager struct {
 
 	mu      sync.Mutex
 	running bool
-	fleet   map[string]time.Time // worker name → last contact
-	cleaned map[string]bool      // terminal jobs whose artifact is gone
+	fleet   map[string]fleetEntry // worker name → last contact + caps
+	cleaned map[string]bool       // terminal jobs whose artifact is gone
 }
 
 func newLeaseManager(q *Queue, store *ArtifactStore, every time.Duration) *leaseManager {
@@ -46,7 +52,7 @@ func newLeaseManager(q *Queue, store *ArtifactStore, every time.Duration) *lease
 		every:   every,
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
-		fleet:   make(map[string]time.Time),
+		fleet:   make(map[string]fleetEntry),
 		cleaned: make(map[string]bool),
 	}
 }
@@ -100,24 +106,47 @@ func (lm *leaseManager) sweep(now time.Time) {
 	}
 }
 
-// Touch records a sign of life from worker (any worker API call).
+// Touch records a sign of life from worker (any worker API call),
+// keeping whatever capabilities it registered earlier.
 func (lm *leaseManager) Touch(worker string) {
 	if worker == "" {
 		return
 	}
 	lm.mu.Lock()
-	lm.fleet[worker] = time.Now()
+	entry := lm.fleet[worker]
+	entry.last = time.Now()
+	lm.fleet[worker] = entry
 	lm.mu.Unlock()
 }
 
-// Fleet returns per-worker last-contact ages, sorted by name.
+// TouchCaps records a sign of life plus the capability envelope the
+// worker sent on a claim (nil leaves any earlier registration alone —
+// a caps-less retry must not unregister the worker).
+func (lm *leaseManager) TouchCaps(worker string, caps *WorkerCaps) {
+	if worker == "" {
+		return
+	}
+	lm.mu.Lock()
+	entry := lm.fleet[worker]
+	entry.last = time.Now()
+	if caps != nil {
+		entry.caps = caps
+	}
+	lm.fleet[worker] = entry
+	lm.mu.Unlock()
+}
+
+// Fleet returns per-worker last-contact ages and registered
+// capabilities, sorted by name.
 func (lm *leaseManager) Fleet() []WorkerFleet {
 	lm.mu.Lock()
 	defer lm.mu.Unlock()
 	now := time.Now()
 	out := make([]WorkerFleet, 0, len(lm.fleet))
-	for name, last := range lm.fleet {
-		out = append(out, WorkerFleet{Name: name, LastSeenSec: now.Sub(last).Seconds()})
+	for name, entry := range lm.fleet {
+		out = append(out, WorkerFleet{
+			Name: name, LastSeenSec: now.Sub(entry.last).Seconds(), Caps: entry.caps,
+		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out

@@ -197,17 +197,17 @@ func TestRenewExtendsLeaseAndIsFenced(t *testing.T) {
 	q := openTestQueue(t, filepath.Join(t.TempDir(), "journal"))
 	jb, _ := q.Submit(testSpec())
 	q.ClaimRemote("w1", 1000, "")
-	re, err := q.Renew(jb.ID, "w1", 1)
+	re, err := q.Renew(jb.ID, "w1", 1, nil)
 	if err != nil || re.LeaseMSLeft <= 0 {
 		t.Fatalf("renew = %+v err=%v", re, err)
 	}
-	if _, err := q.Renew(jb.ID, "w1", 7); !errors.Is(err, ErrStaleLease) {
+	if _, err := q.Renew(jb.ID, "w1", 7, nil); !errors.Is(err, ErrStaleLease) {
 		t.Fatalf("renew with wrong token = %v, want ErrStaleLease", err)
 	}
-	if _, err := q.Renew(jb.ID, "w2", 1); !errors.Is(err, ErrStaleLease) {
+	if _, err := q.Renew(jb.ID, "w2", 1, nil); !errors.Is(err, ErrStaleLease) {
 		t.Fatalf("renew by wrong worker = %v, want ErrStaleLease", err)
 	}
-	if _, err := q.Renew("j999999", "w1", 1); !errors.Is(err, ErrUnknownJob) {
+	if _, err := q.Renew("j999999", "w1", 1, nil); !errors.Is(err, ErrUnknownJob) {
 		t.Fatalf("renew of unknown job = %v, want ErrUnknownJob", err)
 	}
 }

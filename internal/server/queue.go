@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"care/careapi"
 	"care/internal/faultinject"
 )
 
@@ -23,7 +24,7 @@ type Queue struct {
 	jnl    *Journal
 	jobs   map[string]*Job
 	order  []string // submission order, for listings
-	ready  []string // FIFO of claimable pending job IDs
+	ready  []string // claimable pending job IDs, submission order
 	nextID uint64
 	closed bool
 	// idem maps a claim idempotency key to the job it leased, for as
@@ -32,6 +33,15 @@ type Queue struct {
 	idem map[string]string
 	// idemByJob is the reverse index so lease turnover can drop keys.
 	idemByJob map[string]string
+	// deadlines holds each leased job's wall-clock expiry. Runtime
+	// state, never journaled: after a restart the replayed lease is
+	// re-armed at now+TTL, giving a surviving worker one full TTL to
+	// re-appear before the lease manager expires it.
+	deadlines map[string]time.Time
+	// notify, when set (SetNotify), receives one careapi.JobEvent per
+	// committed transition plus heartbeat progress watermarks. Called
+	// under q.mu — implementations must not block.
+	notify func(careapi.JobEvent)
 	// expirations counts leases the manager expired (a monotonic
 	// /metrics counter, reset only by process restart).
 	expirations uint64
@@ -67,6 +77,7 @@ func OpenQueue(journalPath string, inj *faultinject.Injector) (*Queue, error) {
 		jobs:           make(map[string]*Job),
 		idem:           make(map[string]string),
 		idemByJob:      make(map[string]string),
+		deadlines:      make(map[string]time.Time),
 		replayedEvents: len(events),
 	}
 	q.cond = sync.NewCond(&q.mu)
@@ -77,7 +88,7 @@ func OpenQueue(journalPath string, inj *faultinject.Injector) (*Queue, error) {
 		}
 	}
 	// Crash recovery: re-pend locally interrupted jobs, re-arm remote
-	// leases, and rebuild the ready FIFO in submission order.
+	// leases, and rebuild the ready list in submission order.
 	now := time.Now()
 	for _, id := range q.order {
 		jb := q.jobs[id]
@@ -90,13 +101,32 @@ func OpenQueue(journalPath string, inj *faultinject.Injector) (*Queue, error) {
 			if ttl <= 0 {
 				ttl = defaultLeaseTTL
 			}
-			jb.leaseDeadline = now.Add(ttl)
+			q.deadlines[id] = now.Add(ttl)
 		}
 		if jb.State == StatePending {
 			q.ready = append(q.ready, id)
 		}
 	}
 	return q, nil
+}
+
+// SetNotify installs the transition listener (the SSE hub). Call
+// before the queue is shared; fn runs under q.mu and must not block.
+func (q *Queue) SetNotify(fn func(careapi.JobEvent)) {
+	q.mu.Lock()
+	q.notify = fn
+	q.mu.Unlock()
+}
+
+// JournalPath returns the path of the backing journal file (the event
+// stream reads it for Last-Event-ID resume).
+func (q *Queue) JournalPath() string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.jnl == nil {
+		return ""
+	}
+	return q.jnl.path
 }
 
 // replayEvent folds one journal record into the rebuilding queue.
@@ -122,7 +152,7 @@ func (q *Queue) replayEvent(ev Event) error {
 			return fmt.Errorf("%w: snapshot event %d has no spec", ErrJournalCorrupt, ev.Seq)
 		}
 		jb := &Job{ID: ev.Job, Spec: *ev.Spec}
-		if err := jb.apply(ev); err != nil {
+		if err := applyEvent(jb, ev); err != nil {
 			return err
 		}
 		q.addJob(jb)
@@ -154,34 +184,58 @@ func parseJobID(id string) uint64 {
 	return n
 }
 
-// commit journals ev and then applies it to jb. The append is the
-// commit point; if it kills the process (chaos) or fails, the
-// in-memory state is untouched. Callers hold q.mu.
+// commit journals ev, applies it to jb, and publishes the transition
+// to stream subscribers. The append is the commit point; if it kills
+// the process (chaos) or fails, the in-memory state is untouched.
+// Callers hold q.mu.
 func (q *Queue) commit(jb *Job, ev Event) error {
 	if err := q.jnl.Append(&ev); err != nil {
 		return err
 	}
-	return q.applyIndexed(jb, ev)
+	if err := q.applyIndexed(jb, ev); err != nil {
+		return err
+	}
+	q.publish(jb, ev)
+	return nil
 }
 
-// applyIndexed applies ev to jb and keeps the idempotency-key index
-// in lockstep: a claim registers its key, and any event that ends
-// that lease's custody (a new claim, expiry, requeue, or a terminal
-// transition) retires it. Callers hold q.mu (or are replaying before
-// the queue is shared).
+// publish pushes one committed transition to the stream listener.
+// Renew records are custody narration, not state changes — they are
+// excluded so heartbeat chatter does not flood subscribers (progress
+// rides on dedicated watermark events instead).
+func (q *Queue) publish(jb *Job, ev Event) {
+	if q.notify == nil || ev.Op == opRenew {
+		return
+	}
+	q.notify(careapi.JobEvent{
+		Seq: ev.Seq, Op: ev.Op, Job: jb.ID, State: jb.State,
+		Campaign: jb.Spec.Campaign, Worker: ev.Worker, Attempt: ev.Attempt,
+		Error: ev.Error,
+	})
+}
+
+// applyIndexed applies ev to jb and keeps the runtime side state in
+// lockstep: the idempotency-key index (a claim registers its key; any
+// event that ends that lease's custody retires it), the lease
+// deadline, and the progress watermark. Callers hold q.mu (or are
+// replaying before the queue is shared).
 func (q *Queue) applyIndexed(jb *Job, ev Event) error {
-	if err := jb.apply(ev); err != nil {
+	if err := applyEvent(jb, ev); err != nil {
 		return err
 	}
 	switch ev.Op {
 	case opClaim:
 		q.dropIdem(jb.ID)
+		delete(q.deadlines, jb.ID)
+		jb.Progress = nil
 		if ev.Idem != "" {
 			q.idem[ev.Idem] = jb.ID
 			q.idemByJob[jb.ID] = ev.Idem
 		}
 	case opStart, opExpire, opRequeue, opComplete, opFail, opCancel:
 		q.dropIdem(jb.ID)
+		delete(q.deadlines, jb.ID)
+		jb.Progress = nil
 	}
 	return nil
 }
@@ -197,7 +251,7 @@ func (q *Queue) dropIdem(job string) {
 // Submit validates the spec, assigns an ID, commits the submission,
 // and makes the job claimable. It returns the new job.
 func (q *Queue) Submit(spec JobSpec) (Job, error) {
-	if err := spec.Validate(); err != nil {
+	if err := ValidateSpec(&spec); err != nil {
 		return Job{}, err
 	}
 	q.mu.Lock()
@@ -216,6 +270,7 @@ func (q *Queue) Submit(spec JobSpec) (Job, error) {
 	q.jobs[id] = jb
 	q.order = append(q.order, id)
 	q.ready = append(q.ready, id)
+	q.publish(jb, ev)
 	q.cond.Broadcast()
 	return *jb, nil
 }
@@ -230,7 +285,7 @@ func (q *Queue) SubmitSweep(specs []JobSpec) ([]Job, error) {
 		return nil, errors.New("server: empty sweep")
 	}
 	for i := range specs {
-		if err := specs[i].Validate(); err != nil {
+		if err := ValidateSpec(&specs[i]); err != nil {
 			return nil, err
 		}
 	}
@@ -252,14 +307,81 @@ func (q *Queue) SubmitSweep(specs []JobSpec) ([]Job, error) {
 		q.addJob(jb)
 		q.ready = append(q.ready, jb.ID)
 		jobs = append(jobs, *jb)
+		if q.notify != nil {
+			// One atomic journal record fans out to one stream event per
+			// job; Sub orders them inside the record ("seq.1", "seq.2", …).
+			q.notify(careapi.JobEvent{
+				Seq: ev.Seq, Sub: i + 1, Op: opSweep, Job: jb.ID,
+				State: StatePending, Campaign: jb.Spec.Campaign,
+			})
+		}
 	}
 	q.cond.Broadcast()
 	return jobs, nil
 }
 
-// Claim blocks until a pending job is available (or the queue is
-// closed), commits its start event, and returns it for execution.
-// The second return is false when the queue has shut down.
+// ---- claim scheduling ----
+//
+// Claims are matched, not queued: every claim scans the pending set
+// for the best job its caller may run. Higher Priority claims first
+// (backpressure: an urgent campaign preempts queue *position*, never
+// custody — running jobs are untouched, so exactly-once is preserved
+// by construction). Among equal priorities a capable worker is handed
+// its most-demanding satisfiable job, leaving unconstrained work for
+// less capable workers; final tie-break is ready-list order (arrival,
+// with requeues moving to the back), so no job starves behind
+// equal-priority peers and a bouncing job cannot livelock the head of
+// its class.
+
+// claimBefore reports whether a should be claimed strictly before b.
+// Full ties return false: pickReady scans the ready list front to
+// back, so the earlier entry keeps the slot.
+func claimBefore(a, b *Job) bool {
+	if a.Spec.Priority != b.Spec.Priority {
+		return a.Spec.Priority > b.Spec.Priority
+	}
+	return a.Spec.Constraints.Demand() > b.Spec.Constraints.Demand()
+}
+
+// pickReady compacts q.ready (lazily dropping entries whose job is no
+// longer pending) and returns the index of the best claimable job for
+// a claimant with caps, or -1 when nothing matches. A nil caps
+// claimant (the local pool, or an unregistered remote worker) only
+// matches unconstrained jobs. Callers hold q.mu.
+func (q *Queue) pickReady(caps *WorkerCaps) int {
+	live := q.ready[:0]
+	best := -1
+	var bestJob *Job
+	for _, id := range q.ready {
+		jb := q.jobs[id]
+		if jb.State != StatePending {
+			continue // cancelled while queued
+		}
+		live = append(live, id)
+		if !jb.Spec.Constraints.SatisfiedBy(caps) {
+			continue
+		}
+		if best == -1 || claimBefore(jb, bestJob) {
+			best, bestJob = len(live)-1, jb
+		}
+	}
+	q.ready = live
+	return best
+}
+
+// takeReady removes index i from the ready list and returns its job.
+func (q *Queue) takeReady(i int) *Job {
+	id := q.ready[i]
+	q.ready = append(q.ready[:i], q.ready[i+1:]...)
+	return q.jobs[id]
+}
+
+// Claim blocks until a pending job is available for the local pool
+// (or the queue is closed), commits its start event, and returns it
+// for execution. The local pool registers no capabilities, so it only
+// executes unconstrained jobs — constrained jobs wait for a remote
+// worker that satisfies them. The second return is false when the
+// queue has shut down.
 func (q *Queue) Claim() (Job, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -269,26 +391,18 @@ func (q *Queue) Claim() (Job, bool) {
 		if q.closed {
 			return Job{}, false
 		}
-		for len(q.ready) > 0 {
-			id := q.ready[0]
-			q.ready = q.ready[1:]
-			jb := q.jobs[id]
-			if jb.State != StatePending {
-				continue // cancelled while queued
-			}
-			ev := Event{Op: opStart, Job: id, Attempt: jb.Attempts + 1}
+		if i := q.pickReady(nil); i >= 0 {
+			jb := q.takeReady(i)
+			ev := Event{Op: opStart, Job: jb.ID, Attempt: jb.Attempts + 1}
 			if err := q.commit(jb, ev); err != nil {
 				// The start never committed; leave the job pending and
 				// surface the journal failure to whoever shuts us down.
-				q.ready = append([]string{id}, q.ready...)
+				q.ready = append([]string{jb.ID}, q.ready...)
 				q.closed = true
 				q.cond.Broadcast()
 				return Job{}, false
 			}
 			return *jb, true
-		}
-		if q.closed {
-			return Job{}, false
 		}
 		q.cond.Wait()
 	}
@@ -303,7 +417,9 @@ func (q *Queue) Claim() (Job, bool) {
 // lease. The decisive comparisons all happen under q.mu, so a lease
 // expiry racing a complete is settled deterministically by whichever
 // commit wins the lock — and the loser is rejected with ErrStaleLease
-// rather than applied twice.
+// rather than applied twice. Leases are per-job, so one worker
+// process running several slots holds several independent leases;
+// fencing never couples them.
 
 // clampTTL normalises a requested lease TTL.
 func clampTTL(ttlMS int64) time.Duration {
@@ -317,13 +433,21 @@ func clampTTL(ttlMS int64) time.Duration {
 	return ttl
 }
 
-// ClaimRemote hands the next pending job to a remote worker under a
-// fresh lease. It does not block: ok is false when nothing is
+// ClaimRemote hands the next pending unconstrained job to a remote
+// worker that registered no capabilities. See ClaimFor.
+func (q *Queue) ClaimRemote(worker string, ttlMS int64, idem string) (Job, bool, error) {
+	return q.ClaimFor(worker, ttlMS, idem, nil)
+}
+
+// ClaimFor hands the best matching pending job to a remote worker
+// under a fresh lease, scheduling by priority, then constraint
+// demand, then submission order, among the jobs whose constraints
+// caps satisfies. It does not block: ok is false when nothing is
 // claimable. A non-empty idem key makes the claim idempotent — if the
 // key already maps to a lease this worker still holds (the response
 // to an earlier identical claim was lost in the network), the same
 // job and token are returned without a second journal event.
-func (q *Queue) ClaimRemote(worker string, ttlMS int64, idem string) (Job, bool, error) {
+func (q *Queue) ClaimFor(worker string, ttlMS int64, idem string, caps *WorkerCaps) (Job, bool, error) {
 	if worker == "" {
 		return Job{}, false, errors.New("server: claim needs a worker name")
 	}
@@ -341,22 +465,17 @@ func (q *Queue) ClaimRemote(worker string, ttlMS int64, idem string) (Job, bool,
 			}
 		}
 	}
-	for len(q.ready) > 0 {
-		id := q.ready[0]
-		q.ready = q.ready[1:]
-		jb := q.jobs[id]
-		if jb.State != StatePending {
-			continue // cancelled while queued
-		}
+	if i := q.pickReady(caps); i >= 0 {
+		jb := q.takeReady(i)
 		ev := Event{
-			Op: opClaim, Job: id, Attempt: jb.Attempts + 1,
-			Worker: worker, TTLMS: ttl.Milliseconds(), Idem: idem,
+			Op: opClaim, Job: jb.ID, Attempt: jb.Attempts + 1,
+			Worker: worker, TTLMS: ttl.Milliseconds(), Idem: idem, Caps: caps,
 		}
 		if err := q.commit(jb, ev); err != nil {
-			q.ready = append([]string{id}, q.ready...)
+			q.ready = append([]string{jb.ID}, q.ready...)
 			return Job{}, false, err
 		}
-		jb.leaseDeadline = time.Now().Add(ttl)
+		q.deadlines[jb.ID] = time.Now().Add(ttl)
 		return q.view(jb), true, nil
 	}
 	return Job{}, false, nil
@@ -392,10 +511,14 @@ func (q *Queue) CheckLease(id, worker string, token int) error {
 	return err
 }
 
-// Renew extends a held lease by its TTL (a heartbeat). The returned
-// job copy carries the CancelRequested flag so the holder learns it
-// should unwind.
-func (q *Queue) Renew(id, worker string, token int) (Job, error) {
+// Renew extends a held lease by its TTL (a heartbeat), optionally
+// recording the holder's progress watermark. The watermark is fenced
+// exactly like the renewal itself — a stale holder can neither keep
+// the lease nor pollute the stream — and is pushed to subscribers as
+// an id-less progress event (runtime state, never journaled). The
+// returned job copy carries the CancelRequested flag so the holder
+// learns it should unwind.
+func (q *Queue) Renew(id, worker string, token int, p *Progress) (Job, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	jb, err := q.checkLease(id, worker, token)
@@ -405,7 +528,19 @@ func (q *Queue) Renew(id, worker string, token int) (Job, error) {
 	if err := q.commit(jb, Event{Op: opRenew, Job: id, Attempt: token, Worker: worker}); err != nil {
 		return Job{}, err
 	}
-	jb.leaseDeadline = time.Now().Add(clampTTL(jb.LeaseTTLMS))
+	q.deadlines[id] = time.Now().Add(clampTTL(jb.LeaseTTLMS))
+	if p != nil {
+		wm := *p
+		wm.Job, wm.Worker = id, worker
+		jb.Progress = &wm
+		if q.notify != nil {
+			q.notify(careapi.JobEvent{
+				Op: opProgress, Job: id, State: jb.State,
+				Campaign: jb.Spec.Campaign, Worker: worker, Attempt: token,
+				Progress: &wm,
+			})
+		}
+	}
 	return q.view(jb), nil
 }
 
@@ -488,7 +623,8 @@ func (q *Queue) ExpireLeases(now time.Time) []string {
 	var expired []string
 	for _, id := range q.order {
 		jb := q.jobs[id]
-		if !jb.Leased() || jb.leaseDeadline.IsZero() || now.Before(jb.leaseDeadline) {
+		deadline, armed := q.deadlines[id]
+		if !jb.Leased() || !armed || now.Before(deadline) {
 			continue
 		}
 		token, holder := jb.Attempts, jb.Worker
@@ -534,8 +670,8 @@ func (q *Queue) ActiveLeases() int {
 // Callers hold q.mu.
 func (q *Queue) view(jb *Job) Job {
 	cp := *jb
-	if jb.Leased() && !jb.leaseDeadline.IsZero() {
-		if left := time.Until(jb.leaseDeadline); left > 0 {
+	if deadline, ok := q.deadlines[jb.ID]; ok && jb.Leased() {
+		if left := time.Until(deadline); left > 0 {
 			cp.LeaseMSLeft = left.Milliseconds()
 		}
 	}
@@ -625,6 +761,45 @@ func (q *Queue) Jobs() []Job {
 	return out
 }
 
+// List returns one filtered page of jobs in submission order. state
+// and campaign filter when non-empty; limit bounds the page (0 =
+// unlimited); cursor resumes after the job ID a previous page ended
+// on. total counts every matching job regardless of paging, and next
+// is the cursor for the following page ("" on the last). Cursoring is
+// by job ID ordinal, so a page boundary stays valid even if the
+// boundary job itself changes state between requests.
+func (q *Queue) List(state, campaign string, limit int, cursor string) (jobs []Job, total int, next string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	after := uint64(0)
+	if cursor != "" {
+		after = parseJobID(cursor)
+	}
+	more := false
+	for _, id := range q.order {
+		jb := q.jobs[id]
+		if state != "" && jb.State != state {
+			continue
+		}
+		if campaign != "" && jb.Spec.Campaign != campaign {
+			continue
+		}
+		total++
+		if parseJobID(id) <= after {
+			continue
+		}
+		if limit > 0 && len(jobs) == limit {
+			more = true
+			continue
+		}
+		jobs = append(jobs, q.view(jb))
+	}
+	if more && len(jobs) > 0 {
+		next = jobs[len(jobs)-1].ID
+	}
+	return jobs, total, next
+}
+
 // Depth returns the number of claimable pending jobs.
 func (q *Queue) Depth() int {
 	q.mu.Lock()
@@ -647,6 +822,20 @@ func (q *Queue) Counts() map[string]int {
 		counts[jb.State]++
 	}
 	return counts
+}
+
+// PendingByPriority returns the pending backlog bucketed by priority
+// (the /metrics backpressure gauge).
+func (q *Queue) PendingByPriority() map[int]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[int]int)
+	for _, jb := range q.jobs {
+		if jb.State == StatePending {
+			out[jb.Spec.Priority]++
+		}
+	}
+	return out
 }
 
 // Seq returns the journal's last committed sequence number.

@@ -9,9 +9,12 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
 	"sync/atomic"
 	"time"
 
+	"care/careapi"
 	"care/internal/faultinject"
 	"care/internal/harness"
 	"care/internal/telemetry"
@@ -47,22 +50,33 @@ type Config struct {
 	NoSync bool
 }
 
+// Request/response shapes live in package careapi; the server keeps
+// its historical names as aliases so the wire surface has exactly one
+// definition.
+type (
+	SubmitRequest     = careapi.SubmitRequest
+	Health            = careapi.Health
+	DegradationReport = careapi.DegradationReport
+)
+
 // Server is the care-server daemon: an HTTP API over a durable job
 // queue and a checkpoint-supervised worker pool.
 type Server struct {
-	cfg       Config
-	q         *Queue
-	pool      *pool
-	artifacts *ArtifactStore
-	leases    *leaseManager
-	inj       *faultinject.Injector
-	registry  *telemetry.Registry
-	report    *harness.Report
-	http      *http.Server
-	ln        net.Listener
-	started   time.Time
-	draining  atomic.Bool
-	serveErr  chan error
+	cfg         Config
+	q           *Queue
+	pool        *pool
+	artifacts   *ArtifactStore
+	leases      *leaseManager
+	hub         *eventHub
+	inj         *faultinject.Injector
+	registry    *telemetry.Registry
+	report      *harness.Report
+	http        *http.Server
+	ln          net.Listener
+	journalPath string
+	started     time.Time
+	draining    atomic.Bool
+	serveErr    chan error
 }
 
 // New creates the server: it ensures DataDir, opens and replays the
@@ -85,7 +99,8 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Faults.Enabled() {
 		inj = faultinject.New(*cfg.Faults)
 	}
-	q, err := OpenQueue(filepath.Join(cfg.DataDir, "journal"), inj)
+	journalPath := filepath.Join(cfg.DataDir, "journal")
+	q, err := OpenQueue(journalPath, inj)
 	if err != nil {
 		return nil, err
 	}
@@ -110,14 +125,17 @@ func New(cfg Config) (*Server, error) {
 	registry := telemetry.NewRegistry()
 	report := harness.NewReport()
 	s := &Server{
-		cfg:       cfg,
-		q:         q,
-		artifacts: artifacts,
-		inj:       inj,
-		registry:  registry,
-		report:    report,
-		serveErr:  make(chan error, 1),
+		cfg:         cfg,
+		q:           q,
+		artifacts:   artifacts,
+		hub:         newEventHub(),
+		inj:         inj,
+		registry:    registry,
+		report:      report,
+		journalPath: journalPath,
+		serveErr:    make(chan error, 1),
 	}
+	q.SetNotify(s.hub.publish)
 	s.leases = newLeaseManager(q, artifacts, cfg.LeaseCheckEvery)
 	if !cfg.NoLocalWorkers {
 		s.pool = newPool(q, cfg.DataDir, cfg.Workers, inj, cfg.Faults.SimOnly(), registry, report)
@@ -131,6 +149,7 @@ func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	mux.HandleFunc("GET /api/v1/jobs/events", s.handleEvents)
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /api/v1/report", s.handleReport)
@@ -196,6 +215,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			errs = append(errs, err)
 		}
 	}
+	// Streams must end before http.Shutdown: it waits for in-flight
+	// handlers, and an SSE handler only returns when its subscription
+	// channel closes (or its client disconnects).
+	s.hub.Close()
 	if err := s.http.Shutdown(ctx); err != nil {
 		errs = append(errs, err)
 	}
@@ -224,77 +247,6 @@ func (s *Server) flushTelemetry() error {
 	return s.registry.WriteTo(telemetry.NewJSONL(f))
 }
 
-// ---- request/response shapes ----
-
-// SubmitRequest submits jobs: either one fully specified job, or a
-// sweep — the cross product of Workloads × Policies × CoreCounts,
-// sharing the remaining knobs. Singular and plural fields merge.
-type SubmitRequest struct {
-	JobSpec
-	Workloads  []string `json:"workloads,omitempty"`
-	Policies   []string `json:"policies,omitempty"`
-	CoreCounts []int    `json:"core_counts,omitempty"`
-}
-
-// specs expands the request into concrete job specs.
-func (req *SubmitRequest) specs() []JobSpec {
-	workloads := req.Workloads
-	if len(workloads) == 0 {
-		workloads = []string{req.Workload}
-	}
-	policies := req.Policies
-	if len(policies) == 0 {
-		policies = []string{req.Policy}
-	}
-	cores := req.CoreCounts
-	if len(cores) == 0 {
-		cores = []int{req.Cores}
-	}
-	var out []JobSpec
-	for _, w := range workloads {
-		for _, p := range policies {
-			for _, c := range cores {
-				spec := req.JobSpec
-				spec.Workload, spec.Policy, spec.Cores = w, p, c
-				out = append(out, spec)
-			}
-		}
-	}
-	return out
-}
-
-// Health is the /healthz body.
-type Health struct {
-	Status     string         `json:"status"`
-	Draining   bool           `json:"draining"`
-	QueueDepth int            `json:"queue_depth"`
-	Jobs       map[string]int `json:"jobs"`
-	Workers    []WorkerStatus `json:"workers"`
-	JournalSeq uint64         `json:"journal_seq"`
-	UptimeSec  float64        `json:"uptime_sec"`
-	// Remote-fleet view: jobs currently leased to remote workers, how
-	// many leases the manager has expired this process lifetime, each
-	// known worker's last-contact age, and the checkpoint artifact
-	// store's footprint.
-	ActiveLeases     int           `json:"active_leases"`
-	LeaseExpirations uint64        `json:"lease_expirations"`
-	Fleet            []WorkerFleet `json:"fleet,omitempty"`
-	ArtifactCount    int           `json:"artifact_count"`
-	ArtifactBytes    int64         `json:"artifact_bytes"`
-}
-
-// DegradationReport is the /api/v1/report body: what the campaign
-// survived. CI chaos-smoke uploads it as a build artifact.
-type DegradationReport struct {
-	Jobs         map[string]int `json:"jobs"`
-	JournalSeq   uint64         `json:"journal_seq"`
-	Completed    int            `json:"runs_completed"`
-	Retried      int            `json:"runs_retried"`
-	Dropped      int            `json:"runs_dropped"`
-	WorkerPanics uint64         `json:"worker_panics"`
-	Summary      string         `json:"summary"`
-}
-
 // ---- handlers ----
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -305,28 +257,31 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// writeError renders the one versioned error envelope every endpoint
+// shares (careapi.Error). The human message keeps the "error" JSON
+// key, so pre-envelope clients parsing {"error": ...} still work.
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, careapi.Err(code, "%s", err.Error()))
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+		writeError(w, http.StatusServiceUnavailable, careapi.CodeDraining, errors.New("server is draining"))
 		return
 	}
 	var req SubmitRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad submission: %w", err))
+		writeError(w, http.StatusBadRequest, careapi.CodeBadRequest, fmt.Errorf("bad submission: %w", err))
 		return
 	}
-	specs := req.specs()
+	specs := req.Specs()
 	// Validate the whole sweep before committing any of it, so a bad
 	// cell cannot leave a half-submitted cross product behind.
 	for i := range specs {
-		if err := specs[i].Validate(); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+		if err := ValidateSpec(&specs[i]); err != nil {
+			writeError(w, http.StatusBadRequest, careapi.CodeBadRequest, err)
 			return
 		}
 	}
@@ -336,20 +291,41 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// or none is.
 	jobs, err := s.q.SubmitSweep(specs)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, http.StatusInternalServerError, careapi.CodeInternal, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, map[string]any{"jobs": jobs})
+	writeJSON(w, http.StatusCreated, careapi.SubmitResponse{Jobs: jobs})
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.q.Jobs()})
+	qs := r.URL.Query()
+	limit := 0
+	if raw := qs.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, careapi.CodeBadRequest,
+				fmt.Errorf("bad limit %q", raw))
+			return
+		}
+		limit = n
+	}
+	if state := qs.Get("state"); state != "" {
+		switch state {
+		case StatePending, StateRunning, StateDone, StateFailed, StateCancelled:
+		default:
+			writeError(w, http.StatusBadRequest, careapi.CodeBadRequest,
+				fmt.Errorf("unknown state %q", state))
+			return
+		}
+	}
+	jobs, total, next := s.q.List(qs.Get("state"), qs.Get("campaign"), limit, qs.Get("cursor"))
+	writeJSON(w, http.StatusOK, careapi.ListResponse{Jobs: jobs, Total: total, NextCursor: next})
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	jb, err := s.q.Get(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, http.StatusNotFound, careapi.CodeUnknownJob, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, jb)
@@ -359,13 +335,13 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	jb, err := s.q.Get(id)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeError(w, http.StatusNotFound, careapi.CodeUnknownJob, err)
 		return
 	}
 	switch jb.State {
 	case StatePending:
 		if err := s.q.Cancel(id); err != nil {
-			writeError(w, http.StatusConflict, err)
+			writeError(w, http.StatusConflict, careapi.CodeBadTransition, err)
 			return
 		}
 	case StateRunning:
@@ -392,7 +368,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusAccepted)
 		return
 	default:
-		writeError(w, http.StatusConflict,
+		writeError(w, http.StatusConflict, careapi.CodeBadTransition,
 			fmt.Errorf("%w: cancel of %s job %s", ErrBadTransition, jb.State, id))
 		return
 	}
@@ -413,6 +389,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Fleet:            s.leases.Fleet(),
 		ArtifactCount:    s.artifacts.Count(),
 		ArtifactBytes:    s.artifacts.Bytes(),
+		SSESubscribers:   s.hub.Count(),
 	}
 	if s.pool != nil {
 		h.Workers = s.pool.Status()
@@ -453,6 +430,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "care_server_jobs{state=%q} %d\n", state, counts[state])
 	}
 	fmt.Fprintf(w, "care_server_queue_depth %d\n", s.q.Depth())
+	backlog := s.q.PendingByPriority()
+	prios := make([]int, 0, len(backlog))
+	for p := range backlog {
+		prios = append(prios, p)
+	}
+	sort.Ints(prios)
+	for _, p := range prios {
+		fmt.Fprintf(w, "care_server_backlog{priority=\"%d\"} %d\n", p, backlog[p])
+	}
+	fmt.Fprintf(w, "care_server_sse_subscribers %d\n", s.hub.Count())
 	fmt.Fprintf(w, "care_server_journal_seq %d\n", s.q.Seq())
 	fmt.Fprintf(w, "care_server_workers %d\n", s.cfg.Workers)
 	fmt.Fprintf(w, "care_server_uptime_seconds %f\n", time.Since(s.started).Seconds())
@@ -462,6 +449,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "care_server_artifact_store_bytes %d\n", s.artifacts.Bytes())
 	for _, wf := range s.leases.Fleet() {
 		fmt.Fprintf(w, "care_server_worker_last_heartbeat_age_seconds{worker=%q} %f\n", wf.Name, wf.LastSeenSec)
+		if wf.Caps != nil {
+			fmt.Fprintf(w, "care_server_worker_slots{worker=%q} %d\n", wf.Name, wf.Caps.Slots)
+		}
 	}
 	if s.registry.Len() > 0 {
 		s.registry.WriteTo(telemetry.NewProm(w))

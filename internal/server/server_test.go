@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"care/careapi"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -64,7 +65,7 @@ func waitAllTerminal(t *testing.T, base string, deadline time.Duration) []Job {
 	t.Helper()
 	stop := time.Now().Add(deadline)
 	for {
-		var list struct{ Jobs []Job }
+		var list careapi.ListResponse
 		httpJSON(t, "GET", base+"/api/v1/jobs", nil, &list)
 		allDone := len(list.Jobs) > 0
 		for _, jb := range list.Jobs {
@@ -90,7 +91,7 @@ func TestServerRunsSweepToCompletion(t *testing.T) {
 	defer s.Shutdown(context.Background())
 	base := "http://" + s.Addr()
 
-	var created struct{ Jobs []Job }
+	var created careapi.SubmitResponse
 	if code := httpJSON(t, "POST", base+"/api/v1/jobs", tinySubmit(), &created); code != http.StatusCreated {
 		t.Fatalf("submit returned %d", code)
 	}
@@ -149,12 +150,12 @@ func TestServerValidatesSubmissions(t *testing.T) {
 
 	bad := tinySubmit()
 	bad.Policies = []string{"care", "no-such-policy"}
-	var errBody struct{ Error string }
+	var errBody careapi.Error
 	if code := httpJSON(t, "POST", base+"/api/v1/jobs", bad, &errBody); code != http.StatusBadRequest {
 		t.Fatalf("invalid sweep returned %d", code)
 	}
 	// All-or-nothing: the valid cell must not have been committed.
-	var list struct{ Jobs []Job }
+	var list careapi.ListResponse
 	httpJSON(t, "GET", base+"/api/v1/jobs", nil, &list)
 	if len(list.Jobs) != 0 {
 		t.Fatalf("half-submitted sweep: %+v", list.Jobs)
@@ -175,7 +176,7 @@ func TestServerCancelPendingJob(t *testing.T) {
 	base := "http://" + s.Addr()
 	req := tinySubmit()
 	req.Warmup, req.Measure, req.CheckpointEvery = 2000, 60000, 4000
-	var created struct{ Jobs []Job }
+	var created careapi.SubmitResponse
 	httpJSON(t, "POST", base+"/api/v1/jobs", req, &created)
 	victim := created.Jobs[1].ID
 	var got Job
@@ -203,7 +204,7 @@ func TestServerDrainRequeuesAndRestartResumes(t *testing.T) {
 	// Baseline result for the job the drain will interrupt.
 	ref := startTestServer(t, t.TempDir(), 1)
 	refReq := drainSubmit()
-	var refCreated struct{ Jobs []Job }
+	var refCreated careapi.SubmitResponse
 	httpJSON(t, "POST", "http://"+ref.Addr()+"/api/v1/jobs", refReq, &refCreated)
 	refJobs := waitAllTerminal(t, "http://"+ref.Addr(), 120*time.Second)
 	if refJobs[0].State != StateDone {
@@ -213,7 +214,7 @@ func TestServerDrainRequeuesAndRestartResumes(t *testing.T) {
 
 	// Instance 1: submit the same job, then drain mid-run.
 	s1 := startTestServer(t, dir, 1)
-	var created struct{ Jobs []Job }
+	var created careapi.SubmitResponse
 	httpJSON(t, "POST", "http://"+s1.Addr()+"/api/v1/jobs", drainSubmit(), &created)
 	id := created.Jobs[0].ID
 	// Wait for it to actually start.

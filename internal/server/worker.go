@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"care/careapi"
 	"care/internal/faultinject"
 	"care/internal/harness"
 	"care/internal/sim"
@@ -45,17 +46,11 @@ type pool struct {
 	status    []WorkerStatus
 }
 
-// WorkerStatus is one worker's health snapshot for /healthz: what it
-// is running and when it last made a state transition (the
-// last-progress watermark — a worker stuck long past it is wedged).
-type WorkerStatus struct {
-	Worker int    `json:"worker"`
-	Job    string `json:"job,omitempty"`
-	Busy   bool   `json:"busy"`
-	// LastProgress is the time of the worker's last job transition
-	// (claim or finish), RFC 3339.
-	LastProgress time.Time `json:"last_progress"`
-}
+// WorkerStatus is one worker's health snapshot for /healthz (careapi
+// type): what it is running and when it last made a state transition
+// (the last-progress watermark — a worker stuck long past it is
+// wedged).
+type WorkerStatus = careapi.WorkerStatus
 
 func newPool(q *Queue, dataDir string, workers int, inj *faultinject.Injector, faults *faultinject.Config, registry *telemetry.Registry, report *harness.Report) *pool {
 	// The drain context is cancelled with sim.ErrDrain as its cause:
@@ -211,7 +206,7 @@ func (p *pool) runJob(jb Job) {
 		p.q.Fail(jb.ID, err.Error())
 		return
 	}
-	r, err := opts.Supervise(ctx, jb.Spec.RunSpec())
+	r, err := opts.Supervise(ctx, RunSpecOf(&jb.Spec))
 	switch {
 	case err == nil:
 		bytes, merr := MarshalResult(r)

@@ -15,27 +15,26 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+
+	"care/careapi"
 )
 
-// API error codes, machine-readable in every worker API error body.
+// API error codes and the error envelope, re-exported from careapi
+// under their historical server names.
 const (
-	CodeStaleLease        = "stale_lease"
-	CodeUnknownJob        = "unknown_job"
-	CodeBadRequest        = "bad_request"
-	CodeBadTransition     = "bad_transition"
-	CodeDuplicateTerminal = "duplicate_terminal"
-	CodeDraining          = "draining"
-	CodeInternal          = "internal"
-	CodeArtifactRejected  = "artifact_rejected"
-	CodeArtifactNotFound  = "artifact_not_found"
+	CodeStaleLease        = careapi.CodeStaleLease
+	CodeUnknownJob        = careapi.CodeUnknownJob
+	CodeBadRequest        = careapi.CodeBadRequest
+	CodeBadTransition     = careapi.CodeBadTransition
+	CodeDuplicateTerminal = careapi.CodeDuplicateTerminal
+	CodeDraining          = careapi.CodeDraining
+	CodeInternal          = careapi.CodeInternal
+	CodeArtifactRejected  = careapi.CodeArtifactRejected
+	CodeArtifactNotFound  = careapi.CodeArtifactNotFound
 )
 
-// APIError is the JSON error body every worker API failure carries.
-// Code is stable for programmatic dispatch; Error is for humans.
-type APIError struct {
-	Code  string `json:"code"`
-	Error string `json:"error"`
-}
+// APIError is the versioned error envelope (careapi.Error).
+type APIError = careapi.Error
 
 // writeAPIError renders err with a machine-readable code derived from
 // the queue's typed errors.
@@ -51,65 +50,18 @@ func writeAPIError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrBadTransition):
 		status, code = http.StatusConflict, CodeBadTransition
 	}
-	writeJSON(w, status, APIError{Code: code, Error: err.Error()})
+	writeError(w, status, code, err)
 }
 
-// ---- request/response shapes (shared with the worker client) ----
-
-// ClaimRequest asks for the next pending job under a fresh lease.
-type ClaimRequest struct {
-	// Worker is the caller's stable name (fencing identifies a lease by
-	// worker + token).
-	Worker string `json:"worker"`
-	// TTLMS is the requested lease duration (0 = server default; the
-	// server clamps outlandish values).
-	TTLMS int64 `json:"ttl_ms,omitempty"`
-	// Idem makes the claim idempotent: a retry quoting the same key
-	// gets the original lease back instead of a second job.
-	Idem string `json:"idem,omitempty"`
-}
-
-// ClaimResponse carries the leased job. The lease token is
-// Job.Attempts; the worker quotes it on every subsequent call.
-type ClaimResponse struct {
-	Job Job `json:"job"`
-	// HasArtifact tells the worker a checkpoint artifact exists to
-	// download before starting (a previous holder got part way).
-	HasArtifact bool `json:"has_artifact"`
-}
-
-// HeartbeatRequest renews a lease.
-type HeartbeatRequest struct {
-	Worker string `json:"worker"`
-	Job    string `json:"job"`
-	Token  int    `json:"token"`
-}
-
-// HeartbeatResponse reports the renewed lease and any server-side
-// cancel waiting for the holder to unwind.
-type HeartbeatResponse struct {
-	LeaseMSLeft     int64 `json:"lease_ms_left"`
-	CancelRequested bool  `json:"cancel_requested"`
-}
-
-// CompleteRequest commits a job's canonical result under its lease.
-type CompleteRequest struct {
-	Worker string          `json:"worker"`
-	Job    string          `json:"job"`
-	Token  int             `json:"token"`
-	Result json.RawMessage `json:"result"`
-}
-
-// FailRequest ends a lease without a result. Kind selects the
-// transition: "requeue" (transient; job becomes claimable again),
-// "fail" (permanent), or "cancel" (acknowledging a requested cancel).
-type FailRequest struct {
-	Worker string `json:"worker"`
-	Job    string `json:"job"`
-	Token  int    `json:"token"`
-	Kind   string `json:"kind"`
-	Reason string `json:"reason,omitempty"`
-}
+// Request/response shapes, shared with the worker client via careapi.
+type (
+	ClaimRequest      = careapi.ClaimRequest
+	ClaimResponse     = careapi.ClaimResponse
+	HeartbeatRequest  = careapi.HeartbeatRequest
+	HeartbeatResponse = careapi.HeartbeatResponse
+	CompleteRequest   = careapi.CompleteRequest
+	FailRequest       = careapi.FailRequest
+)
 
 // ---- handlers ----
 
@@ -117,7 +69,7 @@ func decodeInto(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeJSON(w, http.StatusBadRequest, APIError{Code: CodeBadRequest, Error: err.Error()})
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
 		return false
 	}
 	return true
@@ -128,12 +80,14 @@ func (s *Server) handleWorkerClaim(w http.ResponseWriter, r *http.Request) {
 	if !decodeInto(w, r, &req) {
 		return
 	}
-	s.leases.Touch(req.Worker)
+	// Register the worker's capability envelope even when nothing is
+	// claimable: the fleet view and scheduler stay current either way.
+	s.leases.TouchCaps(req.Worker, req.Caps)
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, APIError{Code: CodeDraining, Error: "server is draining"})
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, errors.New("server is draining"))
 		return
 	}
-	jb, ok, err := s.q.ClaimRemote(req.Worker, req.TTLMS, req.Idem)
+	jb, ok, err := s.q.ClaimFor(req.Worker, req.TTLMS, req.Idem, req.Caps)
 	if err != nil {
 		writeAPIError(w, err)
 		return
@@ -156,7 +110,7 @@ func (s *Server) handleWorkerHeartbeat(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.leases.Touch(req.Worker)
-	jb, err := s.q.Renew(req.Job, req.Worker, req.Token)
+	jb, err := s.q.Renew(req.Job, req.Worker, req.Token, req.Progress)
 	if err != nil {
 		writeAPIError(w, err)
 		return
@@ -174,14 +128,14 @@ func (s *Server) handleWorkerComplete(w http.ResponseWriter, r *http.Request) {
 	}
 	s.leases.Touch(req.Worker)
 	if len(req.Result) == 0 {
-		writeJSON(w, http.StatusBadRequest, APIError{Code: CodeBadRequest, Error: "complete needs a result"})
+		writeError(w, http.StatusBadRequest, CodeBadRequest, errors.New("complete needs a result"))
 		return
 	}
 	if err := s.q.CompleteRemote(req.Job, req.Worker, req.Token, req.Result); err != nil {
 		writeAPIError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "done"})
+	writeJSON(w, http.StatusOK, careapi.StatusResponse{Status: "done"})
 }
 
 func (s *Server) handleWorkerFail(w http.ResponseWriter, r *http.Request) {
@@ -194,7 +148,7 @@ func (s *Server) handleWorkerFail(w http.ResponseWriter, r *http.Request) {
 		writeAPIError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": req.Kind})
+	writeJSON(w, http.StatusOK, careapi.StatusResponse{Status: req.Kind})
 }
 
 // leaseParams pulls the worker/token query parameters the artifact
@@ -222,7 +176,7 @@ func (s *Server) handleArtifactPut(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	worker, token, err := leaseParams(r)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, APIError{Code: CodeBadRequest, Error: err.Error()})
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	s.leases.Touch(worker)
@@ -232,10 +186,10 @@ func (s *Server) handleArtifactPut(w http.ResponseWriter, r *http.Request) {
 	}
 	n, err := s.artifacts.Put(id, r.Body)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, APIError{Code: CodeArtifactRejected, Error: err.Error()})
+		writeError(w, http.StatusBadRequest, CodeArtifactRejected, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "stored", "bytes": n})
+	writeJSON(w, http.StatusOK, careapi.ArtifactStored{Status: "stored", Bytes: n})
 }
 
 // handleArtifactGet streams the job's checkpoint artifact to its
@@ -244,7 +198,7 @@ func (s *Server) handleArtifactGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	worker, token, err := leaseParams(r)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, APIError{Code: CodeBadRequest, Error: err.Error()})
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	s.leases.Touch(worker)
@@ -254,7 +208,7 @@ func (s *Server) handleArtifactGet(w http.ResponseWriter, r *http.Request) {
 	}
 	f, size, err := s.artifacts.Open(id)
 	if err != nil {
-		writeJSON(w, http.StatusNotFound, APIError{Code: CodeArtifactNotFound, Error: err.Error()})
+		writeError(w, http.StatusNotFound, CodeArtifactNotFound, err)
 		return
 	}
 	defer f.Close()

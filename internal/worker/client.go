@@ -17,8 +17,8 @@ import (
 	"sync"
 	"time"
 
+	"care/careapi"
 	"care/internal/faultinject"
-	"care/internal/server"
 )
 
 // RemoteError is a non-retryable server rejection (4xx), carrying the
@@ -39,7 +39,7 @@ func (e *RemoteError) Error() string {
 func IsStaleLease(err error) bool {
 	var re *RemoteError
 	return errors.As(err, &re) &&
-		(re.Code == server.CodeStaleLease || re.Code == server.CodeDuplicateTerminal)
+		(re.Code == careapi.CodeStaleLease || re.Code == careapi.CodeDuplicateTerminal)
 }
 
 // errNoJob is the internal signal for a 204 claim response.
@@ -189,10 +189,10 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, con
 	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
 		return onOK(resp)
 	}
-	re := &RemoteError{Status: resp.StatusCode, Code: server.CodeInternal}
-	var apiErr server.APIError
+	re := &RemoteError{Status: resp.StatusCode, Code: careapi.CodeInternal}
+	var apiErr careapi.Error
 	if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&apiErr) == nil && apiErr.Code != "" {
-		re.Code, re.Message = apiErr.Code, apiErr.Error
+		re.Code, re.Message = apiErr.Code, apiErr.Message
 	} else {
 		// Legacy error shape ({"error": ...}) or no body at all.
 		re.Message = resp.Status
@@ -200,32 +200,36 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, con
 	return re
 }
 
-// Claim asks for the next pending job. ok is false when the queue has
-// nothing claimable (or the server is draining). idem makes the call
-// idempotent across lost responses: reuse the same key until a claim
-// round-trip definitively settles.
-func (c *Client) Claim(ctx context.Context, name string, ttl time.Duration, idem string) (server.ClaimResponse, bool, error) {
-	var resp server.ClaimResponse
+// Claim asks for the next pending job this worker is capable of
+// running. ok is false when the queue has nothing claimable (or the
+// server is draining). idem makes the call idempotent across lost
+// responses: reuse the same key until a claim round-trip definitively
+// settles. caps (may be nil) registers the worker's capability
+// envelope for constraint matching and the fleet view.
+func (c *Client) Claim(ctx context.Context, name string, ttl time.Duration, idem string, caps *careapi.WorkerCaps) (careapi.ClaimResponse, bool, error) {
+	var resp careapi.ClaimResponse
 	err := c.do(ctx, http.MethodPost, "/api/v1/worker/claim",
-		server.ClaimRequest{Worker: name, TTLMS: ttl.Milliseconds(), Idem: idem}, &resp)
+		careapi.ClaimRequest{Worker: name, TTLMS: ttl.Milliseconds(), Idem: idem, Caps: caps}, &resp)
 	if errors.Is(err, errNoJob) {
-		return server.ClaimResponse{}, false, nil
+		return careapi.ClaimResponse{}, false, nil
 	}
 	var re *RemoteError
-	if errors.As(err, &re) && re.Code == server.CodeDraining {
-		return server.ClaimResponse{}, false, nil
+	if errors.As(err, &re) && re.Code == careapi.CodeDraining {
+		return careapi.ClaimResponse{}, false, nil
 	}
 	if err != nil {
-		return server.ClaimResponse{}, false, err
+		return careapi.ClaimResponse{}, false, err
 	}
 	return resp, true, nil
 }
 
-// Heartbeat renews the lease on job under the fencing token.
-func (c *Client) Heartbeat(ctx context.Context, name, job string, token int) (server.HeartbeatResponse, error) {
-	var resp server.HeartbeatResponse
+// Heartbeat renews the lease on job under the fencing token,
+// piggybacking the job's progress watermark (may be nil) for the
+// server's event stream.
+func (c *Client) Heartbeat(ctx context.Context, name, job string, token int, progress *careapi.Progress) (careapi.HeartbeatResponse, error) {
+	var resp careapi.HeartbeatResponse
 	err := c.do(ctx, http.MethodPost, "/api/v1/worker/heartbeat",
-		server.HeartbeatRequest{Worker: name, Job: job, Token: token}, &resp)
+		careapi.HeartbeatRequest{Worker: name, Job: job, Token: token, Progress: progress}, &resp)
 	return resp, err
 }
 
@@ -234,14 +238,14 @@ func (c *Client) Heartbeat(ctx context.Context, name, job string, token int) (se
 // as success.
 func (c *Client) Complete(ctx context.Context, name, job string, token int, result json.RawMessage) error {
 	return c.do(ctx, http.MethodPost, "/api/v1/worker/complete",
-		server.CompleteRequest{Worker: name, Job: job, Token: token, Result: result}, nil)
+		careapi.CompleteRequest{Worker: name, Job: job, Token: token, Result: result}, nil)
 }
 
 // Fail ends the lease without a result; kind is "requeue", "fail", or
 // "cancel".
 func (c *Client) Fail(ctx context.Context, name, job string, token int, kind, reason string) error {
 	return c.do(ctx, http.MethodPost, "/api/v1/worker/fail",
-		server.FailRequest{Worker: name, Job: job, Token: token, Kind: kind, Reason: reason}, nil)
+		careapi.FailRequest{Worker: name, Job: job, Token: token, Kind: kind, Reason: reason}, nil)
 }
 
 // artifactPath builds the artifact endpoint URL for a job + lease.
@@ -269,7 +273,7 @@ func (c *Client) DownloadArtifact(ctx context.Context, name, job string, token i
 			return rerr
 		})
 	var re *RemoteError
-	if errors.As(err, &re) && re.Code == server.CodeArtifactNotFound {
+	if errors.As(err, &re) && re.Code == careapi.CodeArtifactNotFound {
 		return nil, nil
 	}
 	if err != nil {

@@ -34,7 +34,7 @@ func TestClientRetriesTransientServerErrors(t *testing.T) {
 	defer srv.Close()
 
 	c := fastClient(srv.URL, nil)
-	hb, err := c.Heartbeat(context.Background(), "w1", "j1", 1)
+	hb, err := c.Heartbeat(context.Background(), "w1", "j1", 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestClientReturnsTypedErrorImmediatelyOn4xx(t *testing.T) {
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		calls.Add(1)
 		w.WriteHeader(http.StatusConflict)
-		json.NewEncoder(w).Encode(server.APIError{Code: server.CodeStaleLease, Error: "lease lost"})
+		json.NewEncoder(w).Encode(server.APIError{Code: server.CodeStaleLease, Message: "lease lost"})
 	}))
 	defer srv.Close()
 
@@ -81,7 +81,7 @@ func TestClientRetriesThroughInjectedNetFaults(t *testing.T) {
 	inj := faultinject.New(faultinject.Config{NetDropRequestEvery: 2})
 	c := fastClient(srv.URL, inj)
 	for i := 0; i < 4; i++ {
-		if _, err := c.Heartbeat(context.Background(), "w1", "j1", 1); err != nil {
+		if _, err := c.Heartbeat(context.Background(), "w1", "j1", 1, nil); err != nil {
 			t.Fatalf("heartbeat %d: %v", i, err)
 		}
 	}
@@ -99,7 +99,7 @@ func TestClientGivesUpAfterMaxAttempts(t *testing.T) {
 	defer srv.Close()
 
 	c := fastClient(srv.URL, nil)
-	_, err := c.Heartbeat(context.Background(), "w1", "j1", 1)
+	_, err := c.Heartbeat(context.Background(), "w1", "j1", 1, nil)
 	if err == nil {
 		t.Fatal("expected failure against a permanently-down server")
 	}
@@ -116,17 +116,17 @@ func TestClientClaimNoJobAndDraining(t *testing.T) {
 			w.WriteHeader(http.StatusNoContent)
 		case "draining":
 			w.WriteHeader(http.StatusServiceUnavailable)
-			json.NewEncoder(w).Encode(server.APIError{Code: server.CodeDraining, Error: "shutting down"})
+			json.NewEncoder(w).Encode(server.APIError{Code: server.CodeDraining, Message: "shutting down"})
 		}
 	}))
 	defer srv.Close()
 
 	c := fastClient(srv.URL, nil)
-	if _, ok, err := c.Claim(context.Background(), "w1", time.Minute, ""); ok || err != nil {
+	if _, ok, err := c.Claim(context.Background(), "w1", time.Minute, "", nil); ok || err != nil {
 		t.Fatalf("claim on empty queue: ok=%v err=%v, want quiet no-job", ok, err)
 	}
 	mode = "draining"
-	if _, ok, err := c.Claim(context.Background(), "w1", time.Minute, ""); ok || err != nil {
+	if _, ok, err := c.Claim(context.Background(), "w1", time.Minute, "", nil); ok || err != nil {
 		t.Fatalf("claim on draining server: ok=%v err=%v, want quiet no-job", ok, err)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"care/careapi"
 	"care/internal/checkpoint"
 	"care/internal/faultinject"
 	"care/internal/harness"
@@ -36,11 +37,34 @@ type Config struct {
 	Heartbeat time.Duration
 	// Poll is the idle claim retry period (0 = 500ms).
 	Poll time.Duration
+	// Slots is how many jobs this worker runs concurrently (0 = 1).
+	// Each slot claims, executes, and heartbeats independently; fencing
+	// is per job, so one worker name may hold several leases at once.
+	Slots int
+	// Cores, MemMB, and Labels describe the machine for the server's
+	// constraint matcher. A worker that declares nothing can still
+	// claim unconstrained jobs.
+	Cores  int
+	MemMB  int64
+	Labels []string
 	// Faults configures fault injection: network classes wrap the HTTP
 	// transport; simulation classes run inside every job.
 	Faults *faultinject.Config
 	// Log receives progress lines (nil = standard logger).
 	Log *log.Logger
+}
+
+// slots resolves the configured concurrency.
+func (c *Config) slots() int {
+	if c.Slots <= 0 {
+		return 1
+	}
+	return c.Slots
+}
+
+// caps is the capability envelope registered on every claim.
+func (c *Config) caps() *careapi.WorkerCaps {
+	return &careapi.WorkerCaps{Cores: c.Cores, MemMB: c.MemMB, Labels: c.Labels, Slots: c.slots()}
 }
 
 // Worker claims and executes jobs until its context is cancelled.
@@ -49,12 +73,6 @@ type Worker struct {
 	client *Client
 	report *harness.Report
 	logf   func(format string, args ...any)
-
-	// pendingIdem is the idempotency key of the in-flight claim; it is
-	// rotated only after a claim round-trip definitively settles, so a
-	// lost response re-asks for the same lease instead of a second job.
-	pendingIdem string
-	idemSeq     uint64
 }
 
 // errLeaseLost and errCancelRequested are job-context cancel causes.
@@ -114,55 +132,81 @@ func (w *Worker) heartbeatEvery() time.Duration {
 	return hb
 }
 
-// nextIdem returns the idempotency key for the next claim attempt,
-// holding it stable until settle() is called. Keys are unique across
+// idemState is one slot's claim idempotency key: held stable until a
+// claim round-trip definitively settles, so a lost response re-asks
+// for the same lease instead of a second job. Keys are unique across
 // worker restarts (they embed the process start time), which matters
 // because a key is honoured for as long as its claim is the job's
-// current lease.
+// current lease. Each slot has its own state: two slots claiming
+// concurrently must ask for two different leases.
 var processEpoch = time.Now().UnixNano()
 
-func (w *Worker) nextIdem() string {
-	if w.pendingIdem == "" {
-		w.idemSeq++
-		w.pendingIdem = fmt.Sprintf("%s-%d-%d", w.cfg.Name, processEpoch, w.idemSeq)
-	}
-	return w.pendingIdem
+type idemState struct {
+	name    string
+	slot    int
+	pending string
+	seq     uint64
 }
 
-func (w *Worker) settleIdem() { w.pendingIdem = "" }
+func (st *idemState) next() string {
+	if st.pending == "" {
+		st.seq++
+		st.pending = fmt.Sprintf("%s-s%d-%d-%d", st.name, st.slot, processEpoch, st.seq)
+	}
+	return st.pending
+}
 
-// Run claims and executes jobs until ctx is cancelled. Cancel ctx
-// with sim.ErrDrain as the cause (context.WithCancelCause) for a
-// graceful drain: the running job stops at its next scheduled
-// checkpoint, uploads it, and requeues, so another worker resumes it
-// with bit-identical results.
+func (st *idemState) settle() { st.pending = "" }
+
+// Run claims and executes jobs on cfg.Slots concurrent slots until
+// ctx is cancelled. Cancel ctx with sim.ErrDrain as the cause
+// (context.WithCancelCause) for a graceful drain: every running job
+// stops at its next scheduled checkpoint, uploads it, and requeues,
+// so another worker resumes it with bit-identical results.
 func (w *Worker) Run(ctx context.Context) error {
-	w.logf("care-worker %s: serving %s", w.cfg.Name, w.cfg.Server)
+	slots := w.cfg.slots()
+	w.logf("care-worker %s: serving %s (%d slot(s))", w.cfg.Name, w.cfg.Server, slots)
+	var wg sync.WaitGroup
+	for i := 0; i < slots; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			w.runSlot(ctx, slot)
+		}(i)
+	}
+	wg.Wait()
+	return context.Cause(ctx)
+}
+
+// runSlot is one slot's claim loop.
+func (w *Worker) runSlot(ctx context.Context, slot int) {
+	idem := idemState{name: w.cfg.Name, slot: slot}
+	caps := w.cfg.caps()
 	for {
 		if ctx.Err() != nil {
-			return context.Cause(ctx)
+			return
 		}
-		resp, ok, err := w.client.Claim(ctx, w.cfg.Name, w.cfg.LeaseTTL, w.nextIdem())
+		resp, ok, err := w.client.Claim(ctx, w.cfg.Name, w.cfg.LeaseTTL, idem.next(), caps)
 		if err != nil {
 			if ctx.Err() != nil {
-				return context.Cause(ctx)
+				return
 			}
 			// The claim may or may not have landed; keep the same idem key
 			// so the retry re-asks for the same lease.
-			w.logf("care-worker %s: claim: %v", w.cfg.Name, err)
+			w.logf("care-worker %s[%d]: claim: %v", w.cfg.Name, slot, err)
 			if !sleepCtx(ctx, w.cfg.Poll) {
-				return context.Cause(ctx)
+				return
 			}
 			continue
 		}
-		w.settleIdem()
+		idem.settle()
 		if !ok {
 			if !sleepCtx(ctx, w.cfg.Poll) {
-				return context.Cause(ctx)
+				return
 			}
 			continue
 		}
-		w.runJob(ctx, resp)
+		w.runJob(ctx, slot, resp)
 	}
 }
 
@@ -198,11 +242,11 @@ func (st *jobState) flag(f func(*jobState)) {
 // cancel-ack, requeue, or a silent abandon when the lease was fenced
 // away (the server already moved on; any call we made would be
 // rejected with stale_lease).
-func (w *Worker) runJob(ctx context.Context, claim server.ClaimResponse) {
+func (w *Worker) runJob(ctx context.Context, slot int, claim careapi.ClaimResponse) {
 	jb := claim.Job
 	token := jb.Attempts
-	w.logf("care-worker %s: claimed %s (token %d): %s/%s/c%d",
-		w.cfg.Name, jb.ID, token, jb.Spec.Workload, jb.Spec.Policy, jb.Spec.Cores)
+	w.logf("care-worker %s[%d]: claimed %s (token %d): %s/%s/c%d",
+		w.cfg.Name, slot, jb.ID, token, jb.Spec.Workload, jb.Spec.Policy, jb.Spec.Cores)
 
 	dir := filepath.Join(w.cfg.DataDir, "jobs", jb.ID)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -210,7 +254,7 @@ func (w *Worker) runJob(ctx context.Context, claim server.ClaimResponse) {
 		return
 	}
 	defer os.RemoveAll(dir)
-	spec := jb.Spec.RunSpec()
+	spec := server.RunSpecOf(&jb.Spec)
 	ckptPath := filepath.Join(dir, spec.CheckpointFile())
 
 	// Seed the local checkpoint from the server artifact so this
@@ -241,7 +285,7 @@ func (w *Worker) runJob(ctx context.Context, claim server.ClaimResponse) {
 	st := &jobState{}
 	hbDone := make(chan struct{})
 	hbStop := make(chan struct{})
-	go w.heartbeat(jobCtx, jb.ID, token, ckptPath, st, cancelJob, hbStop, hbDone)
+	go w.heartbeat(jobCtx, jb.ID, token, slot, ckptPath, &jb.Spec, st, cancelJob, hbStop, hbDone)
 
 	opts, err := w.jobOptions(jb, dir)
 	var result sim.Result
@@ -331,15 +375,17 @@ func (w *Worker) fetchArtifact(ctx context.Context, job string, token int, ckptP
 }
 
 // heartbeat renews the lease until the job ends, learning about
-// server-side cancels and fencing, and uploads the latest on-schedule
-// checkpoint so the job can migrate if this worker dies. Transient
-// heartbeat failures are tolerated — the server re-arms a replayed
-// lease after its own restart — but a definitive stale_lease
-// rejection means custody is gone: uploads stop and the job context
-// is cancelled with errLeaseLost.
-func (w *Worker) heartbeat(ctx context.Context, job string, token int, ckptPath string,
-	st *jobState, cancelJob context.CancelCauseFunc, stop <-chan struct{}, done chan<- struct{}) {
+// server-side cancels and fencing, reporting the job's progress
+// watermark, and uploading the latest on-schedule checkpoint so the
+// job can migrate if this worker dies. Transient heartbeat failures
+// are tolerated — the server re-arms a replayed lease after its own
+// restart — but a definitive stale_lease rejection means custody is
+// gone: uploads stop and the job context is cancelled with
+// errLeaseLost.
+func (w *Worker) heartbeat(ctx context.Context, job string, token, slot int, ckptPath string,
+	spec *careapi.JobSpec, st *jobState, cancelJob context.CancelCauseFunc, stop <-chan struct{}, done chan<- struct{}) {
 	defer close(done)
+	start := time.Now()
 	tick := time.NewTicker(w.heartbeatEvery())
 	defer tick.Stop()
 	for {
@@ -350,7 +396,7 @@ func (w *Worker) heartbeat(ctx context.Context, job string, token int, ckptPath 
 			return
 		case <-tick.C:
 		}
-		resp, err := w.client.Heartbeat(ctx, w.cfg.Name, job, token)
+		resp, err := w.client.Heartbeat(ctx, w.cfg.Name, job, token, w.progress(slot, ckptPath, spec, start))
 		if err != nil {
 			if IsStaleLease(err) {
 				w.logf("care-worker %s: %s heartbeat fenced as stale (token %d)", w.cfg.Name, job, token)
@@ -372,6 +418,37 @@ func (w *Worker) heartbeat(ctx context.Context, job string, token int, ckptPath 
 		}
 		w.maybeUpload(ctx, job, token, ckptPath, st)
 	}
+}
+
+// progress builds the heartbeat's watermark from the job's latest
+// on-schedule checkpoint: its meta frame carries the simulation clock
+// and the run-schedule position. Before the first checkpoint lands
+// (or while the simulator is mid-save) only the elapsed wall clock is
+// reported. Best-effort by design — a torn read just means this
+// heartbeat repeats the previous watermark's schedule position.
+func (w *Worker) progress(slot int, ckptPath string, spec *careapi.JobSpec, start time.Time) *careapi.Progress {
+	p := &careapi.Progress{Slot: slot, ElapsedMS: time.Since(start).Milliseconds()}
+	data, err := os.ReadFile(ckptPath)
+	if err != nil {
+		return p
+	}
+	r, err := checkpoint.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return p
+	}
+	raw, err := r.Frame("meta")
+	if err != nil {
+		return p
+	}
+	m, err := checkpoint.As[sim.RunMeta](raw, "meta")
+	if err != nil {
+		return p
+	}
+	p.Phase, p.Cycles, p.Instructions = m.Phase, m.Cycle, m.Done
+	if m.Every > 0 {
+		p.Checkpoint = m.Done / m.Every
+	}
+	return p
 }
 
 // maybeUpload ships the live checkpoint if it changed since the last
